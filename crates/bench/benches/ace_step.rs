@@ -1,0 +1,64 @@
+//! Criterion benchmarks for ACE itself: closure collection, spanning-tree
+//! construction and full optimization rounds.
+
+use ace_core::experiments::{PhysKind, Scenario, ScenarioConfig};
+use ace_core::{AceConfig, AceEngine, Closure};
+use ace_overlay::PeerId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn world(peers: usize) -> Scenario {
+    Scenario::build(&ScenarioConfig {
+        phys: PhysKind::TwoLevel { as_count: 8, nodes_per_as: 150 },
+        peers,
+        avg_degree: 8,
+        seed: 12,
+        ..ScenarioConfig::default()
+    })
+}
+
+fn bench_ace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ace_step");
+    g.sample_size(10);
+
+    for &peers in &[200usize, 500] {
+        g.bench_with_input(BenchmarkId::new("full_round", peers), &peers, |b, &peers| {
+            b.iter_batched(
+                || {
+                    let s = world(peers);
+                    let e = AceEngine::new(peers, AceConfig::paper_default());
+                    (s, e)
+                },
+                |(mut s, mut e)| {
+                    black_box(e.round(&mut s.overlay, &s.oracle, &mut s.rng));
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    g.bench_function("tree_round_500", |b| {
+        b.iter_batched(
+            || {
+                let s = world(500);
+                let e = AceEngine::new(500, AceConfig::paper_default());
+                (s, e)
+            },
+            |(s, mut e)| {
+                black_box(e.tree_round(&s.overlay, &s.oracle));
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let s = world(500);
+    for depth in [1u8, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("closure_collect", depth), &depth, |b, &d| {
+            b.iter(|| black_box(Closure::collect(&s.overlay, PeerId::new(0), d)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ace);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the wire codec and the asynchronous protocol.
+
+use ace_core::protocol::{AsyncAceSim, ProtoConfig};
+use ace_engine::SimTime;
+use ace_overlay::{clustered_overlay, Message, PeerId};
+use ace_topology::generate::{two_level, TwoLevelConfig};
+use ace_topology::DistanceOracle;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let table = Message::CostTable {
+        owner: PeerId::new(7),
+        entries: (0..10).map(|i| (PeerId::new(i), 100 + i)).collect(),
+    };
+    g.bench_function("encode_cost_table_10", |b| b.iter(|| black_box(table.encode())));
+    let encoded = table.encode();
+    g.bench_function("decode_cost_table_10", |b| {
+        b.iter(|| black_box(Message::decode(encoded.clone()).unwrap()))
+    });
+    let query = Message::Query { id: 1, ttl: 7, object: 42 };
+    g.bench_function("encode_query", |b| b.iter(|| black_box(query.encode())));
+    g.finish();
+}
+
+fn bench_async(c: &mut Criterion) {
+    let mut g = c.benchmark_group("async_protocol");
+    g.sample_size(10);
+    g.bench_function("one_minute_200_peers", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = StdRng::seed_from_u64(3);
+                let topo = two_level(
+                    &TwoLevelConfig { as_count: 6, nodes_per_as: 80, ..TwoLevelConfig::default() },
+                    &mut rng,
+                );
+                let oracle = DistanceOracle::new(topo.graph);
+                let hosts = oracle.graph().nodes().take(200).collect();
+                let ov = clustered_overlay(hosts, 6, 0.7, Some(12), &mut rng);
+                (oracle, AsyncAceSim::new(ov, ProtoConfig::default(), 4))
+            },
+            |(oracle, mut sim)| {
+                sim.run_until(&oracle, SimTime::from_secs(60));
+                black_box(sim.messages_delivered())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_async);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks for query propagation: blind flooding vs ACE
+//! spanning-tree forwarding on the same optimized world.
+
+use ace_core::experiments::{PhysKind, Scenario, ScenarioConfig};
+use ace_core::{AceConfig, AceEngine, AceForward};
+use ace_overlay::{run_query, FloodAll, PeerId, QueryConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let mut s = Scenario::build(&ScenarioConfig {
+        phys: PhysKind::TwoLevel { as_count: 8, nodes_per_as: 150 },
+        peers: 500,
+        avg_degree: 6,
+        seed: 9,
+        ..ScenarioConfig::default()
+    });
+    let mut ace = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
+    for _ in 0..6 {
+        ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+    }
+    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+
+    let mut g = c.benchmark_group("search");
+    g.bench_function("flood_500_peers", |b| {
+        b.iter(|| {
+            black_box(run_query(&s.overlay, &s.oracle, PeerId::new(0), &qc, &FloodAll, |_| false))
+        })
+    });
+    g.bench_function("ace_tree_500_peers", |b| {
+        let fwd = AceForward::new(&ace);
+        b.iter(|| {
+            black_box(run_query(&s.overlay, &s.oracle, PeerId::new(0), &qc, &fwd, |_| false))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

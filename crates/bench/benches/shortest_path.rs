@@ -1,0 +1,45 @@
+//! Criterion benchmarks for shortest paths and the distance oracle — the
+//! hot path behind every overlay link-cost computation.
+
+use ace_topology::generate::{two_level, TwoLevelConfig};
+use ace_topology::{sssp, DistanceOracle, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_sssp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let topo = two_level(
+        &TwoLevelConfig { as_count: 10, nodes_per_as: 1000, ..TwoLevelConfig::default() },
+        &mut rng,
+    );
+    let n = topo.graph.node_count();
+
+    let mut g = c.benchmark_group("shortest_path");
+    g.bench_function("dijkstra_10k", |b| {
+        let graph = topo.graph.clone();
+        b.iter(|| black_box(sssp::dijkstra(&graph, NodeId::new(0))))
+    });
+    g.bench_function("dijkstra_bounded_10k", |b| {
+        let graph = topo.graph.clone();
+        b.iter(|| black_box(sssp::dijkstra_bounded(&graph, NodeId::new(0), 100)))
+    });
+    g.bench_function("oracle_cached_pairs", |b| {
+        let oracle = DistanceOracle::new(topo.graph.clone());
+        // Warm a handful of rows, then measure cached lookups.
+        for i in 0..16u32 {
+            oracle.distances_from(NodeId::new(i));
+        }
+        let mut qrng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let a = NodeId::new(qrng.gen_range(0..16));
+            let t = NodeId::new(qrng.gen_range(0..n as u32));
+            black_box(oracle.distance(a, t))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sssp);
+criterion_main!(benches);

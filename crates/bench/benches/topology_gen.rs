@@ -1,0 +1,50 @@
+//! Criterion benchmarks for physical-topology generation.
+
+use ace_topology::generate::{ba, gnm, two_level, watts_strogatz, BaConfig, DelayModel, GnmConfig, TwoLevelConfig, WattsStrogatzConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_gen");
+    for &n in &[1_000usize, 5_000, 20_000] {
+        g.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(ba(&BaConfig { nodes: n, ..BaConfig::default() }, &mut rng))
+            })
+        });
+    }
+    g.bench_function("two_level_10x400", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(two_level(
+                &TwoLevelConfig { as_count: 10, nodes_per_as: 400, ..TwoLevelConfig::default() },
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("gnm_5000_10000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(gnm(
+                &GnmConfig { nodes: 5_000, edges: 10_000, delays: DelayModel::default() },
+                &mut rng,
+            ))
+        })
+    });
+    g.bench_function("watts_strogatz_5000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(watts_strogatz(
+                &WattsStrogatzConfig { nodes: 5_000, k: 3, beta: 0.1, delays: DelayModel::default() },
+                &mut rng,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Measurement-accuracy ablation: how ACE degrades when link costs come
+//! from noisy estimators (Vivaldi coordinates, landmark triangulation)
+//! instead of direct probes — the accuracy argument of the paper's §2.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ablation_estimation(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,9 @@
+//! Related-work ablation (§2): landmark-based neighbor clustering vs
+//! random attachment vs ACE's direct measurement-based adaptation.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ablation_landmark(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,9 @@
+//! Fairness ablation: forwarding-load concentration under ACE trees
+//! compared to blind flooding.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ablation_load(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,9 @@
+//! Scope-guard ablation: how many flooding links a peer must keep to
+//! protect the search scope, and what that costs in pruning power.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ablation_min_flooding(Scale::from_env());
+    emit(&rec, &tables);
+}

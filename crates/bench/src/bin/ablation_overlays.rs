@@ -1,0 +1,10 @@
+//! Overlay-family ablation: ACE's gains depend on the overlay's local
+//! clustering (the paper's small-world premise). Clustered, random and
+//! preferential-attachment overlays compared.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ablation_overlays(Scale::from_env());
+    emit(&rec, &tables);
+}

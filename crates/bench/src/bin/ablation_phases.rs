@@ -1,0 +1,10 @@
+//! Phase-contribution ablation: how much of ACE's traffic reduction comes
+//! from phase 2 (spanning-tree forwarding) alone vs phases 2+3 (with
+//! adaptive reconnection).
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ablation_phases(Scale::from_env());
+    emit(&rec, &tables);
+}

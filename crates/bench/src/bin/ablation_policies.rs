@@ -1,0 +1,10 @@
+//! §6 ablation: the paper's candidate replacement policies — Random (used
+//! in its simulations), Naive and Closest — compared on final traffic,
+//! response time, and probing overhead.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ablation_policies(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,10 @@
+//! TTL ablation: spanning-tree forwarding dilates hop counts, so small
+//! Gnutella TTLs truncate ACE's search scope before flooding's. This run
+//! quantifies the TTL at which the paper's scope-retention claim holds.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ablation_ttl(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,9 @@
+//! Baseline/composition: Gia-style capacity adaptation (reference \[4\])
+//! alongside ACE's physical matching.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::baseline_gia(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,9 @@
+//! Baseline comparison: ACE vs LTM (the authors' detector-based companion
+//! scheme, INFOCOM 2004) vs blind flooding on the same world.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::baseline_ltm(Scale::from_env());
+    emit(&rec, &tables);
+}

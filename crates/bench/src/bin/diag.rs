@@ -1,0 +1,30 @@
+// Diagnostic: overhead breakdown by category across rounds.
+use ace_core::experiments::{PhysKind, Scenario, ScenarioConfig};
+use ace_core::{AceConfig, AceEngine, OverheadKind};
+
+fn main() {
+    let scenario = ScenarioConfig {
+        phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 100 },
+        peers: 100,
+        avg_degree: 10,
+        objects: 200,
+        replicas: 8,
+        seed: 80,
+        ..ScenarioConfig::default()
+    };
+    let mut s = Scenario::build(&scenario);
+    let mut ace = AceEngine::new(100, AceConfig::paper_default());
+    for round in 0..16 {
+        let st = ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+        let o = st.overhead;
+        println!(
+            "r{round:2}: repl {:3} add {:2} | probe {:9.0} table {:9.0} relay {:8.0} reconn {:7.0} | total {:9.0}",
+            st.replaced, st.added,
+            o.cost_of(OverheadKind::Probe),
+            o.cost_of(OverheadKind::TableExchange),
+            o.cost_of(OverheadKind::ClosureRelay),
+            o.cost_of(OverheadKind::Reconnect),
+            o.total_cost()
+        );
+    }
+}

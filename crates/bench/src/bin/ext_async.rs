@@ -1,0 +1,9 @@
+//! Extension: validates the message-level asynchronous ACE implementation
+//! against the round-based harness on the same world.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ext_async(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,9 @@
+//! Extension: the message-level asynchronous protocol operating under
+//! continuous churn, with path-stretch tracking.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ext_async_churn(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,10 @@
+//! Reproduces the §5.2 extension claim: ACE combined with a 200-item
+//! response index cache per peer reduces ~75% of traffic and ~70% of
+//! response time relative to plain Gnutella flooding.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ext_index_cache(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,9 @@
+//! Extension: the effect of ACE's topology matching on k-walker
+//! random-walk search (flooding's main contemporary alternative).
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ext_random_walk(Scale::from_env());
+    emit(&rec, &tables);
+}

@@ -1,0 +1,9 @@
+//! Extension: search-strategy comparison (flooding, HPF partial flooding,
+//! k-walker random walks, ACE spanning trees) on the same matched world.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ext_search_strategies(Scale::from_env());
+    emit(&rec, &tables);
+}

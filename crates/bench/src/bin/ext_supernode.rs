@@ -1,0 +1,9 @@
+//! Extension: ACE applied to a KaZaA-style supernode core — the "or among
+//! supernodes" flooding variant of the paper's introduction.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let (rec, tables) = figures::ext_supernode(Scale::from_env());
+    emit(&rec, &tables);
+}

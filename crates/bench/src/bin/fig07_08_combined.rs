@@ -1,0 +1,10 @@
+//! Runs the shared static sweep once and emits BOTH Figure 7 and Figure 8
+//! (convenient at FULL scale where the sweep dominates runtime).
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    for (rec, tables) in figures::fig07_08(Scale::from_env()) {
+        emit(&rec, &tables);
+    }
+}

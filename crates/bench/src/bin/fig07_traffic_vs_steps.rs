@@ -1,0 +1,10 @@
+//! Reproduces Figure 7: traffic cost per query vs ACE optimization steps,
+//! one curve per average connection count C (static environment, §5.1).
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let figs = figures::fig07_08(Scale::from_env());
+    let (rec, tables) = &figs[0];
+    emit(rec, tables);
+}

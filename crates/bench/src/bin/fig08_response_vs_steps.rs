@@ -1,0 +1,10 @@
+//! Reproduces Figure 8: average response time vs ACE optimization steps
+//! (static environment, §5.1).
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let figs = figures::fig07_08(Scale::from_env());
+    let (rec, tables) = &figs[1];
+    emit(rec, tables);
+}

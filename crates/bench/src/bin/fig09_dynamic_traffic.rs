@@ -1,0 +1,11 @@
+//! Reproduces Figure 9: average traffic cost per query over the query
+//! sequence in a dynamic (churning) system, Gnutella-like vs ACE-enabled;
+//! ACE's control overhead is included in its per-query cost (§5.2).
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let figs = figures::fig09_10(Scale::from_env());
+    let (rec, tables) = &figs[0];
+    emit(rec, tables);
+}

@@ -1,0 +1,10 @@
+//! Reproduces Figure 10: average response time over the query sequence in
+//! a dynamic (churning) system (§5.2).
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let figs = figures::fig09_10(Scale::from_env());
+    let (rec, tables) = &figs[1];
+    emit(rec, tables);
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 11: query traffic reduction rate vs closure depth h per C (§5.3).
+//!
+//! Shares one closure-depth sweep with the other depth figures; run
+//! `repro_all` to compute the whole family once.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let figs = figures::depth_figures(Scale::from_env());
+    let (rec, tables) = &figs[0];
+    emit(rec, tables);
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 14: optimization rate vs depth, C=4, per frequency ratio R (§5.3).
+//!
+//! Shares one closure-depth sweep with the other depth figures; run
+//! `repro_all` to compute the whole family once.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let figs = figures::depth_figures(Scale::from_env());
+    let (rec, tables) = &figs[3];
+    emit(rec, tables);
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 16: optimization rate vs frequency ratio, C=4, per depth h (§5.3).
+//!
+//! Shares one closure-depth sweep with the other depth figures; run
+//! `repro_all` to compute the whole family once.
+
+use ace_bench::{emit, figures, Scale};
+
+fn main() {
+    let figs = figures::depth_figures(Scale::from_env());
+    let (rec, tables) = &figs[5];
+    emit(rec, tables);
+}

@@ -1,0 +1,7 @@
+//! Reproduces the paper's Tables 1–2: query paths and costs on trees
+//! built in 1- and 2-neighbor closures (§3.4 example).
+
+fn main() {
+    let (rec, tables) = ace_bench::figures::table01_02();
+    ace_bench::emit(&rec, &tables);
+}

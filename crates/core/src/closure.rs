@@ -1,0 +1,210 @@
+//! h-neighbor closures (§3.4 of the paper).
+//!
+//! The *h-neighbor closure* of a source peer is the set of peers within
+//! `h` overlay hops of it. ACE builds its phase-2 spanning tree over this
+//! closure: `h = 1` (source + direct neighbors) is the base algorithm;
+//! larger `h` improves matching at the price of more table relaying.
+
+use std::collections::{HashMap, VecDeque};
+
+use ace_overlay::{Overlay, PeerId};
+
+/// A source peer's h-neighbor closure: members, hop depths and the overlay
+/// edges among members.
+#[derive(Clone, Debug)]
+pub struct Closure {
+    source: PeerId,
+    depth: u8,
+    /// Members in BFS discovery order; `members[0] == source`.
+    members: Vec<PeerId>,
+    /// Hop distance from the source, parallel to `members`.
+    hops: Vec<u8>,
+    /// BFS parent of each member (`None` for the source), parallel to
+    /// `members` — the relay path along which that member's cost table
+    /// reaches the source.
+    parents: Vec<Option<PeerId>>,
+    /// Member → index in `members`.
+    index: HashMap<PeerId, usize>,
+}
+
+impl Closure {
+    /// Collects the h-neighbor closure of `source` by BFS over the overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is offline or `depth == 0`.
+    pub fn collect(overlay: &Overlay, source: PeerId, depth: u8) -> Self {
+        assert!(depth >= 1, "closure depth must be at least 1");
+        assert!(overlay.is_alive(source), "closure source must be online");
+        let mut members = vec![source];
+        let mut hops = vec![0u8];
+        let mut parents: Vec<Option<PeerId>> = vec![None];
+        let mut index = HashMap::new();
+        index.insert(source, 0usize);
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let uh = hops[index[&u]];
+            if uh == depth {
+                continue;
+            }
+            for &v in overlay.neighbors(u) {
+                if !index.contains_key(&v) {
+                    index.insert(v, members.len());
+                    members.push(v);
+                    hops.push(uh + 1);
+                    parents.push(Some(u));
+                    queue.push_back(v);
+                }
+            }
+        }
+        Closure { source, depth, members, hops, parents, index }
+    }
+
+    /// The source peer.
+    pub fn source(&self) -> PeerId {
+        self.source
+    }
+
+    /// The closure depth `h`.
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Closure members (source first, then BFS order).
+    pub fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    /// Number of members (including the source).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the source is isolated.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() <= 1
+    }
+
+    /// Hop distance of `peer` from the source, if a member.
+    pub fn hop_of(&self, peer: PeerId) -> Option<u8> {
+        self.index.get(&peer).map(|&i| self.hops[i])
+    }
+
+    /// True if `peer` is in the closure.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.index.contains_key(&peer)
+    }
+
+    /// The BFS relay path from `peer` back to the source (inclusive of
+    /// both), i.e. the hops a member's cost table travels during closure
+    /// collection. `None` when `peer` is not a member.
+    pub fn relay_path(&self, peer: PeerId) -> Option<Vec<PeerId>> {
+        let mut idx = *self.index.get(&peer)?;
+        let mut path = vec![self.members[idx]];
+        while let Some(p) = self.parents[idx] {
+            path.push(p);
+            idx = self.index[&p];
+        }
+        Some(path)
+    }
+
+    /// All overlay edges with both endpoints in the closure, as member
+    /// pairs `(a, b)` with `a < b`.
+    pub fn internal_edges(&self, overlay: &Overlay) -> Vec<(PeerId, PeerId)> {
+        let mut edges = Vec::new();
+        for &a in &self.members {
+            for &b in overlay.neighbors(a) {
+                if a < b && self.contains(b) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_topology::NodeId;
+
+    /// Path overlay p0-p1-p2-p3-p4.
+    fn path_overlay(n: u32) -> Overlay {
+        let mut ov = Overlay::new((0..n).map(NodeId::new).collect(), None);
+        for i in 1..n {
+            ov.connect(PeerId::new(i - 1), PeerId::new(i)).unwrap();
+        }
+        ov
+    }
+
+    #[test]
+    fn depth_one_is_source_plus_neighbors() {
+        let ov = path_overlay(5);
+        let c = Closure::collect(&ov, PeerId::new(2), 1);
+        let mut m = c.members().to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![PeerId::new(1), PeerId::new(2), PeerId::new(3)]);
+        assert_eq!(c.hop_of(PeerId::new(2)), Some(0));
+        assert_eq!(c.hop_of(PeerId::new(1)), Some(1));
+        assert_eq!(c.hop_of(PeerId::new(4)), None);
+    }
+
+    #[test]
+    fn depth_two_extends_reach() {
+        let ov = path_overlay(6);
+        let c = Closure::collect(&ov, PeerId::new(0), 2);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.hop_of(PeerId::new(2)), Some(2));
+        assert!(!c.contains(PeerId::new(3)));
+    }
+
+    #[test]
+    fn relay_path_follows_bfs_tree() {
+        let ov = path_overlay(5);
+        let c = Closure::collect(&ov, PeerId::new(0), 3);
+        let path = c.relay_path(PeerId::new(3)).unwrap();
+        assert_eq!(path, vec![PeerId::new(3), PeerId::new(2), PeerId::new(1), PeerId::new(0)]);
+        assert_eq!(c.relay_path(PeerId::new(0)).unwrap(), vec![PeerId::new(0)]);
+        assert_eq!(c.relay_path(PeerId::new(4)), None);
+    }
+
+    #[test]
+    fn internal_edges_only_span_members() {
+        let mut ov = path_overlay(5);
+        // Add a chord 1-3 to create a cycle inside the closure of 2.
+        ov.connect(PeerId::new(1), PeerId::new(3)).unwrap();
+        let c = Closure::collect(&ov, PeerId::new(2), 1);
+        let edges = c.internal_edges(&ov);
+        // Members {1,2,3}: edges 1-2, 2-3, 1-3.
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(PeerId::new(1), PeerId::new(3))));
+    }
+
+    #[test]
+    fn isolated_source_yields_singleton() {
+        let ov = Overlay::new(vec![NodeId::new(0)], None);
+        let c = Closure::collect(&ov, PeerId::new(0), 2);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 1);
+        assert!(c.internal_edges(&ov).is_empty());
+    }
+
+    #[test]
+    fn bfs_explores_breadth_first() {
+        // Star + tail: source 0 connected to 1,2; 2 connected to 3.
+        let mut ov = path_overlay(4);
+        ov.disconnect(PeerId::new(0), PeerId::new(1)).unwrap();
+        ov.connect(PeerId::new(0), PeerId::new(1)).unwrap();
+        let c = Closure::collect(&ov, PeerId::new(1), 2);
+        assert_eq!(c.hop_of(PeerId::new(3)), Some(2));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn zero_depth_rejected() {
+        let ov = path_overlay(2);
+        Closure::collect(&ov, PeerId::new(0), 0);
+    }
+}

@@ -1,0 +1,896 @@
+//! The ACE protocol engine: the paper's three phases, executed per peer.
+//!
+//! * **Phase 1** ([`AceEngine::phase1_probe`]) — probe direct neighbors
+//!   and build the neighbor cost table.
+//! * **Phase 2** (inside [`AceEngine::optimize_peer`]) — collect the
+//!   h-neighbor closure's cost tables (charging exchange/relay overhead),
+//!   build the Prim spanning tree, and classify neighbors into *flooding*
+//!   and *non-flooding*.
+//! * **Phase 3** (inside [`AceEngine::optimize_peer`]) — probe a
+//!   candidate `H` drawn from a non-flooding neighbor `B`'s table and
+//!   apply the paper's Figure-4 rules: replace `C–B` by `C–H` when
+//!   `CH < CB`; keep `H` as an extra neighbor when `CH < BH`; otherwise
+//!   leave the topology alone.
+//!
+//! The engine mutates only the [`Overlay`] and its own per-peer state; it
+//! never uses global knowledge — every decision is based on probed costs
+//! and exchanged tables, exactly as in the distributed protocol.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use ace_overlay::{Message, Overlay, OverlayError, PeerId};
+use ace_topology::{Delay, DistanceOracle};
+
+use crate::closure::Closure;
+use crate::cost_table::CostTable;
+use crate::mst::{prim_heap, ClosureEdge};
+use crate::overhead::{OverheadKind, OverheadLedger};
+use crate::probe::ProbeModel;
+
+/// How phase 3 picks the non-flooding neighbor to improve and the
+/// replacement candidate (§6 of the paper; `Random` is what the paper's
+/// own simulations use, the others are the alternatives it sketches).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReplacePolicy {
+    /// Random non-flooding neighbor, random candidate from its table.
+    #[default]
+    Random,
+    /// Most expensive non-flooding neighbor, random candidate.
+    Naive,
+    /// Most expensive non-flooding neighbor; probe *all* of its neighbors
+    /// and take the closest (more probes, better picks).
+    Closest,
+}
+
+/// ACE configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AceConfig {
+    /// Closure depth `h` (>= 1); 0 is normalized to 1 by [`AceEngine::new`].
+    pub depth: u8,
+    /// Phase-3 selection policy.
+    pub policy: ReplacePolicy,
+    /// Probe measurement model.
+    pub probe: ProbeModel,
+    /// Minimum number of flooding neighbors a peer keeps: if the spanning
+    /// tree would leave fewer, the cheapest non-tree neighbors are kept as
+    /// flooding links too. Guards the search scope against forwarding
+    /// islands on sparse overlays (the paper's scope-retention claim).
+    pub min_flooding: usize,
+}
+
+impl AceConfig {
+    /// The paper's base configuration: `h = 1`, random policy, exact
+    /// probes, scope guard of 2 flooding links.
+    pub fn paper_default() -> Self {
+        AceConfig {
+            depth: 1,
+            policy: ReplacePolicy::Random,
+            probe: ProbeModel::default(),
+            min_flooding: 2,
+        }
+    }
+}
+
+/// What one phase-3 attempt did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdaptOutcome {
+    /// Cut the link to `far` and connected to `near` instead (`CH < CB`).
+    Replaced {
+        /// The disconnected non-flooding neighbor.
+        far: PeerId,
+        /// The newly connected closer peer.
+        near: PeerId,
+    },
+    /// Connected to `near` while keeping the old neighbor (`CH < BH`).
+    Added {
+        /// The newly connected peer.
+        near: PeerId,
+    },
+    /// No topology change (no candidate, probes unfavorable, or caps hit).
+    KeptAll,
+}
+
+/// Aggregate outcome of one optimization round over all alive peers.
+#[derive(Clone, Debug, Default)]
+pub struct RoundStats {
+    /// Number of replace operations.
+    pub replaced: usize,
+    /// Number of keep-both additions.
+    pub added: usize,
+    /// Number of spanning trees (re)built.
+    pub trees_built: usize,
+    /// Control-traffic overhead incurred during the round.
+    pub overhead: OverheadLedger,
+}
+
+impl RoundStats {
+    /// True when the round changed no connections — the optimization has
+    /// converged.
+    pub fn converged(&self) -> bool {
+        self.replaced == 0 && self.added == 0
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PeerState {
+    table: CostTable,
+    /// Neighbors adjacent to this peer in its own closure MST.
+    own_tree: Vec<PeerId>,
+    /// Peers whose trees attach through us: they sent a forward request
+    /// ("I expect queries through you", the paper's Figure-3 narrative),
+    /// so we must relay to them even though they are not on our own tree.
+    requested: Vec<PeerId>,
+    /// Keep-both watches from Figure 4(c): `(far, near)` pairs where we
+    /// kept `far` after connecting `near`; once `near` vanishes from
+    /// `far`'s table (B dropped B–H), we cut the `far` link (§3.3).
+    watches: Vec<(PeerId, PeerId)>,
+    tree_built: bool,
+}
+
+impl PeerState {
+    fn new(owner: PeerId) -> Self {
+        PeerState {
+            table: CostTable::new(owner),
+            own_tree: Vec::new(),
+            requested: Vec::new(),
+            watches: Vec::new(),
+            tree_built: false,
+        }
+    }
+}
+
+/// Per-peer ACE state plus the shared overhead ledger.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::{AceConfig, AceEngine};
+/// use ace_overlay::{random_overlay, PeerId};
+/// use ace_topology::generate::{ba, BaConfig};
+/// use ace_topology::DistanceOracle;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let phys = ba(&BaConfig { nodes: 120, ..BaConfig::default() }, &mut rng);
+/// let oracle = DistanceOracle::new(phys);
+/// let hosts = oracle.graph().nodes().take(40).collect();
+/// let mut ov = random_overlay(hosts, 4, None, &mut rng);
+///
+/// let mut ace = AceEngine::new(ov.peer_count(), AceConfig::paper_default());
+/// let stats = ace.round(&mut ov, &oracle, &mut rng);
+/// assert_eq!(stats.trees_built, 40);
+/// assert!(ace.tree_built(PeerId::new(0)));
+/// assert!(stats.overhead.total_cost() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AceEngine {
+    cfg: AceConfig,
+    states: Vec<PeerState>,
+    /// Cache of pairwise probe results for the phase-2 neighbor core.
+    /// Physical distances are stable, so a measured pair is never
+    /// re-probed: once known, the value rides along in the periodic table
+    /// exchange instead of costing a fresh round trip. This is what keeps
+    /// the steady-state optimization overhead at the paper's level.
+    core_cache: HashMap<(PeerId, PeerId), Delay>,
+    ledger: OverheadLedger,
+    probe_units: f64,
+    connect_units: f64,
+    disconnect_units: f64,
+    notify_units: f64,
+}
+
+impl AceEngine {
+    /// Creates engine state for `peer_count` peers. A `depth` of 0 is
+    /// normalized to 1.
+    pub fn new(peer_count: usize, cfg: AceConfig) -> Self {
+        let mut cfg = cfg;
+        if cfg.depth == 0 {
+            cfg.depth = 1;
+        }
+        let states = (0..peer_count).map(|i| PeerState::new(PeerId::new(i as u32))).collect();
+        AceEngine {
+            cfg,
+            states,
+            core_cache: HashMap::new(),
+            ledger: OverheadLedger::new(),
+            probe_units: Message::Probe { nonce: 0 }.size_units()
+                + Message::ProbeReply { nonce: 0 }.size_units(),
+            connect_units: Message::Connect.size_units() + Message::ConnectOk.size_units(),
+            disconnect_units: Message::Disconnect.size_units(),
+            notify_units: Message::Ping.size_units(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AceConfig {
+        &self.cfg
+    }
+
+    /// The accumulated overhead ledger.
+    pub fn ledger(&self) -> &OverheadLedger {
+        &self.ledger
+    }
+
+    /// Zeroes the overhead ledger (e.g. between measurement windows).
+    pub fn reset_ledger(&mut self) {
+        self.ledger = OverheadLedger::new();
+    }
+
+    /// True once `peer` has built a spanning tree.
+    pub fn tree_built(&self, peer: PeerId) -> bool {
+        self.states[peer.index()].tree_built
+    }
+
+    /// `peer`'s flooding neighbors: its own tree neighbors plus peers that
+    /// requested forwarding because their trees attach through `peer`.
+    /// May contain stale entries after topology changes; forwarding
+    /// filters against current neighbors.
+    pub fn flooding_neighbors(&self, peer: PeerId) -> Vec<PeerId> {
+        let s = &self.states[peer.index()];
+        let mut out = s.own_tree.clone();
+        for &r in &s.requested {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// `peer`'s own-tree neighbors only (without symmetrization requests).
+    pub fn tree_neighbors_of(&self, peer: PeerId) -> &[PeerId] {
+        &self.states[peer.index()].own_tree
+    }
+
+    /// `peer`'s probed cost to `neighbor`, if it has one recorded.
+    pub fn probed_cost(&self, peer: PeerId, neighbor: PeerId) -> Option<Delay> {
+        self.states[peer.index()].table.get(neighbor)
+    }
+
+    /// Clears all ACE state of `peer` — call when it leaves or (re)joins;
+    /// a fresh peer starts as a plain flooding Gnutella node.
+    pub fn reset_peer(&mut self, peer: PeerId) {
+        // Withdraw our forward requests (a clean leave would send these;
+        // a crash leaves them stale until filtered by liveness checks).
+        let old: Vec<PeerId> = std::mem::take(&mut self.states[peer.index()].own_tree);
+        for f in old {
+            self.states[f.index()].requested.retain(|&p| p != peer);
+        }
+        let s = &mut self.states[peer.index()];
+        s.table = CostTable::new(peer);
+        s.requested.clear();
+        s.watches.clear();
+        s.tree_built = false;
+    }
+
+    /// Measures `a`↔`b` with the probe model and charges probe overhead
+    /// (request + reply, each crossing the physical path).
+    fn probe_and_charge(
+        &mut self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        a: PeerId,
+        b: PeerId,
+    ) -> Delay {
+        let true_cost = ov.link_cost(oracle, a, b);
+        self.ledger
+            .charge(OverheadKind::Probe, f64::from(true_cost) * self.probe_units);
+        self.cfg.probe.perturb(a, b, true_cost)
+    }
+
+    /// Phase 1: probe all current neighbors of `peer` and refresh its
+    /// neighbor cost table. Stale entries (ex-neighbors) are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is offline.
+    pub fn phase1_probe(&mut self, ov: &Overlay, oracle: &DistanceOracle, peer: PeerId) {
+        assert!(ov.is_alive(peer), "cannot probe from an offline peer");
+        let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
+        self.states[peer.index()].table.retain_neighbors(&nbrs);
+        for n in nbrs {
+            // Only the lower-id endpoint pays for the shared probe; both
+            // ends learn the (symmetric) RTT from the same exchange.
+            let measured = if peer < n || self.states[n.index()].table.get(peer).is_none() {
+                self.probe_and_charge(ov, oracle, peer, n)
+            } else {
+                self.cfg.probe.perturb(peer, n, ov.link_cost(oracle, peer, n))
+            };
+            self.states[peer.index()].table.set(n, measured);
+        }
+    }
+
+    /// Collects the closure's cost tables, charging table-exchange and
+    /// relay overhead, and returns `(closure, tables by member)`.
+    fn collect_closure(
+        &mut self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+    ) -> (Closure, HashMap<PeerId, CostTable>) {
+        let closure = Closure::collect(ov, peer, self.cfg.depth);
+        let mut known: HashMap<PeerId, CostTable> = HashMap::with_capacity(closure.len());
+        known.insert(peer, self.states[peer.index()].table.clone());
+        // Gather (member, table, relay path) without holding borrows.
+        let gathered: Vec<(PeerId, CostTable, Vec<PeerId>)> = closure
+            .members()
+            .iter()
+            .filter(|&&w| w != peer)
+            .map(|&w| {
+                let table = self.states[w.index()].table.clone();
+                let path = closure.relay_path(w).expect("member has a relay path");
+                (w, table, path)
+            })
+            .collect();
+        for (w, table, path) in gathered {
+            let units = table.to_message().size_units();
+            let kind = if path.len() <= 2 {
+                OverheadKind::TableExchange
+            } else {
+                OverheadKind::ClosureRelay
+            };
+            for hop in path.windows(2) {
+                let cost = ov.link_cost(oracle, hop[0], hop[1]);
+                self.ledger.charge(kind, f64::from(cost) * units);
+            }
+            known.insert(w, table);
+        }
+        (closure, known)
+    }
+
+    /// Cost of closure edge `a-b` as seen from collected tables, falling
+    /// back to a charged probe when neither endpoint has reported it yet.
+    fn edge_cost(
+        &mut self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        known: &HashMap<PeerId, CostTable>,
+        a: PeerId,
+        b: PeerId,
+    ) -> Delay {
+        if let Some(c) = known.get(&a).and_then(|t| t.get(b)) {
+            return c;
+        }
+        if let Some(c) = known.get(&b).and_then(|t| t.get(a)) {
+            return c;
+        }
+        self.probe_and_charge(ov, oracle, a, b)
+    }
+
+    /// Phases 2+3 for one peer: build the closure spanning tree, classify
+    /// flooding/non-flooding neighbors, then make one adaptive-connection
+    /// attempt. Returns what phase 3 did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is offline.
+    pub fn optimize_peer<R: Rng + ?Sized>(
+        &mut self,
+        ov: &mut Overlay,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+        rng: &mut R,
+    ) -> AdaptOutcome {
+        let known = self.build_tree(ov, oracle, peer);
+
+        // §3.3 follow-up of the keep-both case: once the watched far
+        // neighbor has dropped its link to the peer we adopted, cut the
+        // far link too. Safe: the link is non-flooding (not on our fresh
+        // MST), so the tree provides an alternate path to `far`.
+        self.process_watches(ov, oracle, peer, &known);
+
+        // Phase 3: adaptive connection establishment.
+        self.phase3_adapt(ov, oracle, peer, &known, rng)
+    }
+
+    /// Phase 2 only: collect the closure tables, build the spanning tree
+    /// and reclassify flooding/non-flooding neighbors — without any
+    /// phase-3 adaptation. Returns the collected tables by member. Useful
+    /// for the trees-only ablation and the paper's Table 1/2 examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` is offline.
+    pub fn build_tree(
+        &mut self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+    ) -> HashMap<PeerId, CostTable> {
+        assert!(ov.is_alive(peer), "cannot optimize an offline peer");
+        let (closure, known) = self.collect_closure(ov, oracle, peer);
+
+        // Phase 2: Prim MST over the closure subgraph. Besides the logical
+        // links (costs from exchanged tables), the peer knows the cost
+        // between *any pair* of its direct neighbors (§3.3 phase 1): it
+        // ships its neighbor list to each neighbor, which probes the
+        // others and reports back — the O(m²) pairwise core that lets the
+        // tree bypass expensive neighbors even when they share no logical
+        // link.
+        let mut edges: Vec<ClosureEdge> = Vec::new();
+        for (a, b) in closure.internal_edges(ov) {
+            let cost = self.edge_cost(ov, oracle, &known, a, b);
+            edges.push(ClosureEdge { a, b, cost });
+        }
+        let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if ov.are_neighbors(a, b) {
+                    continue; // already covered by its exchanged table cost
+                }
+                let key = if a <= b { (a, b) } else { (b, a) };
+                let cost = match self.core_cache.get(&key) {
+                    Some(&c) => c, // stable measurement, refreshed via tables
+                    None => {
+                        let c = self.probe_and_charge(ov, oracle, a, b);
+                        self.core_cache.insert(key, c);
+                        c
+                    }
+                };
+                edges.push(ClosureEdge { a, b, cost });
+            }
+        }
+        let tree = prim_heap(peer, closure.members(), &edges);
+        let mut new_tree = tree.tree_neighbors(peer);
+        // Scope guard: keep at least `min_flooding` flooding links (the
+        // cheapest non-tree neighbors fill the gap).
+        if new_tree.len() < self.cfg.min_flooding {
+            let mut extras: Vec<(Delay, PeerId)> = nbrs
+                .iter()
+                .filter(|n| !new_tree.contains(n))
+                .map(|&n| {
+                    let c = self.states[peer.index()].table.get(n).unwrap_or_else(|| {
+                        self.cfg.probe.perturb(peer, n, ov.link_cost(oracle, peer, n))
+                    });
+                    (c, n)
+                })
+                .collect();
+            extras.sort_unstable();
+            for (_, n) in extras {
+                if new_tree.len() >= self.cfg.min_flooding {
+                    break;
+                }
+                new_tree.push(n);
+            }
+        }
+        // Diff against the previous tree and (un)subscribe forwarding with
+        // the affected partners; each notification is one tiny control
+        // message on that logical link.
+        let old_tree = std::mem::take(&mut self.states[peer.index()].own_tree);
+        for &f in new_tree.iter().filter(|f| !old_tree.contains(f)) {
+            let req = &mut self.states[f.index()].requested;
+            if !req.contains(&peer) {
+                req.push(peer);
+            }
+            let cost = ov.link_cost(oracle, peer, f);
+            self.ledger
+                .charge(OverheadKind::TableExchange, f64::from(cost) * self.notify_units);
+        }
+        for &f in old_tree.iter().filter(|f| !new_tree.contains(f)) {
+            self.states[f.index()].requested.retain(|&p| p != peer);
+            let cost = ov.link_cost(oracle, peer, f);
+            self.ledger
+                .charge(OverheadKind::TableExchange, f64::from(cost) * self.notify_units);
+        }
+        {
+            let s = &mut self.states[peer.index()];
+            s.own_tree = new_tree;
+            s.tree_built = true;
+        }
+
+        known
+    }
+
+    fn process_watches(
+        &mut self,
+        ov: &mut Overlay,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+        known: &HashMap<PeerId, CostTable>,
+    ) {
+        let watches = std::mem::take(&mut self.states[peer.index()].watches);
+        let own_tree = self.states[peer.index()].own_tree.clone();
+        let mut keep = Vec::new();
+        for (far, near) in watches {
+            // Watch expires if either link is already gone.
+            if !ov.are_neighbors(peer, far) || !ov.are_neighbors(peer, near) {
+                continue;
+            }
+            // Only cut links our own fresh tree does not rely on.
+            if own_tree.contains(&far) {
+                keep.push((far, near));
+                continue;
+            }
+            // Connectivity guard: the spanning tree may route around the
+            // link via *virtual* pairwise-core edges that are not real
+            // logical links, so require an actual two-hop detour (a shared
+            // neighbor) before cutting.
+            let has_detour = ov
+                .neighbors(peer)
+                .iter()
+                .any(|&n| n != far && ov.are_neighbors(n, far));
+            if !has_detour {
+                keep.push((far, near));
+                continue;
+            }
+            // We only see `far`'s table when it is in our closure; keep
+            // watching until fresh information arrives.
+            let Some(far_table) = known.get(&far) else {
+                keep.push((far, near));
+                continue;
+            };
+            if far_table.get(near).is_some() {
+                keep.push((far, near)); // B still keeps B–H; keep waiting.
+                continue;
+            }
+            if ov.disconnect(peer, far).is_ok() {
+                self.charge_disconnect(ov, oracle, peer, far);
+                self.states[peer.index()].table.remove(far);
+            }
+        }
+        self.states[peer.index()].watches = keep;
+    }
+
+    fn phase3_adapt<R: Rng + ?Sized>(
+        &mut self,
+        ov: &mut Overlay,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+        known: &HashMap<PeerId, CostTable>,
+        rng: &mut R,
+    ) -> AdaptOutcome {
+        // Non-flooding neighbors = current neighbors not on the tree (and
+        // not requested by a partner's tree).
+        let flooding = self.flooding_neighbors(peer);
+        let non_flooding: Vec<PeerId> = ov
+            .neighbors(peer)
+            .iter()
+            .copied()
+            .filter(|n| !flooding.contains(n))
+            .collect();
+        if non_flooding.is_empty() {
+            return AdaptOutcome::KeptAll;
+        }
+
+        // Pick the non-flooding neighbor B to improve.
+        let far = match self.cfg.policy {
+            ReplacePolicy::Random => non_flooding[rng.gen_range(0..non_flooding.len())],
+            ReplacePolicy::Naive | ReplacePolicy::Closest => {
+                let mut best: Option<(Delay, PeerId)> = None;
+                for &b in &non_flooding {
+                    let c = self.states[peer.index()].table.get(b).unwrap_or_else(|| {
+                        self.cfg.probe.perturb(peer, b, ov.link_cost(oracle, peer, b))
+                    });
+                    if best.map_or(true, |(bc, bp)| (c, b) > (bc, bp)) {
+                        best = Some((c, b));
+                    }
+                }
+                best.expect("non_flooding is non-empty").1
+            }
+        };
+
+        // Candidates: B's neighbors (from its table) that we don't already
+        // know directly.
+        let Some(far_table) = known.get(&far) else {
+            return AdaptOutcome::KeptAll;
+        };
+        let candidates: Vec<(PeerId, Delay)> = far_table
+            .iter()
+            .filter(|&(h, _)| h != peer && ov.is_alive(h) && !ov.are_neighbors(peer, h))
+            .collect();
+        if candidates.is_empty() {
+            return AdaptOutcome::KeptAll;
+        }
+
+        // Probe the candidate(s): CH.
+        let (near, near_cost, far_near_cost) = match self.cfg.policy {
+            ReplacePolicy::Closest => {
+                let mut best: Option<(Delay, PeerId, Delay)> = None;
+                for &(h, bh) in &candidates {
+                    let ch = self.probe_and_charge(ov, oracle, peer, h);
+                    if best.map_or(true, |(bc, bp, _)| (ch, h) < (bc, bp)) {
+                        best = Some((ch, h, bh));
+                    }
+                }
+                let (ch, h, bh) = best.expect("candidates is non-empty");
+                (h, ch, bh)
+            }
+            _ => {
+                let (h, bh) = candidates[rng.gen_range(0..candidates.len())];
+                let ch = self.probe_and_charge(ov, oracle, peer, h);
+                (h, ch, bh)
+            }
+        };
+
+        let far_cost = self.states[peer.index()].table.get(far).unwrap_or_else(|| {
+            self.cfg.probe.perturb(peer, far, ov.link_cost(oracle, peer, far))
+        });
+
+        if near_cost < far_cost {
+            // Figure 4(b): CH < CB — replace B by H. Only safe while the
+            // B–H link still exists (the cut C–B is then covered by C–H–B).
+            if !ov.are_neighbors(far, near) {
+                return AdaptOutcome::KeptAll;
+            }
+            match self.replace_link(ov, oracle, peer, far, near) {
+                Ok(()) => {
+                    let s = &mut self.states[peer.index()];
+                    s.table.remove(far);
+                    s.table.set(near, near_cost);
+                    AdaptOutcome::Replaced { far, near }
+                }
+                Err(_) => AdaptOutcome::KeptAll,
+            }
+        } else if near_cost < far_near_cost {
+            // Figure 4(c): CH >= CB but CH < BH — keep H as an extra
+            // neighbor; B is expected to drop B–H later on its own.
+            match ov.connect(peer, near) {
+                Ok(()) => {
+                    self.charge_connect(ov, oracle, peer, near);
+                    let st = &mut self.states[peer.index()];
+                    st.table.set(near, near_cost);
+                    st.watches.push((far, near));
+                    AdaptOutcome::Added { near }
+                }
+                Err(_) => AdaptOutcome::KeptAll,
+            }
+        } else {
+            // Figure 4(d): candidate is worse on both counts.
+            AdaptOutcome::KeptAll
+        }
+    }
+
+    /// Atomically swap `peer–far` for `peer–near`, tolerating degree caps.
+    fn replace_link(
+        &mut self,
+        ov: &mut Overlay,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+        far: PeerId,
+        near: PeerId,
+    ) -> Result<(), OverlayError> {
+        match ov.connect(peer, near) {
+            Ok(()) => {
+                self.charge_connect(ov, oracle, peer, near);
+                ov.disconnect(peer, far)?;
+                self.charge_disconnect(ov, oracle, peer, far);
+                Ok(())
+            }
+            Err(OverlayError::DegreeCapReached(p)) if p == peer => {
+                // Free our own slot first, then connect; roll back on failure.
+                ov.disconnect(peer, far)?;
+                match ov.connect(peer, near) {
+                    Ok(()) => {
+                        self.charge_disconnect(ov, oracle, peer, far);
+                        self.charge_connect(ov, oracle, peer, near);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        ov.connect(peer, far).expect("restoring just-removed link");
+                        Err(e)
+                    }
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn charge_connect(&mut self, ov: &Overlay, oracle: &DistanceOracle, a: PeerId, b: PeerId) {
+        let cost = ov.link_cost(oracle, a, b);
+        self.ledger
+            .charge(OverheadKind::Reconnect, f64::from(cost) * self.connect_units);
+    }
+
+    fn charge_disconnect(&mut self, ov: &Overlay, oracle: &DistanceOracle, a: PeerId, b: PeerId) {
+        let cost = ov.link_cost(oracle, a, b);
+        self.ledger
+            .charge(OverheadKind::Reconnect, f64::from(cost) * self.disconnect_units);
+    }
+
+    /// One full optimization round: every alive peer probes (phase 1),
+    /// then — in random order — rebuilds its tree and makes one adaptive
+    /// attempt (phases 2–3).
+    pub fn round<R: Rng + ?Sized>(
+        &mut self,
+        ov: &mut Overlay,
+        oracle: &DistanceOracle,
+        rng: &mut R,
+    ) -> RoundStats {
+        let before = self.ledger;
+        let mut stats = RoundStats::default();
+        let mut alive: Vec<PeerId> = ov.alive_peers().collect();
+        for p in &alive {
+            self.phase1_probe(ov, oracle, *p);
+        }
+        // Random execution order models asynchronous, independent peers.
+        for i in (1..alive.len()).rev() {
+            alive.swap(i, rng.gen_range(0..=i));
+        }
+        for p in alive {
+            match self.optimize_peer(ov, oracle, p, rng) {
+                AdaptOutcome::Replaced { .. } => stats.replaced += 1,
+                AdaptOutcome::Added { .. } => stats.added += 1,
+                AdaptOutcome::KeptAll => {}
+            }
+            stats.trees_built += 1;
+        }
+        stats.overhead = self.ledger.since(&before);
+        debug_assert!(ov.check_invariants().is_ok());
+        stats
+    }
+
+    /// A trees-only round: phase 1 probing and phase 2 tree building for
+    /// every alive peer, with no phase-3 rewiring. Quantifies how much of
+    /// ACE's gain comes from forwarding trees alone (ablation) and renders
+    /// the paper's Table 1/2 examples on an unmodified topology.
+    pub fn tree_round(&mut self, ov: &Overlay, oracle: &DistanceOracle) -> RoundStats {
+        let before = self.ledger;
+        let mut stats = RoundStats::default();
+        let alive: Vec<PeerId> = ov.alive_peers().collect();
+        for p in &alive {
+            self.phase1_probe(ov, oracle, *p);
+        }
+        for p in alive {
+            self.build_tree(ov, oracle, p);
+            stats.trees_built += 1;
+        }
+        stats.overhead = self.ledger.since(&before);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_topology::{Graph, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The paper's Figure 2: peers 0,1 at "MSU", peers 2,3 at "Tsinghua";
+    /// physical: 0-1 cheap (1), 2-3 cheap (1), 1-2 expensive (100).
+    /// Mismatched overlay: three cross-ocean links (0-2, 0-3, 1-3) plus
+    /// the local 2-3; ACE should rewire toward 0-1 + 2-3 + one crossing.
+    fn mismatch_env() -> (Overlay, DistanceOracle) {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        g.add_edge(NodeId::new(1), NodeId::new(2), 100).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(3), 1).unwrap();
+        let oracle = DistanceOracle::new(g);
+        let mut ov = Overlay::new((0..4).map(NodeId::new).collect(), None);
+        ov.connect(PeerId::new(0), PeerId::new(2)).unwrap();
+        ov.connect(PeerId::new(0), PeerId::new(3)).unwrap();
+        ov.connect(PeerId::new(1), PeerId::new(3)).unwrap();
+        ov.connect(PeerId::new(2), PeerId::new(3)).unwrap();
+        (ov, oracle)
+    }
+
+    /// Config for the 4-peer example: the scope guard would keep every
+    /// link flooding on such a tiny world, so relax it to 1.
+    fn tiny_cfg() -> AceConfig {
+        AceConfig { min_flooding: 1, ..AceConfig::paper_default() }
+    }
+
+    fn total_link_cost(ov: &Overlay, oracle: &DistanceOracle) -> u64 {
+        let mut sum = 0u64;
+        for p in ov.peers() {
+            for &n in ov.neighbors(p) {
+                if p < n {
+                    sum += u64::from(ov.link_cost(oracle, p, n));
+                }
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn phase1_builds_symmetric_tables() {
+        let (ov, oracle) = mismatch_env();
+        let mut ace = AceEngine::new(4, AceConfig::paper_default());
+        for p in ov.alive_peers() {
+            ace.phase1_probe(&ov, &oracle, p);
+        }
+        assert_eq!(ace.probed_cost(PeerId::new(0), PeerId::new(2)), Some(101));
+        assert_eq!(ace.probed_cost(PeerId::new(2), PeerId::new(0)), Some(101));
+        assert!(ace.ledger().cost_of(OverheadKind::Probe) > 0.0);
+    }
+
+    #[test]
+    fn rounds_reduce_total_link_cost_and_keep_connectivity() {
+        let (mut ov, oracle) = mismatch_env();
+        let mut ace = AceEngine::new(4, tiny_cfg());
+        let mut rng = StdRng::seed_from_u64(42);
+        let before = total_link_cost(&ov, &oracle);
+        for _ in 0..6 {
+            ace.round(&mut ov, &oracle, &mut rng);
+            assert!(ov.is_connected(), "ACE must never disconnect the overlay");
+            ov.check_invariants().unwrap();
+        }
+        let after = total_link_cost(&ov, &oracle);
+        assert!(after < before, "total cost {before} -> {after}");
+        // The far links collapse: only one crossing should remain.
+        let crossings = [(0u32, 2u32), (0, 3), (1, 2), (1, 3)]
+            .iter()
+            .filter(|&&(a, b)| ov.are_neighbors(PeerId::new(a), PeerId::new(b)))
+            .count();
+        assert!(crossings <= 2, "crossings left: {crossings}");
+    }
+
+    #[test]
+    fn flooding_neighbors_are_current_neighbors() {
+        let (mut ov, oracle) = mismatch_env();
+        let mut ace = AceEngine::new(4, AceConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(7);
+        ace.round(&mut ov, &oracle, &mut rng);
+        for p in ov.alive_peers() {
+            assert!(ace.tree_built(p));
+            for f in ace.flooding_neighbors(p) {
+                // Tree neighbors were real neighbors when the tree was built;
+                // a later phase-3 cut can invalidate them, which forwarding
+                // tolerates — but right after a round most should be live.
+                let _ = f;
+            }
+        }
+    }
+
+    #[test]
+    fn reset_peer_clears_state() {
+        let (mut ov, oracle) = mismatch_env();
+        let mut ace = AceEngine::new(4, AceConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(1);
+        ace.round(&mut ov, &oracle, &mut rng);
+        ace.reset_peer(PeerId::new(0));
+        assert!(!ace.tree_built(PeerId::new(0)));
+        assert!(ace.flooding_neighbors(PeerId::new(0)).is_empty());
+        assert_eq!(ace.probed_cost(PeerId::new(0), PeerId::new(2)), None);
+    }
+
+    #[test]
+    fn depth_zero_normalizes_to_one() {
+        let ace = AceEngine::new(2, AceConfig { depth: 0, ..AceConfig::paper_default() });
+        assert_eq!(ace.config().depth, 1);
+    }
+
+    #[test]
+    fn deeper_closures_cost_more_overhead() {
+        let mk = |depth| {
+            let (mut ov, oracle) = mismatch_env();
+            let mut ace = AceEngine::new(4, AceConfig { depth, ..AceConfig::paper_default() });
+            let mut rng = StdRng::seed_from_u64(5);
+            let stats = ace.round(&mut ov, &oracle, &mut rng);
+            stats.overhead.total_cost()
+        };
+        let h1 = mk(1);
+        let h2 = mk(2);
+        assert!(h2 > h1, "h=2 overhead {h2} vs h=1 {h1}");
+    }
+
+    #[test]
+    fn converged_round_reports_no_changes() {
+        let (mut ov, oracle) = mismatch_env();
+        let mut ace = AceEngine::new(4, AceConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut converged = false;
+        for _ in 0..12 {
+            if ace.round(&mut ov, &oracle, &mut rng).converged() {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "small topology should converge quickly");
+    }
+
+    #[test]
+    fn closest_policy_probes_more_than_random() {
+        let probes_with = |policy| {
+            let (mut ov, oracle) = mismatch_env();
+            let mut ace = AceEngine::new(4, AceConfig { policy, ..AceConfig::paper_default() });
+            let mut rng = StdRng::seed_from_u64(3);
+            ace.round(&mut ov, &oracle, &mut rng);
+            ace.ledger().count_of(OverheadKind::Probe)
+        };
+        // Closest probes every candidate, so it can't probe fewer times.
+        assert!(probes_with(ReplacePolicy::Closest) >= probes_with(ReplacePolicy::Random));
+    }
+}

@@ -1,0 +1,154 @@
+//! Tree-based query forwarding (how ACE changes search).
+//!
+//! After phase 2, a peer sends queries only to its *flooding neighbors*
+//! (its neighbors on its own closure spanning tree) instead of all
+//! neighbors. Non-flooding links stay up — they carry cost tables and act
+//! as phase-3 replacement material — so the search scope is retained while
+//! redundant transmissions disappear.
+
+use ace_overlay::{ForwardPolicy, Overlay, PeerId};
+
+use crate::engine::AceEngine;
+
+/// [`ForwardPolicy`] that forwards along each peer's own spanning tree.
+///
+/// Peers without a tree yet (fresh joiners, or before the first ACE round)
+/// fall back to blind flooding, exactly like an unmodified Gnutella node.
+/// Stale tree entries (links cut since the tree was built) are filtered
+/// against the current neighbor set.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::{AceConfig, AceEngine, AceForward};
+/// use ace_overlay::{random_overlay, run_query, PeerId, QueryConfig};
+/// use ace_topology::generate::{ba, BaConfig};
+/// use ace_topology::DistanceOracle;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let phys = ba(&BaConfig { nodes: 150, ..BaConfig::default() }, &mut rng);
+/// let oracle = DistanceOracle::new(phys);
+/// let hosts = oracle.graph().nodes().take(60).collect();
+/// let mut ov = random_overlay(hosts, 6, None, &mut rng);
+///
+/// let mut ace = AceEngine::new(ov.peer_count(), AceConfig::paper_default());
+/// ace.round(&mut ov, &oracle, &mut rng);
+///
+/// let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(),
+///                     &AceForward::new(&ace), |_| false);
+/// assert_eq!(out.scope, 60, "tree forwarding retains the search scope");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AceForward<'a> {
+    engine: &'a AceEngine,
+}
+
+impl<'a> AceForward<'a> {
+    /// Wraps an engine for use as a forwarding policy.
+    pub fn new(engine: &'a AceEngine) -> Self {
+        AceForward { engine }
+    }
+}
+
+impl ForwardPolicy for AceForward<'_> {
+    fn forward_targets(
+        &self,
+        overlay: &Overlay,
+        peer: PeerId,
+        from: Option<PeerId>,
+    ) -> Vec<PeerId> {
+        if self.engine.tree_built(peer) {
+            self.engine
+                .flooding_neighbors(peer)
+                .into_iter()
+                .filter(|&n| Some(n) != from && overlay.are_neighbors(peer, n))
+                .collect()
+        } else {
+            overlay
+                .neighbors(peer)
+                .iter()
+                .copied()
+                .filter(|&n| Some(n) != from)
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AceConfig;
+    use ace_overlay::{run_query, FloodAll, QueryConfig};
+    use ace_topology::{DistanceOracle, Graph, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Triangle overlay on a line physical network.
+    fn env() -> (Overlay, DistanceOracle) {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1).unwrap();
+        let oracle = DistanceOracle::new(g);
+        let mut ov = Overlay::new((0..3).map(NodeId::new).collect(), None);
+        ov.connect(PeerId::new(0), PeerId::new(1)).unwrap();
+        ov.connect(PeerId::new(1), PeerId::new(2)).unwrap();
+        ov.connect(PeerId::new(0), PeerId::new(2)).unwrap();
+        (ov, oracle)
+    }
+
+    #[test]
+    fn without_tree_behaves_like_flooding() {
+        let (ov, oracle) = env();
+        let ace = AceEngine::new(3, AceConfig::paper_default());
+        let tree_based = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &AceForward::new(&ace),
+            |_| false,
+        );
+        let flooded =
+            run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        assert_eq!(tree_based.messages, flooded.messages);
+        assert_eq!(tree_based.traffic_cost, flooded.traffic_cost);
+    }
+
+    #[test]
+    fn tree_forwarding_cuts_triangle_redundancy() {
+        let (mut ov, oracle) = env();
+        let mut ace = AceEngine::new(3, AceConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(1);
+        ace.round(&mut ov, &oracle, &mut rng);
+
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &AceForward::new(&ace),
+            |_| false,
+        );
+        let flood =
+            run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        assert_eq!(out.scope, 3, "scope retained");
+        assert!(out.traffic_cost <= flood.traffic_cost);
+        assert!(out.duplicates <= flood.duplicates);
+    }
+
+    #[test]
+    fn stale_tree_entries_are_filtered() {
+        let (mut ov, oracle) = env();
+        let mut ace = AceEngine::new(3, AceConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(1);
+        ace.round(&mut ov, &oracle, &mut rng);
+        // Cut an edge behind the engine's back; forwarding must not use it.
+        let flooding: Vec<PeerId> = ace.flooding_neighbors(PeerId::new(1));
+        if let Some(&victim) = flooding.first() {
+            ov.disconnect(PeerId::new(1), victim).unwrap();
+            let targets = AceForward::new(&ace).forward_targets(&ov, PeerId::new(1), None);
+            assert!(!targets.contains(&victim));
+        }
+    }
+}

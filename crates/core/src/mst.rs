@@ -1,0 +1,341 @@
+//! Minimum spanning trees over closures (ACE phase 2).
+//!
+//! The paper builds a Prim MST over the source's h-neighbor closure and
+//! forwards queries only to the source's direct tree neighbors. Prim is
+//! implemented both in the paper's `O(m²)` dense form and with a binary
+//! heap; Kruskal is provided as an independent cross-check for the
+//! property tests.
+
+use std::collections::HashMap;
+
+use ace_overlay::PeerId;
+use ace_topology::Delay;
+
+/// An edge of a closure subgraph with its probed cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClosureEdge {
+    /// One endpoint.
+    pub a: PeerId,
+    /// The other endpoint.
+    pub b: PeerId,
+    /// Probed cost of the logical link.
+    pub cost: Delay,
+}
+
+/// A spanning tree of (the connected part of) a closure subgraph.
+#[derive(Clone, Debug, Default)]
+pub struct SpanningTree {
+    edges: Vec<ClosureEdge>,
+}
+
+impl SpanningTree {
+    /// The tree edges.
+    pub fn edges(&self) -> &[ClosureEdge] {
+        &self.edges
+    }
+
+    /// Total tree weight.
+    pub fn weight(&self) -> u64 {
+        self.edges.iter().map(|e| u64::from(e.cost)).sum()
+    }
+
+    /// Peers adjacent to `peer` in the tree — for the source, these are
+    /// its ACE *flooding neighbors*.
+    pub fn tree_neighbors(&self, peer: PeerId) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        for e in &self.edges {
+            if e.a == peer {
+                out.push(e.b);
+            } else if e.b == peer {
+                out.push(e.a);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for a trivial (single-node) tree.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// True if the tree contains the undirected edge `a-b`.
+    pub fn contains_edge(&self, a: PeerId, b: PeerId) -> bool {
+        self.edges
+            .iter()
+            .any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    }
+}
+
+/// Prim's algorithm from `root` over `members`/`edges`, in the paper's
+/// dense `O(m²)` formulation (`m` = closure size; closures are small —
+/// a peer and its neighborhood — so the simple form is also the fast one).
+///
+/// Only the component reachable from `root` is spanned; ties are broken
+/// toward lower peer ids so trees are deterministic.
+///
+/// # Panics
+///
+/// Panics if `root` is not in `members` or an edge endpoint is unknown.
+pub fn prim(root: PeerId, members: &[PeerId], edges: &[ClosureEdge]) -> SpanningTree {
+    let index: HashMap<PeerId, usize> =
+        members.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+    assert!(index.contains_key(&root), "root must be a closure member");
+    let n = members.len();
+
+    // Adjacency matrix of best edge costs (parallel probes keep the min).
+    let mut adj: Vec<Vec<Option<Delay>>> = vec![vec![None; n]; n];
+    for e in edges {
+        let (i, j) = (
+            *index.get(&e.a).expect("edge endpoint in members"),
+            *index.get(&e.b).expect("edge endpoint in members"),
+        );
+        let slot = &mut adj[i][j];
+        *slot = Some(slot.map_or(e.cost, |c| c.min(e.cost)));
+        adj[j][i] = adj[i][j];
+    }
+
+    let mut in_tree = vec![false; n];
+    let mut best: Vec<Option<(Delay, usize)>> = vec![None; n]; // (cost, tree endpoint)
+    let root_i = index[&root];
+    in_tree[root_i] = true;
+    for j in 0..n {
+        if let Some(c) = adj[root_i][j] {
+            best[j] = Some((c, root_i));
+        }
+    }
+
+    let mut tree = SpanningTree::default();
+    loop {
+        // Cheapest fringe vertex; ties toward lower peer id.
+        let mut pick: Option<(Delay, PeerId, usize)> = None;
+        for j in 0..n {
+            if in_tree[j] {
+                continue;
+            }
+            if let Some((c, _)) = best[j] {
+                let cand = (c, members[j], j);
+                if pick.map_or(true, |(pc, pp, _)| (c, members[j]) < (pc, pp)) {
+                    pick = Some(cand);
+                }
+            }
+        }
+        let Some((cost, _, j)) = pick else { break };
+        let (_, from) = best[j].expect("picked vertex has a best edge");
+        in_tree[j] = true;
+        tree.edges.push(ClosureEdge { a: members[from], b: members[j], cost });
+        for k in 0..n {
+            if in_tree[k] {
+                continue;
+            }
+            if let Some(c) = adj[j][k] {
+                if best[k].map_or(true, |(bc, bi)| (c, members[j]) < (bc, members[bi])) {
+                    best[k] = Some((c, j));
+                }
+            }
+        }
+    }
+    tree
+}
+
+/// Heap-based Prim — same tree semantics as [`prim`] but `O(E log V)`;
+/// the engine uses this for the large closures of `h >= 3`.
+///
+/// The resulting tree weight always equals [`prim`]'s; the edge set may
+/// differ between the two only when distinct equal-weight trees exist.
+///
+/// # Panics
+///
+/// Panics if `root` is not in `members` or an edge endpoint is unknown.
+pub fn prim_heap(root: PeerId, members: &[PeerId], edges: &[ClosureEdge]) -> SpanningTree {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let index: HashMap<PeerId, usize> =
+        members.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+    assert!(index.contains_key(&root), "root must be a closure member");
+    let n = members.len();
+    let mut adj: Vec<Vec<(usize, Delay)>> = vec![Vec::new(); n];
+    for e in edges {
+        let (i, j) = (
+            *index.get(&e.a).expect("edge endpoint in members"),
+            *index.get(&e.b).expect("edge endpoint in members"),
+        );
+        adj[i].push((j, e.cost));
+        adj[j].push((i, e.cost));
+    }
+
+    let mut in_tree = vec![false; n];
+    // (cost, tie-break peer id, vertex, tree endpoint)
+    let mut heap: BinaryHeap<Reverse<(Delay, u32, usize, usize)>> = BinaryHeap::new();
+    let root_i = index[&root];
+    in_tree[root_i] = true;
+    for &(j, c) in &adj[root_i] {
+        heap.push(Reverse((c, members[j].raw(), j, root_i)));
+    }
+    let mut tree = SpanningTree::default();
+    while let Some(Reverse((cost, _, j, from))) = heap.pop() {
+        if in_tree[j] {
+            continue;
+        }
+        in_tree[j] = true;
+        tree.edges.push(ClosureEdge { a: members[from], b: members[j], cost });
+        for &(k, c) in &adj[j] {
+            if !in_tree[k] {
+                heap.push(Reverse((c, members[k].raw(), k, j)));
+            }
+        }
+    }
+    tree
+}
+
+/// Kruskal's algorithm over the same input — used as an independent MST
+/// weight cross-check in tests (spans every component, so compare weights
+/// only when the subgraph is connected).
+pub fn kruskal(members: &[PeerId], edges: &[ClosureEdge]) -> SpanningTree {
+    let index: HashMap<PeerId, usize> =
+        members.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+    let mut sorted: Vec<&ClosureEdge> = edges.iter().collect();
+    sorted.sort_by_key(|e| (e.cost, e.a, e.b));
+
+    // Union-find.
+    let mut parent: Vec<usize> = (0..members.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let mut tree = SpanningTree::default();
+    for e in sorted {
+        let (ra, rb) = (find(&mut parent, index[&e.a]), find(&mut parent, index[&e.b]));
+        if ra != rb {
+            parent[ra] = rb;
+            tree.edges.push(*e);
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId::new(i)
+    }
+
+    fn edge(a: u32, b: u32, cost: Delay) -> ClosureEdge {
+        ClosureEdge { a: p(a), b: p(b), cost }
+    }
+
+    #[test]
+    fn prim_picks_minimum_tree() {
+        // Square with one expensive diagonal.
+        let members = vec![p(0), p(1), p(2), p(3)];
+        let edges = vec![edge(0, 1, 1), edge(1, 2, 2), edge(2, 3, 1), edge(0, 3, 5), edge(0, 2, 10)];
+        let t = prim(p(0), &members, &edges);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.weight(), 4);
+        assert!(t.contains_edge(p(0), p(1)));
+        assert!(!t.contains_edge(p(0), p(2)));
+        assert_eq!(t.tree_neighbors(p(0)), vec![p(1)]);
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        let members: Vec<PeerId> = (0..6).map(p).collect();
+        let edges = vec![
+            edge(0, 1, 7),
+            edge(0, 2, 9),
+            edge(0, 5, 14),
+            edge(1, 2, 10),
+            edge(1, 3, 15),
+            edge(2, 3, 11),
+            edge(2, 5, 2),
+            edge(3, 4, 6),
+            edge(4, 5, 9),
+        ];
+        let t1 = prim(p(0), &members, &edges);
+        let t2 = kruskal(&members, &edges);
+        assert_eq!(t1.weight(), t2.weight());
+        assert_eq!(t1.weight(), 33); // classic example
+    }
+
+    #[test]
+    fn prim_spans_only_reachable_component() {
+        let members = vec![p(0), p(1), p(2), p(3)];
+        let edges = vec![edge(0, 1, 1), edge(2, 3, 1)];
+        let t = prim(p(0), &members, &edges);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_edge(p(0), p(1)));
+    }
+
+    #[test]
+    fn parallel_edges_keep_cheapest() {
+        let members = vec![p(0), p(1)];
+        let edges = vec![edge(0, 1, 9), edge(0, 1, 3)];
+        let t = prim(p(0), &members, &edges);
+        assert_eq!(t.weight(), 3);
+    }
+
+    #[test]
+    fn singleton_tree_is_empty() {
+        let t = prim(p(0), &[p(0)], &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.tree_neighbors(p(0)), vec![]);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost spanning options: must deterministically pick lower ids.
+        let members = vec![p(0), p(1), p(2)];
+        let edges = vec![edge(0, 1, 5), edge(0, 2, 5), edge(1, 2, 5)];
+        let a = prim(p(0), &members, &edges);
+        let b = prim(p(0), &members, &edges);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.tree_neighbors(p(0)), vec![p(1), p(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be a closure member")]
+    fn prim_rejects_foreign_root() {
+        prim(p(9), &[p(0)], &[]);
+    }
+
+    #[test]
+    fn heap_prim_matches_dense_prim_weight() {
+        let members: Vec<PeerId> = (0..6).map(p).collect();
+        let edges = vec![
+            edge(0, 1, 7),
+            edge(0, 2, 9),
+            edge(0, 5, 14),
+            edge(1, 2, 10),
+            edge(1, 3, 15),
+            edge(2, 3, 11),
+            edge(2, 5, 2),
+            edge(3, 4, 6),
+            edge(4, 5, 9),
+        ];
+        let dense = prim(p(0), &members, &edges);
+        let heap = prim_heap(p(0), &members, &edges);
+        assert_eq!(dense.weight(), heap.weight());
+        assert_eq!(dense.len(), heap.len());
+    }
+
+    #[test]
+    fn heap_prim_spans_only_reachable_component() {
+        let members = vec![p(0), p(1), p(2), p(3)];
+        let edges = vec![edge(0, 1, 1), edge(2, 3, 1)];
+        let t = prim_heap(p(0), &members, &edges);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_edge(p(0), p(1)));
+    }
+}

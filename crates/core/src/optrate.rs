@@ -1,0 +1,118 @@
+//! The optimization rate (gain/penalty ratio) of §4.2.
+//!
+//! ACE trades query-traffic savings against control-traffic overhead. The
+//! paper quantifies the trade with two knobs:
+//!
+//! * the closure depth `h` — deeper closures save more query traffic but
+//!   relay more cost tables;
+//! * the **frequency ratio** `R` — how many queries the system serves per
+//!   cost-information exchange period. In steady state each exchange
+//!   period pays for one optimization round and enjoys the savings of `R`
+//!   queries, so
+//!
+//! ```text
+//! opt_rate(h, R) = R × (traffic_flood − traffic_ace(h)) / overhead(h)
+//! ```
+//!
+//! ACE is worth running exactly when the rate exceeds 1.
+
+/// Computes the gain/penalty optimization rate.
+///
+/// * `flood_traffic` — average per-query traffic cost under blind flooding;
+/// * `ace_traffic` — average per-query traffic cost under ACE at the depth
+///   being evaluated (savings are clamped at zero if ACE were worse);
+/// * `overhead_per_round` — control-traffic cost of one optimization round;
+/// * `frequency_ratio` — queries served per exchange period (`R`).
+///
+/// Returns `f64::INFINITY` when the overhead is zero and there is any gain.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::optimization_rate;
+/// // 100 → 50 traffic units saved per query, 75 units overhead per round:
+/// assert!((optimization_rate(100.0, 50.0, 75.0, 1.5) - 1.0).abs() < 1e-12);
+/// // Double the query frequency, double the rate:
+/// assert!((optimization_rate(100.0, 50.0, 75.0, 3.0) - 2.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics on negative or non-finite inputs.
+pub fn optimization_rate(
+    flood_traffic: f64,
+    ace_traffic: f64,
+    overhead_per_round: f64,
+    frequency_ratio: f64,
+) -> f64 {
+    for (name, v) in [
+        ("flood_traffic", flood_traffic),
+        ("ace_traffic", ace_traffic),
+        ("overhead_per_round", overhead_per_round),
+        ("frequency_ratio", frequency_ratio),
+    ] {
+        assert!(v.is_finite() && v >= 0.0, "{name} must be non-negative, got {v}");
+    }
+    let gain = (flood_traffic - ace_traffic).max(0.0) * frequency_ratio;
+    if overhead_per_round == 0.0 {
+        return if gain > 0.0 { f64::INFINITY } else { 0.0 };
+    }
+    gain / overhead_per_round
+}
+
+/// The minimal closure depth whose optimization rate exceeds 1 for the
+/// given frequency ratio, i.e. the paper's "minimal value of h to achieve
+/// performance gain". `rates_by_depth[i]` is the rate at depth `i + 1`.
+/// Returns `None` when no depth is profitable.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::min_effective_depth;
+/// assert_eq!(min_effective_depth(&[0.8, 1.2, 1.5]), Some(2));
+/// assert_eq!(min_effective_depth(&[0.2, 0.4]), None);
+/// ```
+pub fn min_effective_depth(rates_by_depth: &[f64]) -> Option<u8> {
+    rates_by_depth
+        .iter()
+        .position(|&r| r > 1.0)
+        .map(|i| (i + 1) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_scales_linearly_with_r() {
+        let base = optimization_rate(200.0, 120.0, 40.0, 1.0);
+        let double = optimization_rate(200.0, 120.0, 40.0, 2.0);
+        assert!((double - 2.0 * base).abs() < 1e-12);
+        assert!((base - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_gain_means_zero_rate() {
+        assert_eq!(optimization_rate(100.0, 100.0, 50.0, 2.0), 0.0);
+        assert_eq!(optimization_rate(100.0, 120.0, 50.0, 2.0), 0.0, "clamped");
+    }
+
+    #[test]
+    fn zero_overhead_edge_cases() {
+        assert_eq!(optimization_rate(100.0, 50.0, 0.0, 1.0), f64::INFINITY);
+        assert_eq!(optimization_rate(100.0, 100.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn min_depth_boundaries() {
+        assert_eq!(min_effective_depth(&[]), None);
+        assert_eq!(min_effective_depth(&[1.0001]), Some(1));
+        assert_eq!(min_effective_depth(&[1.0]), None, "rate must exceed 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn rejects_negative_inputs() {
+        optimization_rate(-1.0, 0.0, 1.0, 1.0);
+    }
+}

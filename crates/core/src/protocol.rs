@@ -1,0 +1,767 @@
+//! Message-level, asynchronous ACE — the protocol as it would actually be
+//! deployed.
+//!
+//! [`AceEngine`](crate::AceEngine) executes the paper's phases in tidy
+//! synchronous rounds; this module drops that idealization: every probe,
+//! cost table, probe request, forward (un)subscription and reconnection
+//! is a real [`Message`] scheduled on an [`EventQueue`] and delivered
+//! after its physical in-flight delay. Peers are independent state
+//! machines woken by their own jittered timers; information is stale
+//! exactly as long as the network makes it. The `ext_async` experiment
+//! checks that this implementation converges to the same traffic savings
+//! as the round-based engine.
+//!
+//! One optimization cycle of a node `C` (depth `h = 1`, the paper's base):
+//!
+//! 1. timer fires → `Probe` each neighbor;
+//! 2. all `ProbeReply`s in → send own `CostTable` + `ProbeRequest` (the
+//!    other neighbors) to every neighbor;
+//! 3. all report `CostTable`s in → Prim over {C} ∪ N(C) with the reported
+//!    pairwise costs → `ForwardRequest` / `ForwardCancel` diffs;
+//! 4. phase 3: probe one candidate from a non-flooding neighbor's table
+//!    and apply the Figure-4 rules via `Connect` / `ConnectOk` /
+//!    `Disconnect`.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ace_engine::{EventQueue, SimTime};
+use ace_overlay::{ForwardPolicy, Message, Overlay, PeerId};
+use ace_topology::{Delay, DistanceOracle};
+
+use crate::cost_table::CostTable;
+use crate::mst::{prim_heap, ClosureEdge};
+use crate::overhead::{OverheadKind, OverheadLedger};
+use crate::probe::ProbeModel;
+
+/// Configuration of the asynchronous protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtoConfig {
+    /// Ticks between a node's optimization cycles (paper: 30 s).
+    pub optimize_period: u64,
+    /// Uniform start jitter so nodes do not fire in lockstep.
+    pub start_jitter: u64,
+    /// Probe measurement model.
+    pub probe: ProbeModel,
+    /// Minimum flooding links kept (scope guard, as in the engine).
+    pub min_flooding: usize,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        ProtoConfig {
+            optimize_period: SimTime::from_secs(30).as_ticks(),
+            start_jitter: SimTime::from_secs(30).as_ticks(),
+            probe: ProbeModel::default(),
+            min_flooding: 2,
+        }
+    }
+}
+
+/// Why a probe was sent (drives the reply handler).
+#[derive(Clone, Copy, Debug)]
+enum ProbePurpose {
+    /// Phase-1 neighbor measurement.
+    Neighbor,
+    /// Phase-3 candidate `H`, with its origin `far` neighbor and the
+    /// `B–H` cost from `far`'s table.
+    Candidate { far: PeerId, far_near: Delay },
+    /// A measurement done on someone else's behalf (`ProbeRequest`); the
+    /// reply is folded into a report for `requester`.
+    OnBehalf { requester: PeerId },
+}
+
+#[derive(Debug)]
+struct NodeState {
+    table: CostTable,
+    /// Latest table/report received from each neighbor (merged entries).
+    neighbor_tables: HashMap<PeerId, CostTable>,
+    own_tree: Vec<PeerId>,
+    requested: Vec<PeerId>,
+    watches: Vec<(PeerId, PeerId)>,
+    /// Outstanding phase-1 probes (by nonce).
+    pending_probes: HashMap<u64, (PeerId, ProbePurpose)>,
+    /// Neighbors whose pairwise report we still await this cycle.
+    awaiting_reports: Vec<PeerId>,
+    /// Measurements collected for an open `ProbeRequest` we are serving,
+    /// keyed by requester.
+    serving: HashMap<PeerId, (Vec<(PeerId, Delay)>, usize)>,
+    /// Cache of measurements made on others' behalf (never advertised in
+    /// our own table — a table entry implies a logical link).
+    pair_cache: HashMap<PeerId, Delay>,
+    /// True between timer fire and tree build.
+    cycle_open: bool,
+    cycles_done: u64,
+}
+
+impl NodeState {
+    fn new(owner: PeerId) -> Self {
+        NodeState {
+            table: CostTable::new(owner),
+            neighbor_tables: HashMap::new(),
+            own_tree: Vec::new(),
+            requested: Vec::new(),
+            watches: Vec::new(),
+            pending_probes: HashMap::new(),
+            awaiting_reports: Vec::new(),
+            serving: HashMap::new(),
+            pair_cache: HashMap::new(),
+            cycle_open: false,
+            cycles_done: 0,
+        }
+    }
+}
+
+enum NetEvent {
+    Deliver { from: PeerId, to: PeerId, msg: Message },
+    OptimizeTimer { peer: PeerId },
+}
+
+/// The asynchronous simulator: overlay + per-node protocol state + the
+/// in-flight message queue.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::protocol::{AsyncAceSim, ProtoConfig};
+/// use ace_engine::SimTime;
+/// use ace_overlay::clustered_overlay;
+/// use ace_topology::generate::{two_level, TwoLevelConfig};
+/// use ace_topology::DistanceOracle;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let topo = two_level(&TwoLevelConfig { as_count: 3, nodes_per_as: 30,
+///     ..TwoLevelConfig::default() }, &mut rng);
+/// let oracle = DistanceOracle::new(topo.graph);
+/// let hosts = oracle.graph().nodes().take(30).collect();
+/// let ov = clustered_overlay(hosts, 6, 0.7, None, &mut rng);
+///
+/// let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 5);
+/// sim.run_until(&oracle, SimTime::from_secs(90));
+/// assert!(sim.messages_delivered() > 0);
+/// assert!(sim.overlay().is_connected());
+/// ```
+pub struct AsyncAceSim {
+    overlay: Overlay,
+    nodes: Vec<NodeState>,
+    queue: EventQueue<NetEvent>,
+    cfg: ProtoConfig,
+    rng: StdRng,
+    now: SimTime,
+    ledger: OverheadLedger,
+    nonce: u64,
+    messages_delivered: u64,
+}
+
+impl AsyncAceSim {
+    /// Wraps an overlay and schedules every alive node's first cycle with
+    /// uniform jitter.
+    pub fn new(overlay: Overlay, cfg: ProtoConfig, seed: u64) -> Self {
+        let nodes = (0..overlay.peer_count()).map(|i| NodeState::new(PeerId::new(i as u32))).collect();
+        let mut sim = AsyncAceSim {
+            overlay,
+            nodes,
+            queue: EventQueue::new(),
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            ledger: OverheadLedger::new(),
+            nonce: 0,
+            messages_delivered: 0,
+        };
+        let peers: Vec<PeerId> = sim.overlay.alive_peers().collect();
+        for p in peers {
+            let jitter = sim.rng.gen_range(0..=sim.cfg.start_jitter.max(1));
+            sim.queue.push(SimTime::from_ticks(jitter), NetEvent::OptimizeTimer { peer: p });
+        }
+        sim
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The overlay (mutated in place as the protocol reconnects links).
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// Accumulated control overhead.
+    pub fn ledger(&self) -> &OverheadLedger {
+        &self.ledger
+    }
+
+    /// Total messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Completed optimization cycles per node (min over alive nodes).
+    pub fn min_cycles_done(&self) -> u64 {
+        self.overlay
+            .alive_peers()
+            .map(|p| self.nodes[p.index()].cycles_done)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// A node's current flooding set (own tree ∪ forward requests).
+    pub fn flooding_neighbors(&self, peer: PeerId) -> Vec<PeerId> {
+        let n = &self.nodes[peer.index()];
+        let mut out = n.own_tree.clone();
+        for &r in &n.requested {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// True once `peer` has completed at least one tree build.
+    pub fn tree_built(&self, peer: PeerId) -> bool {
+        self.nodes[peer.index()].cycles_done > 0
+    }
+
+    /// Takes `peer` offline (clean leave or crash): drops its links and
+    /// local protocol state. In-flight messages to it will be discarded at
+    /// delivery time; other peers' stale references wash out on their next
+    /// cycles. Returns false if the peer was already offline.
+    pub fn peer_leave(&mut self, peer: PeerId) -> bool {
+        if self.overlay.leave(peer).is_err() {
+            return false;
+        }
+        self.nodes[peer.index()] = NodeState::new(peer);
+        true
+    }
+
+    /// Brings `peer` back online, attaching to up to `attach` peers
+    /// (cached addresses first, then random) and scheduling its first
+    /// optimization cycle. Returns false if it was already online.
+    pub fn peer_join(&mut self, peer: PeerId, attach: usize) -> bool {
+        let joined = {
+            let rng = &mut self.rng;
+            self.overlay.join(peer, attach, rng).is_ok()
+        };
+        if !joined {
+            return false;
+        }
+        self.nodes[peer.index()] = NodeState::new(peer);
+        let jitter = self.rng.gen_range(0..=self.cfg.start_jitter.max(1));
+        self.queue.push(self.now + jitter, NetEvent::OptimizeTimer { peer });
+        true
+    }
+
+    fn fresh_nonce(&mut self) -> u64 {
+        self.nonce += 1;
+        self.nonce
+    }
+
+    /// Sends `msg`, charging its size over the physical path and
+    /// scheduling delivery after the one-way delay.
+    fn send(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, msg: Message) {
+        let dist = self.overlay.link_cost(oracle, from, to);
+        let kind = match &msg {
+            Message::Probe { .. } | Message::ProbeReply { .. } | Message::ProbeRequest { .. } => {
+                OverheadKind::Probe
+            }
+            Message::CostTable { .. } => OverheadKind::TableExchange,
+            Message::Connect | Message::ConnectOk | Message::Disconnect => OverheadKind::Reconnect,
+            _ => OverheadKind::TableExchange,
+        };
+        self.ledger.charge(kind, f64::from(dist) * msg.size_units());
+        self.queue.push(self.now + u64::from(dist), NetEvent::Deliver { from, to, msg });
+    }
+
+    /// Runs the protocol until `until` (absolute simulation time).
+    pub fn run_until(&mut self, oracle: &DistanceOracle, until: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event");
+            self.now = t;
+            match ev {
+                NetEvent::OptimizeTimer { peer } => self.on_timer(oracle, peer),
+                NetEvent::Deliver { from, to, msg } => {
+                    if self.overlay.is_alive(to) {
+                        self.messages_delivered += 1;
+                        self.on_message(oracle, from, to, msg);
+                    }
+                }
+            }
+        }
+        self.now = until;
+    }
+
+    fn on_timer(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+        if self.overlay.is_alive(peer) {
+            // Abandon any stalled cycle and start fresh.
+            {
+                let node = &mut self.nodes[peer.index()];
+                node.pending_probes.clear();
+                node.awaiting_reports.clear();
+                node.cycle_open = true;
+            }
+            let nbrs: Vec<PeerId> = self.overlay.neighbors(peer).to_vec();
+            if nbrs.is_empty() {
+                self.nodes[peer.index()].cycle_open = false;
+            } else {
+                for n in nbrs {
+                    let nonce = self.fresh_nonce();
+                    self.nodes[peer.index()]
+                        .pending_probes
+                        .insert(nonce, (n, ProbePurpose::Neighbor));
+                    self.send(oracle, peer, n, Message::Probe { nonce });
+                }
+            }
+            let next = self.now + self.cfg.optimize_period;
+            self.queue.push(next, NetEvent::OptimizeTimer { peer });
+        }
+    }
+
+    fn on_message(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, msg: Message) {
+        match msg {
+            Message::Probe { nonce } => {
+                self.send(oracle, to, from, Message::ProbeReply { nonce });
+            }
+            Message::ProbeReply { nonce } => self.on_probe_reply(oracle, from, to, nonce),
+            Message::CostTable { owner, entries } => {
+                let node = &mut self.nodes[to.index()];
+                let table = node.neighbor_tables.entry(owner).or_insert_with(|| CostTable::new(owner));
+                for (p, c) in entries {
+                    if p != owner {
+                        table.set(p, c);
+                    }
+                }
+                // A report we were waiting on?
+                if let Some(pos) = node.awaiting_reports.iter().position(|&r| r == from) {
+                    node.awaiting_reports.remove(pos);
+                    if node.awaiting_reports.is_empty() && node.cycle_open {
+                        self.finish_cycle(oracle, to);
+                    }
+                }
+            }
+            Message::ProbeRequest { targets } => self.on_probe_request(oracle, from, to, targets),
+            Message::ForwardRequest => {
+                let node = &mut self.nodes[to.index()];
+                if !node.requested.contains(&from) {
+                    node.requested.push(from);
+                }
+            }
+            Message::ForwardCancel => {
+                self.nodes[to.index()].requested.retain(|&p| p != from);
+            }
+            Message::Connect => {
+                // Accept whenever the overlay allows it.
+                if self.overlay.connect(to, from).is_ok() {
+                    self.send(oracle, to, from, Message::ConnectOk);
+                }
+            }
+            // The initiator already recorded the link when it sent
+            // `Connect` (our `Overlay` mutates both adjacency lists
+            // atomically); the acknowledgment is pure wire traffic.
+            Message::ConnectOk => {}
+            Message::Disconnect => {
+                let _ = self.overlay.disconnect(to, from);
+                self.nodes[to.index()].table.remove(from);
+            }
+            // Search-plane messages are not simulated here.
+            Message::Ping | Message::Pong { .. } | Message::Query { .. } | Message::QueryHit { .. } => {}
+        }
+    }
+
+    fn on_probe_reply(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, nonce: u64) {
+        let Some((target, purpose)) = self.nodes[to.index()].pending_probes.remove(&nonce) else {
+            return; // stale reply from an abandoned cycle
+        };
+        debug_assert_eq!(target, from);
+        let measured = self.cfg.probe.perturb(to, from, self.overlay.link_cost(oracle, to, from));
+        match purpose {
+            ProbePurpose::Neighbor => {
+                if self.overlay.are_neighbors(to, from) {
+                    self.nodes[to.index()].table.set(from, measured);
+                }
+                // All phase-1 probes answered → exchange tables + request
+                // pairwise measurements.
+                let done = {
+                    let node = &self.nodes[to.index()];
+                    node.cycle_open
+                        && !node
+                            .pending_probes
+                            .values()
+                            .any(|(_, p)| matches!(p, ProbePurpose::Neighbor))
+                };
+                if done {
+                    self.exchange_tables(oracle, to);
+                }
+            }
+            ProbePurpose::Candidate { far, far_near } => {
+                self.apply_figure4(oracle, to, far, from, measured, far_near);
+            }
+            ProbePurpose::OnBehalf { requester } => {
+                let node = &mut self.nodes[to.index()];
+                // Cache the measurement: later ProbeRequests for the same
+                // peer are answered without a fresh round trip.
+                node.pair_cache.insert(from, measured);
+                if let Some((entries, left)) = node.serving.get_mut(&requester) {
+                    entries.push((from, measured));
+                    *left -= 1;
+                    if *left == 0 {
+                        let (entries, _) = node.serving.remove(&requester).expect("just present");
+                        self.send(
+                            oracle,
+                            to,
+                            requester,
+                            Message::CostTable { owner: to, entries },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Step 2: own table to all neighbors + pairwise probe requests.
+    fn exchange_tables(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+        let nbrs: Vec<PeerId> = self.overlay.neighbors(peer).to_vec();
+        let own = self.nodes[peer.index()].table.clone();
+        self.nodes[peer.index()].awaiting_reports = nbrs.clone();
+        for &n in &nbrs {
+            let others: Vec<PeerId> = nbrs.iter().copied().filter(|&o| o != n).collect();
+            self.send(oracle, peer, n, own.to_message());
+            self.send(oracle, peer, n, Message::ProbeRequest { targets: others });
+        }
+        if nbrs.is_empty() && self.nodes[peer.index()].cycle_open {
+            self.finish_cycle(oracle, peer);
+        }
+    }
+
+    /// Serve a pairwise probe request: measure unknown targets, then report.
+    fn on_probe_request(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, targets: Vec<PeerId>) {
+        let mut known: Vec<(PeerId, Delay)> = Vec::new();
+        let mut unknown: Vec<PeerId> = Vec::new();
+        for t in targets {
+            if t == to {
+                continue;
+            }
+            let node = &self.nodes[to.index()];
+            match node.table.get(t).or_else(|| node.pair_cache.get(&t).copied()) {
+                Some(c) => known.push((t, c)),
+                None => unknown.push(t),
+            }
+        }
+        if unknown.is_empty() {
+            self.send(oracle, to, from, Message::CostTable { owner: to, entries: known });
+            return;
+        }
+        let count = unknown.len();
+        self.nodes[to.index()].serving.insert(from, (known, count));
+        for t in unknown {
+            let nonce = self.fresh_nonce();
+            self.nodes[to.index()]
+                .pending_probes
+                .insert(nonce, (t, ProbePurpose::OnBehalf { requester: from }));
+            self.send(oracle, to, t, Message::Probe { nonce });
+        }
+    }
+
+    /// Step 3: Prim over {peer} ∪ N(peer) with everything learned, then
+    /// forward-set diffs and one phase-3 attempt.
+    fn finish_cycle(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+        self.nodes[peer.index()].cycle_open = false;
+        let nbrs: Vec<PeerId> = self.overlay.neighbors(peer).to_vec();
+        let mut members = vec![peer];
+        members.extend(nbrs.iter().copied());
+        let mut edges: Vec<ClosureEdge> = Vec::new();
+        for &n in &nbrs {
+            if let Some(c) = self.nodes[peer.index()].table.get(n) {
+                edges.push(ClosureEdge { a: peer, b: n, cost: c });
+            }
+        }
+        // Pairwise costs among neighbors from their reports.
+        for &a in &nbrs {
+            if let Some(t) = self.nodes[peer.index()].neighbor_tables.get(&a) {
+                for (b, c) in t.iter() {
+                    if b != peer && nbrs.contains(&b) && a < b {
+                        edges.push(ClosureEdge { a, b, cost: c });
+                    }
+                }
+            }
+        }
+        let tree = prim_heap(peer, &members, &edges);
+        let mut new_tree = tree.tree_neighbors(peer);
+        if new_tree.len() < self.cfg.min_flooding {
+            let mut extras: Vec<(Delay, PeerId)> = nbrs
+                .iter()
+                .filter(|n| !new_tree.contains(n))
+                .filter_map(|&n| self.nodes[peer.index()].table.get(n).map(|c| (c, n)))
+                .collect();
+            extras.sort_unstable();
+            for (_, n) in extras {
+                if new_tree.len() >= self.cfg.min_flooding {
+                    break;
+                }
+                new_tree.push(n);
+            }
+        }
+        let old_tree = std::mem::take(&mut self.nodes[peer.index()].own_tree);
+        for &f in new_tree.iter().filter(|f| !old_tree.contains(f)) {
+            self.send(oracle, peer, f, Message::ForwardRequest);
+        }
+        for &f in old_tree.iter().filter(|f| !new_tree.contains(f)) {
+            self.send(oracle, peer, f, Message::ForwardCancel);
+        }
+        self.nodes[peer.index()].own_tree = new_tree;
+        self.nodes[peer.index()].cycles_done += 1;
+
+        self.process_watches(oracle, peer);
+        self.start_phase3(oracle, peer);
+    }
+
+    fn process_watches(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+        let watches = std::mem::take(&mut self.nodes[peer.index()].watches);
+        let mut keep = Vec::new();
+        for (far, near) in watches {
+            if !self.overlay.are_neighbors(peer, far) || !self.overlay.are_neighbors(peer, near) {
+                continue;
+            }
+            if self.nodes[peer.index()].own_tree.contains(&far) {
+                keep.push((far, near));
+                continue;
+            }
+            let dropped = self.nodes[peer.index()]
+                .neighbor_tables
+                .get(&far)
+                .is_some_and(|t| t.get(near).is_none() && !t.is_empty());
+            let has_detour = self
+                .overlay
+                .neighbors(peer)
+                .iter()
+                .any(|&n| n != far && self.overlay.are_neighbors(n, far));
+            if dropped && has_detour && self.overlay.disconnect(peer, far).is_ok() {
+                self.nodes[peer.index()].table.remove(far);
+                self.send(oracle, peer, far, Message::Disconnect);
+            } else {
+                keep.push((far, near));
+            }
+        }
+        self.nodes[peer.index()].watches = keep;
+    }
+
+    fn start_phase3(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+        let flooding = self.flooding_neighbors(peer);
+        let non_flooding: Vec<PeerId> = self
+            .overlay
+            .neighbors(peer)
+            .iter()
+            .copied()
+            .filter(|n| !flooding.contains(n))
+            .collect();
+        if non_flooding.is_empty() {
+            return;
+        }
+        let far = non_flooding[self.rng.gen_range(0..non_flooding.len())];
+        let candidates: Vec<(PeerId, Delay)> = match self.nodes[peer.index()].neighbor_tables.get(&far)
+        {
+            Some(t) => t
+                .iter()
+                .filter(|&(h, _)| {
+                    h != peer && self.overlay.is_alive(h) && !self.overlay.are_neighbors(peer, h)
+                })
+                .collect(),
+            None => return,
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        let (near, far_near) = candidates[self.rng.gen_range(0..candidates.len())];
+        let nonce = self.fresh_nonce();
+        self.nodes[peer.index()]
+            .pending_probes
+            .insert(nonce, (near, ProbePurpose::Candidate { far, far_near }));
+        self.send(oracle, peer, near, Message::Probe { nonce });
+    }
+
+    fn apply_figure4(
+        &mut self,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+        far: PeerId,
+        near: PeerId,
+        near_cost: Delay,
+        far_near: Delay,
+    ) {
+        if !self.overlay.are_neighbors(peer, far) || self.overlay.are_neighbors(peer, near) {
+            return; // world moved on while the probe was in flight
+        }
+        let Some(far_cost) = self.nodes[peer.index()].table.get(far) else {
+            return;
+        };
+        if near_cost < far_cost {
+            // Replace — guarded by the B–H detour as in the engine.
+            if !self.overlay.are_neighbors(far, near) {
+                return;
+            }
+            if self.overlay.connect(peer, near).is_ok() {
+                self.send(oracle, peer, near, Message::Connect);
+                self.nodes[peer.index()].table.set(near, near_cost);
+                if self.overlay.disconnect(peer, far).is_ok() {
+                    self.nodes[peer.index()].table.remove(far);
+                    self.send(oracle, peer, far, Message::Disconnect);
+                }
+            }
+        } else if near_cost < far_near && self.overlay.connect(peer, near).is_ok() {
+            self.send(oracle, peer, near, Message::Connect);
+            self.nodes[peer.index()].table.set(near, near_cost);
+            self.nodes[peer.index()].watches.push((far, near));
+        }
+    }
+}
+
+/// [`ForwardPolicy`] over the asynchronous simulator's current state.
+#[derive(Clone, Copy)]
+pub struct AsyncForward<'a> {
+    sim: &'a AsyncAceSim,
+}
+
+impl<'a> AsyncForward<'a> {
+    /// Wraps the simulator for query forwarding.
+    pub fn new(sim: &'a AsyncAceSim) -> Self {
+        AsyncForward { sim }
+    }
+}
+
+impl ForwardPolicy for AsyncForward<'_> {
+    fn forward_targets(&self, overlay: &Overlay, peer: PeerId, from: Option<PeerId>) -> Vec<PeerId> {
+        if self.sim.tree_built(peer) {
+            self.sim
+                .flooding_neighbors(peer)
+                .into_iter()
+                .filter(|&n| Some(n) != from && overlay.are_neighbors(peer, n))
+                .collect()
+        } else {
+            overlay.neighbors(peer).iter().copied().filter(|&n| Some(n) != from).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_overlay::{clustered_overlay, run_query, FloodAll, QueryConfig};
+    use ace_topology::generate::{two_level, TwoLevelConfig};
+    use ace_topology::NodeId;
+
+    fn world(peers: usize, seed: u64) -> (DistanceOracle, Overlay) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = two_level(
+            &TwoLevelConfig { as_count: 5, nodes_per_as: 60, ..TwoLevelConfig::default() },
+            &mut rng,
+        );
+        let oracle = DistanceOracle::new(topo.graph);
+        let hosts: Vec<NodeId> = oracle.graph().nodes().take(peers).collect();
+        let ov = clustered_overlay(hosts, 6, 0.7, Some(12), &mut rng);
+        (oracle, ov)
+    }
+
+    #[test]
+    fn cycles_complete_and_trees_form() {
+        let (oracle, ov) = world(60, 1);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 2);
+        sim.run_until(&oracle, SimTime::from_secs(120));
+        assert!(sim.min_cycles_done() >= 2, "min cycles {}", sim.min_cycles_done());
+        assert!(sim.messages_delivered() > 1000);
+        assert!(sim.ledger().total_cost() > 0.0);
+        for p in sim.overlay().alive_peers() {
+            assert!(sim.tree_built(p), "{p} never built a tree");
+        }
+    }
+
+    #[test]
+    fn async_protocol_reduces_traffic_and_keeps_scope() {
+        let (oracle, ov) = world(80, 3);
+        let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+        let before = run_query(&ov, &oracle, PeerId::new(0), &qc, &FloodAll, |_| false);
+
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 4);
+        sim.run_until(&oracle, SimTime::from_secs(300));
+        assert!(sim.overlay().is_connected(), "async ACE never disconnects");
+        let after = run_query(
+            sim.overlay(),
+            &oracle,
+            PeerId::new(0),
+            &qc,
+            &AsyncForward::new(&sim),
+            |_| false,
+        );
+        assert!(
+            (after.scope as f64) >= 0.9 * before.scope as f64,
+            "scope {} vs {}",
+            after.scope,
+            before.scope
+        );
+        assert!(
+            after.traffic_cost < 0.6 * before.traffic_cost,
+            "traffic {} vs {}",
+            after.traffic_cost,
+            before.traffic_cost
+        );
+    }
+
+    #[test]
+    fn churn_during_async_run_is_safe() {
+        let (oracle, ov) = world(60, 9);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 10);
+        let mut lrng = StdRng::seed_from_u64(11);
+        for step in 1..=12u64 {
+            sim.run_until(&oracle, SimTime::from_secs(step * 15));
+            // Alternate leaves and rejoins of random peers mid-protocol.
+            let victim = PeerId::new(lrng.gen_range(0..60));
+            if sim.overlay().is_alive(victim) {
+                assert!(sim.peer_leave(victim));
+                assert!(!sim.peer_leave(victim), "double leave rejected");
+            } else {
+                sim.peer_join(victim, 3);
+            }
+            sim.overlay().check_invariants().unwrap();
+        }
+        // Protocol keeps making progress for the survivors.
+        sim.run_until(&oracle, SimTime::from_secs(400));
+        let alive_with_trees = sim
+            .overlay()
+            .alive_peers()
+            .filter(|&p| sim.tree_built(p))
+            .count();
+        assert!(
+            alive_with_trees * 10 >= sim.overlay().alive_count() * 9,
+            "{} of {} alive peers have trees",
+            alive_with_trees,
+            sim.overlay().alive_count()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let (oracle, ov) = world(50, 5);
+            let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 6);
+            sim.run_until(&oracle, SimTime::from_secs(90));
+            (sim.messages_delivered(), sim.ledger().total_cost() as u64, sim.overlay().edge_count())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn overlay_invariants_hold_throughout() {
+        let (oracle, ov) = world(50, 7);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 8);
+        for step in 1..=10 {
+            sim.run_until(&oracle, SimTime::from_secs(step * 20));
+            sim.overlay().check_invariants().unwrap();
+            assert!(sim.overlay().is_connected());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over a binary heap that breaks time ties by insertion
+//! order, so simulations are fully deterministic for a given seed
+//! regardless of event type or payload.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queue ordered by `(time, insertion sequence)`.
+///
+/// # Examples
+///
+/// ```
+/// use ace_engine::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(2), "late");
+/// q.push(SimTime::from_millis(1), "early");
+/// q.push(SimTime::from_millis(1), "early-second");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Drives `queue` until it is empty or the next event is later than
+/// `until`, calling `handle(now, event, queue)` for each event. Handlers
+/// may push further events. Returns the number of events processed.
+///
+/// # Examples
+///
+/// ```
+/// use ace_engine::{run_until, EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::ZERO, 3u64);
+/// let mut total = 0;
+/// run_until(&mut q, SimTime::from_secs(1), |now, n, q| {
+///     total += n;
+///     if n > 1 { q.push(now + 10, n - 1); }
+/// });
+/// assert_eq!(total, 3 + 2 + 1);
+/// ```
+pub fn run_until<E>(
+    queue: &mut EventQueue<E>,
+    until: SimTime,
+    mut handle: impl FnMut(SimTime, E, &mut EventQueue<E>),
+) -> u64 {
+    let mut processed = 0;
+    while let Some(t) = queue.peek_time() {
+        if t > until {
+            break;
+        }
+        let (now, ev) = queue.pop().expect("peeked entry exists");
+        handle(now, ev, queue);
+        processed += 1;
+    }
+    processed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ticks(5), 'b');
+        q.push(SimTime::from_ticks(1), 'a');
+        q.push(SimTime::from_ticks(5), 'c');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn run_until_respects_bound() {
+        let mut q = EventQueue::new();
+        for t in [1u64, 5, 10, 20] {
+            q.push(SimTime::from_ticks(t), t);
+        }
+        let mut seen = Vec::new();
+        let n = run_until(&mut q, SimTime::from_ticks(10), |_, e, _| seen.push(e));
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![1, 5, 10]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn handlers_can_reschedule() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        run_until(&mut q, SimTime::from_ticks(100), |now, gen, q| {
+            count += 1;
+            if gen < 4 {
+                q.push(now + 10, gen + 1);
+            }
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

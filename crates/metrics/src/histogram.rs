@@ -1,0 +1,168 @@
+//! Fixed-memory logarithmic histograms.
+//!
+//! Dynamic experiments record hundreds of thousands of response times;
+//! [`LogHistogram`] summarizes them with bounded memory and supports
+//! approximate quantiles (bucket upper bound), good enough for the p50/p95
+//! columns of the dynamic-run reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A base-2 logarithmic histogram over non-negative values.
+///
+/// Bucket `i` holds values in `[2^(i-1), 2^i)` (bucket 0 holds `[0, 1)`).
+///
+/// # Examples
+///
+/// ```
+/// use ace_metrics::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in [1.0, 2.0, 3.0, 100.0] { h.record(v); }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5).unwrap() >= 2.0);
+/// assert!(h.quantile(1.0).unwrap() >= 100.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one non-negative value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or NaN values.
+    pub fn record(&mut self, v: f64) {
+        assert!(v.is_finite() && v >= 0.0, "histogram values must be non-negative");
+        let idx = if v < 1.0 { 0 } else { (v.log2().floor() as usize) + 1 };
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile: the upper bound of the bucket containing
+    /// the rank (exact for the max). `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 { 1.0 } else { (1u64 << i) as f64 };
+                return Some(upper.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for LogHistogram {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut h = LogHistogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h: LogHistogram = (1..=1000).map(f64::from).collect();
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((256.0..=512.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 990.0_f64.min(1024.0) / 2.0, "p99 {p99}");
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn small_values_share_bucket_zero() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(0.5);
+        h.record(0.99);
+        assert_eq!(h.quantile(1.0), Some(0.99));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a: LogHistogram = [1.0, 4.0, 9.0].into_iter().collect();
+        let b: LogHistogram = [2.0, 300.0].into_iter().collect();
+        let all: LogHistogram = [1.0, 4.0, 9.0, 2.0, 300.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        LogHistogram::new().record(-1.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Gnutella ping/pong host discovery.
+//!
+//! Servents periodically flood a `Ping` with a small TTL; every receiver
+//! answers with a `Pong` carrying peer addresses it knows. The requester
+//! stores them in its address cache — the mechanism behind the paper's
+//! observation that a rejoining peer "will try to connect to the peers
+//! whose IP addresses have already been cached". Fresh caches make
+//! rejoins fast and keep the overlay repairable under churn.
+
+use rand::Rng;
+
+use ace_engine::rng::sample_distinct;
+use ace_topology::DistanceOracle;
+
+use crate::message::Message;
+use crate::network::Overlay;
+use crate::peer::PeerId;
+
+/// Parameters of a discovery round.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoveryConfig {
+    /// Ping TTL (Gnutella uses small values to bound pong storms).
+    pub ttl: u8,
+    /// Maximum addresses a pong carries.
+    pub addrs_per_pong: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig { ttl: 2, addrs_per_pong: 8 }
+    }
+}
+
+/// Measured outcome of one discovery round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiscoveryStats {
+    /// Ping transmissions sent.
+    pub pings: u64,
+    /// Pong responses sent.
+    pub pongs: u64,
+    /// New address-cache entries created across all peers.
+    pub addresses_learned: u64,
+    /// Total traffic cost of the round (pings + pongs, size-weighted).
+    pub traffic_cost: f64,
+}
+
+/// Runs one ping/pong round for every alive peer.
+///
+/// Each peer floods a ping over its `ttl`-hop neighborhood; every reached
+/// peer pongs back (routed over the reverse path, charged per hop) with up
+/// to `addrs_per_pong` random neighbors of its own, which the requester
+/// caches via [`Overlay::remember`].
+pub fn ping_pong_round<R: Rng + ?Sized>(
+    overlay: &mut Overlay,
+    oracle: &DistanceOracle,
+    cfg: &DiscoveryConfig,
+    rng: &mut R,
+) -> DiscoveryStats {
+    let mut stats = DiscoveryStats::default();
+    let ping_units = Message::Ping.size_units();
+    let peers: Vec<PeerId> = overlay.alive_peers().collect();
+
+    for &src in &peers {
+        // BFS over the ttl-hop neighborhood, tracking hop paths back.
+        let mut frontier = vec![(src, 0u64)]; // (peer, path cost so far)
+        let mut seen = vec![src];
+        for _hop in 0..cfg.ttl {
+            let mut next = Vec::new();
+            for &(at, path_cost) in &frontier {
+                for &n in overlay.neighbors(at) {
+                    if seen.contains(&n) {
+                        continue;
+                    }
+                    seen.push(n);
+                    let link = f64::from(overlay.link_cost(oracle, at, n));
+                    stats.pings += 1;
+                    stats.traffic_cost += link * ping_units;
+                    next.push((n, path_cost + link as u64));
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        // Every discovered peer pongs back with some of its neighbors.
+        let mut learned: Vec<(PeerId, PeerId)> = Vec::new();
+        for &responder in seen.iter().filter(|&&p| p != src) {
+            let nbrs = overlay.neighbors(responder);
+            let take = cfg.addrs_per_pong.min(nbrs.len());
+            let addrs: Vec<PeerId> =
+                sample_distinct(rng, nbrs.len(), take).into_iter().map(|i| nbrs[i]).collect();
+            let pong = Message::Pong { addrs: addrs.clone() };
+            // Pong routed back over the overlay path; approximate the path
+            // cost with the direct physical distance (lower bound).
+            let back = f64::from(overlay.link_cost(oracle, responder, src));
+            stats.pongs += 1;
+            stats.traffic_cost += back * pong.size_units();
+            for a in addrs {
+                if a != src {
+                    learned.push((src, a));
+                }
+            }
+        }
+        for (who, addr) in learned {
+            let before = overlay.addr_cache(who).contains(&addr);
+            overlay.remember(who, addr);
+            if !before {
+                stats.addresses_learned += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_topology::{Graph, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_world(n: u32) -> (Overlay, DistanceOracle) {
+        let mut g = Graph::new(n as usize);
+        for i in 1..n {
+            g.add_edge(NodeId::new(i - 1), NodeId::new(i), 5).unwrap();
+        }
+        let oracle = DistanceOracle::new(g);
+        let mut ov = Overlay::new((0..n).map(NodeId::new).collect(), None);
+        for i in 1..n {
+            ov.connect(PeerId::new(i - 1), PeerId::new(i)).unwrap();
+        }
+        (ov, oracle)
+    }
+
+    #[test]
+    fn discovery_fills_address_caches_beyond_neighbors() {
+        let (mut ov, oracle) = line_world(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = ping_pong_round(&mut ov, &oracle, &DiscoveryConfig::default(), &mut rng);
+        assert!(stats.pings > 0);
+        assert!(stats.pongs > 0);
+        assert!(stats.traffic_cost > 0.0);
+        // Peer 0 should now know about peer 2 or 3 (2 hops away), which it
+        // only met through pongs.
+        let cache = ov.addr_cache(PeerId::new(0));
+        assert!(
+            cache.contains(&PeerId::new(2)) || cache.contains(&PeerId::new(3)),
+            "cache {cache:?}"
+        );
+    }
+
+    #[test]
+    fn ttl_bounds_the_ping_horizon() {
+        let (mut ov, oracle) = line_world(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = ping_pong_round(
+            &mut ov,
+            &oracle,
+            &DiscoveryConfig { ttl: 1, addrs_per_pong: 8 },
+            &mut rng,
+        );
+        let (mut ov2, oracle2) = line_world(8);
+        let big = ping_pong_round(
+            &mut ov2,
+            &oracle2,
+            &DiscoveryConfig { ttl: 3, addrs_per_pong: 8 },
+            &mut rng,
+        );
+        assert!(big.pings > small.pings);
+        assert!(big.traffic_cost > small.traffic_cost);
+    }
+
+    #[test]
+    fn rejoin_uses_discovered_addresses() {
+        let (mut ov, oracle) = line_world(5);
+        let mut rng = StdRng::seed_from_u64(4);
+        ping_pong_round(&mut ov, &oracle, &DiscoveryConfig::default(), &mut rng);
+        // Peer 2 leaves and rejoins: it should reconnect using its cache
+        // (which now includes non-neighbors discovered via pongs).
+        let former = ov.leave(PeerId::new(2)).unwrap();
+        let made = ov.join(PeerId::new(2), 2, &mut rng).unwrap();
+        assert_eq!(made.len(), 2);
+        // At least one connection should come from its cache.
+        assert!(made.iter().any(|m| former.contains(m) || ov.addr_cache(PeerId::new(2)).contains(m)));
+        ov.check_invariants().unwrap();
+    }
+}

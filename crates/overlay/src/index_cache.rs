@@ -1,0 +1,172 @@
+//! Response index caching (the paper's §5.2 extension).
+//!
+//! Each peer keeps a small LRU cache mapping objects to known holders,
+//! filled from query hits that pass through it. A peer with a cache hit
+//! answers a query directly instead of relaying it — the "index cache"
+//! the paper combines with ACE to reach ~75% traffic reduction.
+
+use std::collections::VecDeque;
+
+use crate::content::ObjectId;
+use crate::peer::PeerId;
+
+/// Per-peer LRU object→holder caches.
+///
+/// # Examples
+///
+/// ```
+/// use ace_overlay::{IndexCache, PeerId};
+/// let mut cache = IndexCache::new(10, 3);
+/// let p = PeerId::new(0);
+/// cache.insert(p, 42, PeerId::new(5));
+/// assert_eq!(cache.lookup(p, 42), Some(PeerId::new(5)));
+/// assert_eq!(cache.lookup(p, 7), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndexCache {
+    caps: usize,
+    entries: Vec<VecDeque<(ObjectId, PeerId)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl IndexCache {
+    /// Creates caches for `peers` peers, `capacity` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(peers: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        IndexCache { caps: capacity, entries: vec![VecDeque::new(); peers], hits: 0, misses: 0 }
+    }
+
+    /// Cache capacity per peer.
+    pub fn capacity(&self) -> usize {
+        self.caps
+    }
+
+    /// Looks up a holder for `object` in `peer`'s cache, refreshing LRU
+    /// order on hit.
+    pub fn lookup(&mut self, peer: PeerId, object: ObjectId) -> Option<PeerId> {
+        let cache = &mut self.entries[peer.index()];
+        if let Some(pos) = cache.iter().position(|&(o, _)| o == object) {
+            let entry = cache.remove(pos).expect("position just found");
+            cache.push_back(entry);
+            self.hits += 1;
+            Some(entry.1)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Records that `holder` has `object` in `peer`'s cache (LRU evict).
+    pub fn insert(&mut self, peer: PeerId, object: ObjectId, holder: PeerId) {
+        if peer == holder {
+            return; // a holder needs no index entry for itself
+        }
+        let cache = &mut self.entries[peer.index()];
+        if let Some(pos) = cache.iter().position(|&(o, _)| o == object) {
+            cache.remove(pos);
+        }
+        cache.push_back((object, holder));
+        if cache.len() > self.caps {
+            cache.pop_front();
+        }
+    }
+
+    /// Drops every cached entry pointing at `holder` (call when a peer
+    /// leaves, otherwise caches serve dead pointers).
+    pub fn purge_holder(&mut self, holder: PeerId) {
+        for cache in &mut self.entries {
+            cache.retain(|&(_, h)| h != holder);
+        }
+    }
+
+    /// Drops a departing peer's own cache contents.
+    pub fn clear_peer(&mut self, peer: PeerId) {
+        self.entries[peer.index()].clear();
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of entries currently cached by `peer`.
+    pub fn len(&self, peer: PeerId) -> usize {
+        self.entries[peer.index()].len()
+    }
+
+    /// True when `peer` has no cached entries.
+    pub fn is_empty(&self, peer: PeerId) -> bool {
+        self.entries[peer.index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = IndexCache::new(1, 2);
+        let p = PeerId::new(0);
+        c.insert(p, 1, PeerId::new(10));
+        c.insert(p, 2, PeerId::new(20));
+        c.insert(p, 3, PeerId::new(30)); // evicts object 1
+        assert_eq!(c.lookup(p, 1), None);
+        assert_eq!(c.lookup(p, 2), Some(PeerId::new(20)));
+        assert_eq!(c.lookup(p, 3), Some(PeerId::new(30)));
+        assert_eq!(c.len(p), 2);
+    }
+
+    #[test]
+    fn lookup_refreshes_recency() {
+        let mut c = IndexCache::new(1, 2);
+        let p = PeerId::new(0);
+        c.insert(p, 1, PeerId::new(10));
+        c.insert(p, 2, PeerId::new(20));
+        c.lookup(p, 1); // 1 becomes most recent
+        c.insert(p, 3, PeerId::new(30)); // evicts 2
+        assert_eq!(c.lookup(p, 2), None);
+        assert_eq!(c.lookup(p, 1), Some(PeerId::new(10)));
+    }
+
+    #[test]
+    fn insert_updates_existing_holder() {
+        let mut c = IndexCache::new(1, 4);
+        let p = PeerId::new(0);
+        c.insert(p, 1, PeerId::new(10));
+        c.insert(p, 1, PeerId::new(11));
+        assert_eq!(c.len(p), 1);
+        assert_eq!(c.lookup(p, 1), Some(PeerId::new(11)));
+    }
+
+    #[test]
+    fn purge_holder_removes_dead_pointers() {
+        let mut c = IndexCache::new(2, 4);
+        c.insert(PeerId::new(0), 1, PeerId::new(9));
+        c.insert(PeerId::new(1), 2, PeerId::new(9));
+        c.insert(PeerId::new(1), 3, PeerId::new(8));
+        c.purge_holder(PeerId::new(9));
+        assert_eq!(c.lookup(PeerId::new(0), 1), None);
+        assert_eq!(c.lookup(PeerId::new(1), 2), None);
+        assert_eq!(c.lookup(PeerId::new(1), 3), Some(PeerId::new(8)));
+    }
+
+    #[test]
+    fn self_entries_are_ignored_and_stats_count() {
+        let mut c = IndexCache::new(1, 4);
+        let p = PeerId::new(0);
+        c.insert(p, 1, p);
+        assert!(c.is_empty(p));
+        c.lookup(p, 1);
+        c.insert(p, 2, PeerId::new(3));
+        c.lookup(p, 2);
+        assert_eq!(c.stats(), (1, 1));
+        c.clear_peer(p);
+        assert!(c.is_empty(p));
+    }
+}

@@ -1,0 +1,69 @@
+//! # ace-overlay — unstructured P2P overlay substrate
+//!
+//! The Gnutella-like overlay layer of the ACE reproduction
+//! (*"A Distributed Approach to Solving Overlay Mismatching Problem"*,
+//! ICDCS 2004):
+//!
+//! * [`Overlay`] — logical peers mapped to physical hosts, symmetric
+//!   neighbor links, address caches, join/leave with rejoin-from-cache;
+//!   [`random_overlay`] and [`pref_attach_overlay`] builders matching the
+//!   paper's generated and measured (power-law) overlay shapes;
+//! * [`Message`] — Gnutella-style wire messages with real encoded sizes
+//!   (ACE's overhead accounting is size-aware);
+//! * [`run_query`] — time-ordered query propagation measuring search
+//!   scope, traffic cost, duplicates and response time, parameterized by a
+//!   [`ForwardPolicy`] (blind [`FloodAll`] here; ACE's tree policy lives
+//!   in `ace-core`);
+//! * content ([`Catalog`], [`Placement`]), churn ([`LifetimeModel`]) and
+//!   workload ([`QueryRate`]) models with the paper's parameters;
+//! * [`IndexCache`] — the response index caching extension of §5.2.
+//!
+//! # Examples
+//!
+//! Measure one blind-flooding query on a random overlay:
+//!
+//! ```
+//! use ace_overlay::{random_overlay, run_query, FloodAll, PeerId, QueryConfig};
+//! use ace_topology::generate::{ba, BaConfig};
+//! use ace_topology::DistanceOracle;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let phys = ba(&BaConfig { nodes: 200, ..BaConfig::default() }, &mut rng);
+//! let oracle = DistanceOracle::new(phys);
+//! let hosts = oracle.graph().nodes().take(50).collect();
+//! let ov = random_overlay(hosts, 4, None, &mut rng);
+//!
+//! let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+//! assert_eq!(out.scope, 50); // TTL 7 covers this overlay
+//! assert!(out.traffic_cost > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacity;
+mod churn;
+mod content;
+mod discovery;
+mod hpf;
+mod index_cache;
+mod message;
+mod network;
+mod peer;
+mod search;
+mod two_tier;
+mod walk;
+
+pub use capacity::{assign_capacities, GiaAdaptation, GiaConfig, GNUTELLA_CAPACITY_MIX};
+pub use churn::{LifetimeModel, QueryRate};
+pub use discovery::{ping_pong_round, DiscoveryConfig, DiscoveryStats};
+pub use content::{Catalog, ObjectId, Placement};
+pub use hpf::{HpfWeight, PartialFlood};
+pub use index_cache::IndexCache;
+pub use message::{Message, QUERY_BASE_SIZE};
+pub use network::{clustered_overlay, pref_attach_overlay, random_overlay, Overlay, OverlayError, ADDR_CACHE_CAP};
+pub use peer::PeerId;
+pub use search::{run_query, FloodAll, ForwardPolicy, QueryConfig, QueryOutcome};
+pub use two_tier::{TwoTierConfig, TwoTierNetwork};
+pub use walk::{random_walk_query, WalkConfig, WalkOutcome};

@@ -1,0 +1,321 @@
+//! Query propagation and traffic accounting.
+//!
+//! Implements the paper's search model: a query is relayed peer-to-peer;
+//! a peer forwards on *first* receipt (to all neighbors under blind
+//! flooding, or to a policy-selected subset under ACE) and drops
+//! duplicates — but a duplicate transmission still burned bandwidth, so
+//! its cost is charged at send time. Propagation is time-ordered, so the
+//! same run yields search scope, per-peer arrival times, total traffic
+//! cost and the first-responder response time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ace_engine::SimTime;
+use ace_topology::DistanceOracle;
+
+use crate::network::Overlay;
+use crate::peer::PeerId;
+
+/// Chooses which neighbors a peer relays a query to.
+pub trait ForwardPolicy {
+    /// Peers that `peer` forwards to, given the query arrived from `from`
+    /// (`None` when `peer` is the query source). Implementations must only
+    /// return current logical neighbors of `peer`.
+    fn forward_targets(&self, overlay: &Overlay, peer: PeerId, from: Option<PeerId>)
+        -> Vec<PeerId>;
+}
+
+/// Blind flooding: forward to every neighbor except the sender.
+///
+/// # Examples
+///
+/// ```
+/// use ace_overlay::{FloodAll, ForwardPolicy, Overlay, PeerId};
+/// use ace_topology::NodeId;
+/// let mut ov = Overlay::new(vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)], None);
+/// ov.connect(PeerId::new(0), PeerId::new(1)).unwrap();
+/// ov.connect(PeerId::new(0), PeerId::new(2)).unwrap();
+/// let t = FloodAll.forward_targets(&ov, PeerId::new(0), Some(PeerId::new(1)));
+/// assert_eq!(t, vec![PeerId::new(2)]);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FloodAll;
+
+impl ForwardPolicy for FloodAll {
+    fn forward_targets(
+        &self,
+        overlay: &Overlay,
+        peer: PeerId,
+        from: Option<PeerId>,
+    ) -> Vec<PeerId> {
+        overlay
+            .neighbors(peer)
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != from)
+            .collect()
+    }
+}
+
+/// Query parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryConfig {
+    /// Initial TTL (hops). Gnutella's default is 7.
+    pub ttl: u8,
+    /// When true, a responding peer answers and does not relay further
+    /// (transparent-caching semantics); when false the query keeps
+    /// spreading to cover the full scope, as in the paper's main
+    /// experiments.
+    pub stop_at_responder: bool,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig { ttl: 7, stop_at_responder: false }
+    }
+}
+
+/// Everything measured about one query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Distinct peers reached (including the source).
+    pub scope: usize,
+    /// Total traffic cost: Σ (physical link delay × message size units)
+    /// over every query transmission, duplicates included.
+    pub traffic_cost: f64,
+    /// Query transmissions sent.
+    pub messages: u64,
+    /// Transmissions that arrived at a peer which had already seen the
+    /// query (pure waste — the paper's "unnecessary traffic").
+    pub duplicates: u64,
+    /// First arrival time per peer (`None` = never reached).
+    pub arrivals: Vec<Option<SimTime>>,
+    /// The neighbor each peer first heard the query from (query path
+    /// tree; `None` for the source and unreached peers).
+    pub parents: Vec<Option<PeerId>>,
+    /// Round-trip time until the source hears the first query hit
+    /// (`None` when no responder was reached).
+    pub first_response: Option<SimTime>,
+    /// The peer whose hit arrives first (`None` when no responder).
+    pub first_responder: Option<PeerId>,
+    /// Number of responders reached.
+    pub responders_hit: usize,
+    /// Transmissions sent by each peer — the per-peer forwarding load.
+    pub sent_by: Vec<u32>,
+}
+
+impl QueryOutcome {
+    /// Reverse path from `peer` back to the source (inclusive), following
+    /// first-arrival parents; `None` if `peer` was not reached.
+    pub fn reverse_path(&self, source: PeerId, peer: PeerId) -> Option<Vec<PeerId>> {
+        self.arrivals[peer.index()]?;
+        let mut path = vec![peer];
+        let mut cur = peer;
+        while cur != source {
+            cur = self.parents[cur.index()]?;
+            path.push(cur);
+        }
+        Some(path)
+    }
+}
+
+/// Runs one query from `source` and measures it.
+///
+/// `is_responder(peer)` reports whether a reached peer can answer the
+/// query (the source itself is never treated as a responder).
+///
+/// # Panics
+///
+/// Panics if `source` is offline or out of range.
+pub fn run_query<P, F>(
+    overlay: &Overlay,
+    oracle: &DistanceOracle,
+    source: PeerId,
+    config: &QueryConfig,
+    policy: &P,
+    mut is_responder: F,
+) -> QueryOutcome
+where
+    P: ForwardPolicy + ?Sized,
+    F: FnMut(PeerId) -> bool,
+{
+    assert!(overlay.is_alive(source), "query source must be online");
+    let n = overlay.peer_count();
+    let mut out = QueryOutcome {
+        scope: 0,
+        traffic_cost: 0.0,
+        messages: 0,
+        duplicates: 0,
+        arrivals: vec![None; n],
+        parents: vec![None; n],
+        first_response: None,
+        first_responder: None,
+        responders_hit: 0,
+        sent_by: vec![0; n],
+    };
+
+    // (arrival time, seq, to, from, remaining ttl)
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, u32, u32, u8)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    // Source "receives" its own query at t=0 with the full TTL.
+    heap.push(Reverse((SimTime::ZERO, seq, source.raw(), source.raw(), config.ttl)));
+
+    while let Some(Reverse((t, _, to, from, ttl))) = heap.pop() {
+        let peer = PeerId::new(to);
+        if out.arrivals[peer.index()].is_some() {
+            out.duplicates += 1;
+            continue;
+        }
+        out.arrivals[peer.index()] = Some(t);
+        out.scope += 1;
+        let from_peer = if to == from { None } else { Some(PeerId::new(from)) };
+        out.parents[peer.index()] = from_peer;
+
+        let mut stop_here = false;
+        if peer != source && is_responder(peer) {
+            out.responders_hit += 1;
+            // Hit travels back along the inverse path with symmetric delay.
+            let rtt = SimTime::from_ticks(2 * t.as_ticks());
+            if out.first_response.map_or(true, |cur| rtt < cur) {
+                out.first_response = Some(rtt);
+                out.first_responder = Some(peer);
+            }
+            stop_here = config.stop_at_responder;
+        }
+        if ttl == 0 || stop_here {
+            continue;
+        }
+        for target in policy.forward_targets(overlay, peer, from_peer) {
+            debug_assert!(overlay.are_neighbors(peer, target));
+            let cost = overlay.link_cost(oracle, peer, target);
+            out.traffic_cost += f64::from(cost); // query = 1.0 size units
+            out.messages += 1;
+            out.sent_by[peer.index()] += 1;
+            seq += 1;
+            heap.push(Reverse((t + u64::from(cost), seq, target.raw(), peer.raw(), ttl - 1)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_topology::{Graph, NodeId};
+
+    /// Line physical net 0-1-2-3 (weight 10 each); overlay mirrors it.
+    fn line_env() -> (Overlay, DistanceOracle) {
+        let mut g = Graph::new(4);
+        for i in 1..4u32 {
+            g.add_edge(NodeId::new(i - 1), NodeId::new(i), 10).unwrap();
+        }
+        let oracle = DistanceOracle::new(g);
+        let hosts = (0..4).map(NodeId::new).collect();
+        let mut ov = Overlay::new(hosts, None);
+        for i in 1..4u32 {
+            ov.connect(PeerId::new(i - 1), PeerId::new(i)).unwrap();
+        }
+        (ov, oracle)
+    }
+
+    #[test]
+    fn line_flood_reaches_all_without_duplicates() {
+        let (ov, oracle) = line_env();
+        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        assert_eq!(out.scope, 4);
+        assert_eq!(out.duplicates, 0);
+        assert_eq!(out.messages, 3);
+        assert_eq!(out.traffic_cost, 30.0);
+        assert_eq!(out.arrivals[3], Some(SimTime::from_ticks(30)));
+        assert_eq!(out.first_response, None);
+        assert_eq!(out.responders_hit, 0);
+    }
+
+    #[test]
+    fn ttl_limits_scope() {
+        let (ov, oracle) = line_env();
+        let cfg = QueryConfig { ttl: 1, stop_at_responder: false };
+        let out = run_query(&ov, &oracle, PeerId::new(0), &cfg, &FloodAll, |_| false);
+        assert_eq!(out.scope, 2); // source + 1 hop
+    }
+
+    #[test]
+    fn response_time_is_round_trip_of_nearest_responder() {
+        let (ov, oracle) = line_env();
+        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |p| {
+            p == PeerId::new(2) || p == PeerId::new(3)
+        });
+        // Nearest responder at distance 20 -> RTT 40.
+        assert_eq!(out.first_response, Some(SimTime::from_ticks(40)));
+        assert_eq!(out.first_responder, Some(PeerId::new(2)));
+        assert_eq!(out.responders_hit, 2);
+    }
+
+    #[test]
+    fn source_is_not_a_responder() {
+        let (ov, oracle) = line_env();
+        let out =
+            run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| true);
+        assert_eq!(out.responders_hit, 3);
+        assert_eq!(out.first_response, Some(SimTime::from_ticks(20)));
+    }
+
+    #[test]
+    fn stop_at_responder_prunes_forwarding() {
+        let (ov, oracle) = line_env();
+        let cfg = QueryConfig { ttl: 7, stop_at_responder: true };
+        let out = run_query(&ov, &oracle, PeerId::new(0), &cfg, &FloodAll, |p| p == PeerId::new(1));
+        assert_eq!(out.scope, 2); // responder does not relay onward
+        assert_eq!(out.messages, 1);
+    }
+
+    /// Triangle overlay: flooding must produce duplicate transmissions.
+    #[test]
+    fn triangle_flood_counts_duplicates() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 5).unwrap();
+        g.add_edge(NodeId::new(1), NodeId::new(2), 5).unwrap();
+        g.add_edge(NodeId::new(0), NodeId::new(2), 5).unwrap();
+        let oracle = DistanceOracle::new(g);
+        let mut ov = Overlay::new((0..3).map(NodeId::new).collect(), None);
+        ov.connect(PeerId::new(0), PeerId::new(1)).unwrap();
+        ov.connect(PeerId::new(1), PeerId::new(2)).unwrap();
+        ov.connect(PeerId::new(0), PeerId::new(2)).unwrap();
+        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        assert_eq!(out.scope, 3);
+        // 0 sends to 1,2; each of 1,2 forwards to the other -> 4 messages, 2 dups.
+        assert_eq!(out.messages, 4);
+        assert_eq!(out.duplicates, 2);
+        assert_eq!(out.traffic_cost, 20.0);
+    }
+
+    #[test]
+    fn per_peer_load_sums_to_messages() {
+        let (ov, oracle) = line_env();
+        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let total: u32 = out.sent_by.iter().sum();
+        assert_eq!(u64::from(total), out.messages);
+        assert_eq!(out.sent_by[0], 1, "line head forwards once");
+        assert_eq!(out.sent_by[3], 0, "line tail forwards nothing");
+    }
+
+    #[test]
+    fn reverse_path_walks_parents() {
+        let (ov, oracle) = line_env();
+        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let path = out.reverse_path(PeerId::new(0), PeerId::new(3)).unwrap();
+        assert_eq!(path, vec![PeerId::new(3), PeerId::new(2), PeerId::new(1), PeerId::new(0)]);
+        assert_eq!(out.reverse_path(PeerId::new(0), PeerId::new(0)).unwrap(), vec![PeerId::new(0)]);
+    }
+
+    #[test]
+    fn unreached_peers_have_no_arrival() {
+        let (mut ov, oracle) = line_env();
+        ov.disconnect(PeerId::new(1), PeerId::new(2)).unwrap();
+        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        assert_eq!(out.scope, 2);
+        assert_eq!(out.arrivals[2], None);
+        assert_eq!(out.reverse_path(PeerId::new(0), PeerId::new(3)), None);
+    }
+}

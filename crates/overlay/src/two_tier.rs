@@ -1,0 +1,231 @@
+//! Two-tier (supernode) overlays — the KaZaA architecture of the paper's
+//! introduction: "queries are flooded among peers (such as in Gnutella)
+//! or among supernodes (such as in KaZaA)".
+//!
+//! A fraction of peers act as *supernodes* forming the flooding core; the
+//! remaining *leaves* attach to one supernode each and publish their
+//! content index to it, so queries travel leaf → supernode → core flood,
+//! and supernodes answer on behalf of their leaves. ACE can then be
+//! applied to the supernode core exactly like to a flat overlay.
+
+use rand::Rng;
+
+use ace_engine::rng::sample_distinct;
+use ace_topology::{Delay, DistanceOracle, NodeId};
+
+use crate::network::{clustered_overlay, Overlay};
+use crate::peer::PeerId;
+
+/// Parameters for [`TwoTierNetwork::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct TwoTierConfig {
+    /// Fraction of peers promoted to supernodes (KaZaA-like: ~5–15%).
+    pub supernode_fraction: f64,
+    /// Average degree of the supernode core overlay.
+    pub core_degree: usize,
+    /// When true, leaves attach to the physically closest supernode
+    /// (capacity-aware KaZaA behavior); when false, to a random one (the
+    /// mismatch-prone default).
+    pub locality_aware_attach: bool,
+}
+
+impl Default for TwoTierConfig {
+    fn default() -> Self {
+        TwoTierConfig { supernode_fraction: 0.1, core_degree: 6, locality_aware_attach: false }
+    }
+}
+
+/// A built two-tier network.
+#[derive(Clone, Debug)]
+pub struct TwoTierNetwork {
+    /// The supernode core (a normal [`Overlay`]; ACE applies directly).
+    pub core: Overlay,
+    /// Physical hosts of the leaf peers.
+    leaf_hosts: Vec<NodeId>,
+    /// `assignment[leaf] = supernode` (a peer id in `core`).
+    assignment: Vec<PeerId>,
+}
+
+impl TwoTierNetwork {
+    /// Splits `hosts` into supernodes and leaves and wires both tiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 supernodes would result or the fraction is
+    /// outside `(0, 1]`.
+    pub fn build<R: Rng + ?Sized>(
+        hosts: Vec<NodeId>,
+        cfg: &TwoTierConfig,
+        oracle: &DistanceOracle,
+        rng: &mut R,
+    ) -> Self {
+        assert!(cfg.supernode_fraction > 0.0 && cfg.supernode_fraction <= 1.0);
+        let n = hosts.len();
+        let sn_count = ((n as f64 * cfg.supernode_fraction).round() as usize).max(2);
+        assert!(sn_count < n, "need at least one leaf");
+
+        let sn_picks = sample_distinct(rng, n, sn_count);
+        let mut is_sn = vec![false; n];
+        for &i in &sn_picks {
+            is_sn[i] = true;
+        }
+        let sn_hosts: Vec<NodeId> = sn_picks.iter().map(|&i| hosts[i]).collect();
+        let leaf_hosts: Vec<NodeId> =
+            (0..n).filter(|&i| !is_sn[i]).map(|i| hosts[i]).collect();
+
+        let core = clustered_overlay(sn_hosts, cfg.core_degree, 0.7, None, rng);
+
+        // Attach leaves.
+        let assignment: Vec<PeerId> = leaf_hosts
+            .iter()
+            .map(|&h| {
+                if cfg.locality_aware_attach {
+                    core.peers()
+                        .min_by_key(|&sn| (oracle.distance(h, core.host(sn)), sn))
+                        .expect("core is non-empty")
+                } else {
+                    PeerId::new(rng.gen_range(0..core.peer_count() as u32))
+                }
+            })
+            .collect();
+        TwoTierNetwork { core, leaf_hosts, assignment }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_hosts.len()
+    }
+
+    /// Number of supernodes.
+    pub fn supernode_count(&self) -> usize {
+        self.core.peer_count()
+    }
+
+    /// The supernode a leaf is attached to.
+    pub fn supernode_of(&self, leaf: usize) -> PeerId {
+        self.assignment[leaf]
+    }
+
+    /// Physical host of a leaf.
+    pub fn leaf_host(&self, leaf: usize) -> NodeId {
+        self.leaf_hosts[leaf]
+    }
+
+    /// Cost of the access link between a leaf and its supernode.
+    pub fn access_cost(&self, oracle: &DistanceOracle, leaf: usize) -> Delay {
+        oracle.distance(self.leaf_hosts[leaf], self.core.host(self.assignment[leaf]))
+    }
+
+    /// Mean access-link cost over all leaves — the metric that
+    /// locality-aware attachment improves.
+    pub fn mean_access_cost(&self, oracle: &DistanceOracle) -> f64 {
+        if self.leaf_hosts.is_empty() {
+            return 0.0;
+        }
+        let total: u64 =
+            (0..self.leaf_count()).map(|l| u64::from(self.access_cost(oracle, l))).sum();
+        total as f64 / self.leaf_count() as f64
+    }
+
+    /// Runs a query issued by `leaf`: the query travels up the access
+    /// link, floods the supernode core under `policy`, and supernodes
+    /// whose *own index* (their leaves' content) matches respond.
+    ///
+    /// Returns `(core query outcome, total traffic including the access
+    /// link)`.
+    pub fn query_from_leaf<P: crate::search::ForwardPolicy + ?Sized>(
+        &self,
+        oracle: &DistanceOracle,
+        leaf: usize,
+        qc: &crate::search::QueryConfig,
+        policy: &P,
+        is_responder_sn: impl FnMut(PeerId) -> bool,
+    ) -> (crate::search::QueryOutcome, f64) {
+        let sn = self.assignment[leaf];
+        let access = f64::from(self.access_cost(oracle, leaf));
+        let outcome = crate::search::run_query(&self.core, oracle, sn, qc, policy, is_responder_sn);
+        let total = outcome.traffic_cost + access;
+        (outcome, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{FloodAll, QueryConfig};
+    use ace_topology::generate::{two_level, TwoLevelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> (DistanceOracle, Vec<NodeId>) {
+        let mut rng = StdRng::seed_from_u64(8);
+        let topo = two_level(
+            &TwoLevelConfig { as_count: 4, nodes_per_as: 60, ..TwoLevelConfig::default() },
+            &mut rng,
+        );
+        let nodes: Vec<NodeId> = topo.graph.nodes().take(120).collect();
+        (DistanceOracle::new(topo.graph), nodes)
+    }
+
+    #[test]
+    fn build_splits_tiers_correctly() {
+        let (oracle, hosts) = world();
+        let mut rng = StdRng::seed_from_u64(9);
+        let tt = TwoTierNetwork::build(hosts, &TwoTierConfig::default(), &oracle, &mut rng);
+        assert_eq!(tt.supernode_count(), 12);
+        assert_eq!(tt.leaf_count(), 108);
+        assert!(tt.core.is_connected());
+        for l in 0..tt.leaf_count() {
+            assert!(tt.supernode_of(l).index() < tt.supernode_count());
+        }
+    }
+
+    #[test]
+    fn locality_aware_attachment_shortens_access_links() {
+        let (oracle, hosts) = world();
+        let mut rng = StdRng::seed_from_u64(10);
+        let random = TwoTierNetwork::build(
+            hosts.clone(),
+            &TwoTierConfig { locality_aware_attach: false, ..TwoTierConfig::default() },
+            &oracle,
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(10);
+        let near = TwoTierNetwork::build(
+            hosts,
+            &TwoTierConfig { locality_aware_attach: true, ..TwoTierConfig::default() },
+            &oracle,
+            &mut rng,
+        );
+        assert!(
+            near.mean_access_cost(&oracle) < 0.5 * random.mean_access_cost(&oracle),
+            "near {} vs random {}",
+            near.mean_access_cost(&oracle),
+            random.mean_access_cost(&oracle)
+        );
+    }
+
+    #[test]
+    fn leaf_query_floods_core_and_pays_access() {
+        let (oracle, hosts) = world();
+        let mut rng = StdRng::seed_from_u64(11);
+        let tt = TwoTierNetwork::build(hosts, &TwoTierConfig::default(), &oracle, &mut rng);
+        let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+        let (outcome, total) = tt.query_from_leaf(&oracle, 0, &qc, &FloodAll, |_| false);
+        assert_eq!(outcome.scope, tt.supernode_count(), "core fully covered");
+        assert!(total >= outcome.traffic_cost, "access link charged");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn rejects_all_supernodes() {
+        let (oracle, hosts) = world();
+        let mut rng = StdRng::seed_from_u64(12);
+        TwoTierNetwork::build(
+            hosts,
+            &TwoTierConfig { supernode_fraction: 1.0, ..TwoTierConfig::default() },
+            &oracle,
+            &mut rng,
+        );
+    }
+}

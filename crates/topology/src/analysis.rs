@@ -1,0 +1,310 @@
+//! Structural analysis of generated topologies.
+//!
+//! The paper relies on its generated graphs having power-law degree
+//! distributions and small-world properties (short paths, clustering).
+//! This module measures those properties so the substrate can be validated
+//! instead of assumed.
+
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::sssp;
+
+/// Histogram of node degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.nodes().map(|n| g.degree(n)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for n in g.nodes() {
+        hist[g.degree(n)] += 1;
+    }
+    hist
+}
+
+/// Average node degree (`2m / n`); 0 for empty graphs.
+pub fn average_degree(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        0.0
+    } else {
+        2.0 * g.edge_count() as f64 / g.node_count() as f64
+    }
+}
+
+/// Fits a power-law exponent to the degree distribution by least-squares
+/// regression on the log–log complementary CDF. Returns `None` when the
+/// graph has fewer than 3 distinct degrees.
+///
+/// For Barabási–Albert graphs the CCDF slope is ≈ −2 (density exponent
+/// ≈ 3), so this returns roughly `2.0`; Erdős–Rényi graphs produce much
+/// steeper slopes at the tail.
+pub fn power_law_exponent(g: &Graph) -> Option<f64> {
+    let hist = degree_histogram(g);
+    let n: usize = hist.iter().sum();
+    if n == 0 {
+        return None;
+    }
+    // Complementary CDF: P(D >= d).
+    let mut pts: Vec<(f64, f64)> = Vec::new();
+    let mut tail = n;
+    for (d, &cnt) in hist.iter().enumerate() {
+        if d >= 1 && tail > 0 {
+            pts.push(((d as f64).ln(), (tail as f64 / n as f64).ln()));
+        }
+        tail -= cnt;
+    }
+    if pts.len() < 3 {
+        return None;
+    }
+    let m = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = m * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (m * sxy - sx * sy) / denom;
+    Some(-slope) // CCDF slope is -(alpha - 1); report alpha - 1 magnitude
+}
+
+/// Local clustering coefficient of one node: fraction of neighbor pairs
+/// that are themselves connected (0 for degree < 2).
+pub fn local_clustering(g: &Graph, n: NodeId) -> f64 {
+    let nbrs: Vec<NodeId> = g.neighbors(n).iter().map(|&(v, _)| v).collect();
+    if nbrs.len() < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..nbrs.len() {
+        for j in (i + 1)..nbrs.len() {
+            if g.has_edge(nbrs[i], nbrs[j]) {
+                closed += 1;
+            }
+        }
+    }
+    let pairs = nbrs.len() * (nbrs.len() - 1) / 2;
+    closed as f64 / pairs as f64
+}
+
+/// Average clustering coefficient over a random sample of `samples` nodes
+/// (all nodes when `samples >= n`).
+pub fn clustering_coefficient<R: Rng + ?Sized>(g: &Graph, samples: usize, rng: &mut R) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let picks: Vec<NodeId> = if samples >= n {
+        g.nodes().collect()
+    } else {
+        (0..samples).map(|_| NodeId::new(rng.gen_range(0..n as u32))).collect()
+    };
+    let sum: f64 = picks.iter().map(|&v| local_clustering(g, v)).sum();
+    sum / picks.len() as f64
+}
+
+/// Average shortest-path *hop count* between `samples` random reachable
+/// pairs (small-world graphs have `O(log n)` values).
+pub fn average_path_hops<R: Rng + ?Sized>(g: &Graph, samples: usize, rng: &mut R) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for _ in 0..samples.max(1) {
+        let s = NodeId::new(rng.gen_range(0..n as u32));
+        let hops = sssp::bfs_hops(g, s);
+        let t = rng.gen_range(0..n as u32) as usize;
+        if hops[t] != u32::MAX && t != s.index() {
+            total += u64::from(hops[t]);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+/// Average shortest-path *delay* between `samples` random reachable pairs.
+pub fn average_path_delay<R: Rng + ?Sized>(g: &Graph, samples: usize, rng: &mut R) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for _ in 0..samples.max(1) {
+        let s = NodeId::new(rng.gen_range(0..n as u32));
+        let d = sssp::dijkstra(g, s);
+        let t = rng.gen_range(0..n as u32) as usize;
+        if d[t] != sssp::UNREACHABLE && t != s.index() {
+            total += u64::from(d[t]);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+/// Degree assortativity coefficient (Pearson correlation of endpoint
+/// degrees over edges). BA graphs are slightly disassortative (hubs link
+/// to leaves); measured Internet graphs strongly so.
+///
+/// Returns `None` for graphs with fewer than 2 edges or zero variance.
+pub fn assortativity(g: &Graph) -> Option<f64> {
+    let edges: Vec<(f64, f64)> = g
+        .edges()
+        .map(|e| (g.degree(e.a) as f64, g.degree(e.b) as f64))
+        .collect();
+    if edges.len() < 2 {
+        return None;
+    }
+    // Symmetrize: count each edge in both directions.
+    let m = (edges.len() * 2) as f64;
+    let (mut sx, mut sy, mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(a, b) in &edges {
+        for (x, y) in [(a, b), (b, a)] {
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sxx += x * x;
+            syy += y * y;
+        }
+    }
+    let cov = sxy / m - (sx / m) * (sy / m);
+    let vx = sxx / m - (sx / m) * (sx / m);
+    let vy = syy / m - (sy / m) * (sy / m);
+    if vx <= 1e-12 || vy <= 1e-12 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Lower-bound estimate of the hop diameter via a double BFS sweep.
+pub fn diameter_estimate(g: &Graph) -> u32 {
+    if g.node_count() == 0 {
+        return 0;
+    }
+    let h0 = sssp::bfs_hops(g, NodeId::new(0));
+    let far = h0
+        .iter()
+        .enumerate()
+        .filter(|&(_, &h)| h != u32::MAX)
+        .max_by_key(|&(_, &h)| h)
+        .map(|(i, _)| NodeId::new(i as u32))
+        .unwrap_or(NodeId::new(0));
+    let h1 = sssp::bfs_hops(g, far);
+    h1.iter().copied().filter(|&h| h != u32::MAX).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{ba, gnm, watts_strogatz, BaConfig, DelayModel, GnmConfig, WattsStrogatzConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn histogram_and_average_degree() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        g.add_edge(NodeId::new(0), NodeId::new(2), 1).unwrap();
+        g.add_edge(NodeId::new(0), NodeId::new(3), 1).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 3, 0, 1]);
+        assert!((average_degree(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1).unwrap();
+        g.add_edge(NodeId::new(0), NodeId::new(2), 1).unwrap();
+        for v in g.nodes() {
+            assert!((local_clustering(&g, v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ba_is_heavy_tailed_vs_gnm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bag = ba(&BaConfig { nodes: 3000, ..BaConfig::default() }, &mut rng);
+        let gg = gnm(
+            &GnmConfig { nodes: 3000, edges: bag.edge_count(), delays: DelayModel::Constant(1) },
+            &mut rng,
+        );
+        let ba_max = bag.nodes().map(|n| bag.degree(n)).max().unwrap();
+        let gnm_max = gg.nodes().map(|n| gg.degree(n)).max().unwrap();
+        assert!(ba_max > 3 * gnm_max, "BA max {ba_max} vs GNM max {gnm_max}");
+    }
+
+    #[test]
+    fn ba_power_law_fit_is_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = ba(&BaConfig { nodes: 5000, ..BaConfig::default() }, &mut rng);
+        let e = power_law_exponent(&g).unwrap();
+        // CCDF slope magnitude for BA is ~2; accept a generous band.
+        assert!((1.0..=3.5).contains(&e), "exponent {e}");
+    }
+
+    #[test]
+    fn small_world_graphs_have_short_paths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = ba(&BaConfig { nodes: 4000, ..BaConfig::default() }, &mut rng);
+        let l = average_path_hops(&g, 100, &mut rng);
+        assert!(l < 8.0, "avg hops {l}"); // log-ish in n
+        assert!(diameter_estimate(&g) < 20);
+    }
+
+    #[test]
+    fn ws_clusters_more_than_random() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ws = watts_strogatz(
+            &WattsStrogatzConfig { nodes: 1000, k: 4, beta: 0.05, delays: DelayModel::Constant(1) },
+            &mut rng,
+        );
+        let er = gnm(
+            &GnmConfig { nodes: 1000, edges: ws.edge_count(), delays: DelayModel::Constant(1) },
+            &mut rng,
+        );
+        let c_ws = clustering_coefficient(&ws, 300, &mut rng);
+        let c_er = clustering_coefficient(&er, 300, &mut rng);
+        assert!(c_ws > 5.0 * c_er, "WS {c_ws} vs ER {c_er}");
+    }
+
+    #[test]
+    fn assortativity_signs_are_sensible() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // A star is maximally disassortative.
+        let mut star = Graph::new(10);
+        for i in 1..10 {
+            star.add_edge(NodeId::new(0), NodeId::new(i), 1).unwrap();
+        }
+        let star_r = assortativity(&star).unwrap();
+        assert!((star_r + 1.0).abs() < 1e-9, "star is perfectly disassortative: {star_r}");
+        // BA graphs trend disassortative; a ring is degree-regular (None).
+        let bag = ba(&BaConfig { nodes: 2000, ..BaConfig::default() }, &mut rng);
+        let r = assortativity(&bag).unwrap();
+        assert!(r < 0.05, "BA assortativity {r}");
+        let mut ring = Graph::new(16);
+        for i in 0..16u32 {
+            ring.add_edge(NodeId::new(i), NodeId::new((i + 1) % 16), 1).unwrap();
+        }
+        assert_eq!(assortativity(&ring), None);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::new(0);
+        assert_eq!(degree_histogram(&g), vec![0]);
+        assert_eq!(average_degree(&g), 0.0);
+        assert_eq!(power_law_exponent(&g), None);
+        assert_eq!(diameter_estimate(&g), 0);
+    }
+}

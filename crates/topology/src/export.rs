@@ -1,0 +1,121 @@
+//! Graph export for external tooling (Graphviz, gnuplot, NetworkX).
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+
+/// Renders the graph in Graphviz DOT format (undirected, weights as edge
+/// labels). Suitable for small graphs — Graphviz itself chokes past a few
+/// thousand edges.
+///
+/// # Examples
+///
+/// ```
+/// use ace_topology::{export, Graph, NodeId};
+/// let mut g = Graph::new(2);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 7).unwrap();
+/// let dot = export::to_dot(&g, "world");
+/// assert!(dot.contains("graph world {"));
+/// assert!(dot.contains("n0 -- n1 [label=7]"));
+/// ```
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=9];");
+    for e in g.edges() {
+        let _ = writeln!(out, "  n{} -- n{} [label={}];", e.a.index(), e.b.index(), e.weight);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whitespace-separated edge list (`a b weight` per line) — the
+/// lingua franca of graph tooling.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {} {}", e.a.index(), e.b.index(), e.weight);
+    }
+    out
+}
+
+/// Parses a whitespace-separated edge list back into a [`Graph`].
+///
+/// Node count is inferred from the largest endpoint index.
+///
+/// # Errors
+///
+/// Returns a line-tagged message on malformed input or invalid edges
+/// (self-loops, duplicates, zero weights).
+pub fn from_edge_list(text: &str) -> Result<Graph, String> {
+    let mut edges = Vec::new();
+    let mut max_node = 0u32;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u32, String> {
+            tok.ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+                .parse::<u32>()
+                .map_err(|_| format!("line {}: invalid {what}", lineno + 1))
+        };
+        let a = parse(it.next(), "source")?;
+        let b = parse(it.next(), "target")?;
+        let w = parse(it.next(), "weight")?;
+        max_node = max_node.max(a).max(b);
+        edges.push((a, b, w));
+    }
+    let mut g = Graph::new(max_node as usize + 1);
+    for (a, b, w) in edges {
+        g.add_edge(crate::NodeId::new(a), crate::NodeId::new(b), w)
+            .map_err(|e| format!("edge {a}-{b}: {e}"))?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 5).unwrap();
+        g.add_edge(NodeId::new(1), NodeId::new(2), 9).unwrap();
+        g
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let dot = to_dot(&sample(), "g");
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.contains("n0 -- n1 [label=5]"));
+        assert!(dot.contains("n1 -- n2 [label=9]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edge_list_round_trips() {
+        let g = sample();
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.edge_weight(NodeId::new(1), NodeId::new(2)), Some(9));
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blanks() {
+        let g = from_edge_list("# header\n\n0 1 3\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_list_reports_bad_lines() {
+        assert!(from_edge_list("0 1").unwrap_err().contains("line 1"));
+        assert!(from_edge_list("0 x 3").unwrap_err().contains("invalid target"));
+        assert!(from_edge_list("0 0 3").unwrap_err().contains("self loop"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Internet-like physical topology generators.
+//!
+//! The paper generates physical topologies with BRITE using the
+//! Barabási–Albert (BA) model, which produces graphs with power-law degree
+//! distributions and small-world path lengths. This module re-implements
+//! that model plus several classical alternatives used by tests and
+//! ablations:
+//!
+//! * [`ba`] — Barabási–Albert preferential attachment (the paper's model);
+//! * [`waxman`] — Waxman random geometric graphs with distance-derived delays;
+//! * [`gnm`]/[`watts_strogatz`] — Erdős–Rényi `G(n,m)` and Watts–Strogatz small-world graphs;
+//! * [`two_level`] — a two-level AS/router hierarchy with short intra-AS
+//!   and long inter-AS delays (the "MSU vs. Tsinghua" structure of the
+//!   paper's Figure 2).
+//!
+//! All generators guarantee a connected result and take an explicit RNG so
+//! that experiments are reproducible from a seed.
+
+mod ba;
+mod random;
+mod transit_stub;
+mod two_level;
+mod waxman;
+
+pub use ba::{ba, BaConfig};
+pub use random::{gnm, watts_strogatz, GnmConfig, WattsStrogatzConfig};
+pub use transit_stub::{transit_stub, RouterTier, TransitStubConfig, TransitStubTopology};
+pub use two_level::{two_level, TwoLevelConfig, TwoLevelTopology};
+pub use waxman::{waxman, WaxmanConfig};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Delay;
+
+/// How link delays are assigned by non-geometric generators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// Every link gets the same delay.
+    Constant(Delay),
+    /// Delays drawn uniformly from `lo..=hi` (both positive).
+    Uniform {
+        /// Inclusive lower bound (>= 1).
+        lo: Delay,
+        /// Inclusive upper bound (>= lo).
+        hi: Delay,
+    },
+}
+
+impl Default for DelayModel {
+    /// Uniform 1–40 tenths of a millisecond (0.1–4 ms), a typical LAN/MAN
+    /// link range.
+    fn default() -> Self {
+        DelayModel::Uniform { lo: 1, hi: 40 }
+    }
+}
+
+impl DelayModel {
+    /// Draws one link delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is invalid (`lo == 0` or `lo > hi`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Delay {
+        match *self {
+            DelayModel::Constant(d) => {
+                assert!(d > 0, "constant delay must be positive");
+                d
+            }
+            DelayModel::Uniform { lo, hi } => {
+                assert!(lo > 0 && lo <= hi, "invalid uniform delay range {lo}..={hi}");
+                rng.gen_range(lo..=hi)
+            }
+        }
+    }
+
+    /// A representative value used for bridging edges added to guarantee
+    /// connectivity.
+    pub fn typical(&self) -> Delay {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { lo, hi } => (lo + hi) / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = DelayModel::Uniform { lo: 5, hi: 9 };
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!((5..=9).contains(&d));
+        }
+        assert_eq!(m.typical(), 7);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = DelayModel::Constant(3);
+        assert_eq!(m.sample(&mut rng), 3);
+        assert_eq!(m.typical(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform delay range")]
+    fn uniform_rejects_zero_lo() {
+        let mut rng = StdRng::seed_from_u64(7);
+        DelayModel::Uniform { lo: 0, hi: 4 }.sample(&mut rng);
+    }
+}

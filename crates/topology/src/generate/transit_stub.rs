@@ -1,0 +1,217 @@
+//! GT-ITM-style transit-stub topologies.
+//!
+//! The classic three-tier Internet model of the paper's era: a small core
+//! of *transit* domains interconnects many *stub* domains hanging off
+//! transit routers. Delays come in three tiers (intra-stub < stub-transit
+//! < transit-transit), giving an even sharper locality structure than the
+//! two-level model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use super::{gnm, DelayModel, GnmConfig};
+use crate::graph::{Graph, NodeId};
+
+/// Parameters for the [`transit_stub`] generator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TransitStubConfig {
+    /// Number of transit domains (>= 1).
+    pub transit_domains: usize,
+    /// Routers per transit domain (>= 2).
+    pub transit_size: usize,
+    /// Stub domains attached to each transit router (>= 1).
+    pub stubs_per_transit_node: usize,
+    /// Routers per stub domain (>= 2).
+    pub stub_size: usize,
+    /// Delays of transit-transit links (slowest tier).
+    pub transit_delays: DelayModel,
+    /// Delays of stub-transit access links (middle tier).
+    pub access_delays: DelayModel,
+    /// Delays inside stub domains (fastest tier).
+    pub stub_delays: DelayModel,
+}
+
+impl Default for TransitStubConfig {
+    /// 2 transit domains × 4 routers, 3 stubs of 8 routers per transit
+    /// router — 2×4×(1 + 3×8) = 200 routers.
+    fn default() -> Self {
+        TransitStubConfig {
+            transit_domains: 2,
+            transit_size: 4,
+            stubs_per_transit_node: 3,
+            stub_size: 8,
+            transit_delays: DelayModel::Uniform { lo: 200, hi: 500 },
+            access_delays: DelayModel::Uniform { lo: 20, hi: 80 },
+            stub_delays: DelayModel::Uniform { lo: 1, hi: 10 },
+        }
+    }
+}
+
+/// Router role in a transit-stub topology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RouterTier {
+    /// Backbone transit router.
+    Transit,
+    /// Stub-domain router.
+    Stub,
+}
+
+/// A generated transit-stub topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransitStubTopology {
+    /// The flat router graph.
+    pub graph: Graph,
+    /// Per-router tier, parallel to node ids.
+    pub tier: Vec<RouterTier>,
+}
+
+impl TransitStubTopology {
+    /// Tier of a router.
+    pub fn tier_of(&self, node: NodeId) -> RouterTier {
+        self.tier[node.index()]
+    }
+
+    /// Iterator over stub routers (where peers typically live).
+    pub fn stub_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes().filter(|&n| self.tier_of(n) == RouterTier::Stub)
+    }
+}
+
+/// Generates a connected transit-stub topology.
+///
+/// Transit domains are dense random graphs, fully interconnected at the
+/// domain level through random gateway routers; every transit router
+/// anchors `stubs_per_transit_node` stub domains (random connected
+/// subgraphs) through one access link each.
+///
+/// # Panics
+///
+/// Panics if any size parameter is below its documented minimum.
+pub fn transit_stub<R: Rng + ?Sized>(cfg: &TransitStubConfig, rng: &mut R) -> TransitStubTopology {
+    assert!(cfg.transit_domains >= 1, "need at least one transit domain");
+    assert!(cfg.transit_size >= 2, "transit domains need at least 2 routers");
+    assert!(cfg.stubs_per_transit_node >= 1, "each transit router anchors a stub");
+    assert!(cfg.stub_size >= 2, "stub domains need at least 2 routers");
+
+    let per_transit_router = 1 + cfg.stubs_per_transit_node * cfg.stub_size;
+    let total =
+        cfg.transit_domains * cfg.transit_size * per_transit_router;
+    let mut g = Graph::new(total);
+    let mut tier = vec![RouterTier::Stub; total];
+
+    // Layout: for each transit domain, its routers first, then its stubs.
+    let mut transit_ids: Vec<Vec<NodeId>> = Vec::new();
+    let mut next = 0usize;
+    for _ in 0..cfg.transit_domains {
+        let routers: Vec<NodeId> =
+            (0..cfg.transit_size).map(|i| NodeId::new((next + i) as u32)).collect();
+        for &r in &routers {
+            tier[r.index()] = RouterTier::Transit;
+        }
+        next += cfg.transit_size;
+        // Dense intra-transit mesh: ring + random chords.
+        for i in 0..routers.len() {
+            let a = routers[i];
+            let b = routers[(i + 1) % routers.len()];
+            let _ = g.add_edge(a, b, cfg.transit_delays.sample(rng));
+        }
+        for _ in 0..cfg.transit_size {
+            let a = routers[rng.gen_range(0..routers.len())];
+            let b = routers[rng.gen_range(0..routers.len())];
+            if a != b {
+                let _ = g.add_edge(a, b, cfg.transit_delays.sample(rng));
+            }
+        }
+        // Stub domains per transit router.
+        for &anchor in &routers {
+            for _ in 0..cfg.stubs_per_transit_node {
+                let stub = gnm(
+                    &GnmConfig {
+                        nodes: cfg.stub_size,
+                        edges: cfg.stub_size + cfg.stub_size / 2,
+                        delays: cfg.stub_delays,
+                    },
+                    rng,
+                );
+                let base = next;
+                for e in stub.edges() {
+                    g.add_edge(
+                        NodeId::new((base + e.a.index()) as u32),
+                        NodeId::new((base + e.b.index()) as u32),
+                        e.weight,
+                    )
+                    .expect("stub domains are disjoint");
+                }
+                // One access link from a random stub router to the anchor.
+                let gateway = NodeId::new((base + rng.gen_range(0..cfg.stub_size)) as u32);
+                g.add_edge(anchor, gateway, cfg.access_delays.sample(rng))
+                    .expect("access link is new");
+                next += cfg.stub_size;
+            }
+        }
+        transit_ids.push(routers);
+    }
+
+    // Interconnect transit domains (full mesh at the domain level).
+    for i in 0..transit_ids.len() {
+        for j in (i + 1)..transit_ids.len() {
+            let a = transit_ids[i][rng.gen_range(0..cfg.transit_size)];
+            let b = transit_ids[j][rng.gen_range(0..cfg.transit_size)];
+            let _ = g.add_edge(a, b, cfg.transit_delays.sample(rng));
+        }
+    }
+
+    debug_assert!(g.is_connected());
+    TransitStubTopology { graph: g, tier }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> TransitStubTopology {
+        let mut rng = StdRng::seed_from_u64(33);
+        transit_stub(&TransitStubConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn structure_and_connectivity() {
+        let t = build();
+        assert_eq!(t.graph.node_count(), 200);
+        assert!(t.graph.is_connected());
+        let transit = t.graph.nodes().filter(|&n| t.tier_of(n) == RouterTier::Transit).count();
+        assert_eq!(transit, 8);
+        assert_eq!(t.stub_nodes().count(), 192);
+    }
+
+    #[test]
+    fn stub_paths_are_fast_transit_paths_slow() {
+        let t = build();
+        // Two routers inside the first stub domain vs across transit.
+        let d = crate::sssp::dijkstra(&t.graph, NodeId::new(4)); // first stub router
+        let same_stub = (5..12).map(|i| d[i]).min().unwrap();
+        let far = *d.iter().max().unwrap();
+        assert!(far > 10 * same_stub, "far {far} vs near {same_stub}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a_rng = StdRng::seed_from_u64(1);
+        let mut b_rng = StdRng::seed_from_u64(1);
+        let a = transit_stub(&TransitStubConfig::default(), &mut a_rng);
+        let b = transit_stub(&TransitStubConfig::default(), &mut b_rng);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 routers")]
+    fn rejects_tiny_transit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        transit_stub(&TransitStubConfig { transit_size: 1, ..TransitStubConfig::default() }, &mut rng);
+    }
+}

@@ -1,0 +1,143 @@
+//! Waxman random geometric graphs (BRITE's other classical model).
+//!
+//! Nodes are placed uniformly on a plane; the probability of a link between
+//! two nodes decays exponentially with their Euclidean distance, and link
+//! delay is proportional to that distance — giving a physically meaningful
+//! notion of "close" and "far" hosts.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Delay, Graph, NodeId};
+
+/// Parameters for the [`waxman`] generator.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WaxmanConfig {
+    /// Number of nodes (>= 2).
+    pub nodes: usize,
+    /// Waxman `alpha` — overall link density, in `(0, 1]`.
+    pub alpha: f64,
+    /// Waxman `beta` — locality: small values favor short links, in `(0, 1]`.
+    pub beta: f64,
+    /// Side length of the square placement plane.
+    pub plane: f64,
+    /// Delay per unit of Euclidean distance (delay = `ceil(dist * scale)`,
+    /// at least 1).
+    pub delay_scale: f64,
+}
+
+impl Default for WaxmanConfig {
+    fn default() -> Self {
+        WaxmanConfig { nodes: 500, alpha: 0.15, beta: 0.25, plane: 1000.0, delay_scale: 0.1 }
+    }
+}
+
+/// Generates a connected Waxman graph, returning the graph and the node
+/// coordinates used (for geometric analyses).
+///
+/// Each unordered pair `(u,v)` is linked with probability
+/// `alpha * exp(-d(u,v) / (beta * L))` where `L` is the plane diagonal.
+/// Disconnected results are bridged with edges weighted by actual distance.
+///
+/// Pair enumeration is `O(n^2)`; intended for topologies up to a few
+/// thousand nodes (use [`super::ba`] for the paper-scale runs).
+///
+/// # Panics
+///
+/// Panics if parameters fall outside the documented ranges.
+pub fn waxman<R: Rng + ?Sized>(cfg: &WaxmanConfig, rng: &mut R) -> (Graph, Vec<(f64, f64)>) {
+    assert!(cfg.nodes >= 2, "need at least two nodes");
+    assert!(cfg.alpha > 0.0 && cfg.alpha <= 1.0, "alpha in (0,1]");
+    assert!(cfg.beta > 0.0 && cfg.beta <= 1.0, "beta in (0,1]");
+    assert!(cfg.plane > 0.0 && cfg.delay_scale > 0.0, "plane and delay_scale positive");
+
+    let coords: Vec<(f64, f64)> = (0..cfg.nodes)
+        .map(|_| (rng.gen_range(0.0..cfg.plane), rng.gen_range(0.0..cfg.plane)))
+        .collect();
+    let diag = cfg.plane * std::f64::consts::SQRT_2;
+    let delay_of = |d: f64| -> Delay { (d * cfg.delay_scale).ceil().max(1.0) as Delay };
+
+    let mut g = Graph::new(cfg.nodes);
+    for i in 0..cfg.nodes {
+        for j in (i + 1)..cfg.nodes {
+            let (xi, yi) = coords[i];
+            let (xj, yj) = coords[j];
+            let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+            let p = cfg.alpha * (-d / (cfg.beta * diag)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(NodeId::new(i as u32), NodeId::new(j as u32), delay_of(d))
+                    .expect("pairs visited once");
+            }
+        }
+    }
+
+    // Bridge any disconnected components with distance-true edges.
+    loop {
+        let comps = g.components();
+        if comps.len() <= 1 {
+            break;
+        }
+        let (a, b) = (comps[0][0], comps[1][0]);
+        let (xa, ya) = coords[a.index()];
+        let (xb, yb) = coords[b.index()];
+        let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+        g.add_edge(a, b, delay_of(d)).expect("components are disjoint");
+    }
+    (g, coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn connected_with_coords() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (g, coords) = waxman(&WaxmanConfig { nodes: 150, ..WaxmanConfig::default() }, &mut rng);
+        assert_eq!(g.node_count(), 150);
+        assert_eq!(coords.len(), 150);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn delays_track_distance() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = WaxmanConfig { nodes: 200, alpha: 0.4, beta: 0.4, ..WaxmanConfig::default() };
+        let (g, coords) = waxman(&cfg, &mut rng);
+        for e in g.edges() {
+            let (xa, ya) = coords[e.a.index()];
+            let (xb, yb) = coords[e.b.index()];
+            let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+            let want = (d * cfg.delay_scale).ceil().max(1.0) as u32;
+            assert_eq!(e.weight, want);
+        }
+    }
+
+    #[test]
+    fn locality_prefers_short_links() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Tight beta: edges should be much shorter than the plane diagonal.
+        let cfg = WaxmanConfig { nodes: 300, alpha: 0.9, beta: 0.05, ..WaxmanConfig::default() };
+        let (g, coords) = waxman(&cfg, &mut rng);
+        let mut lens: Vec<f64> = g
+            .edges()
+            .map(|e| {
+                let (xa, ya) = coords[e.a.index()];
+                let (xb, yb) = coords[e.b.index()];
+                ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt()
+            })
+            .collect();
+        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = lens[lens.len() / 2];
+        assert!(median < 0.25 * cfg.plane, "median edge length {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0,1]")]
+    fn rejects_bad_alpha() {
+        let mut rng = StdRng::seed_from_u64(0);
+        waxman(&WaxmanConfig { alpha: 1.5, ..WaxmanConfig::default() }, &mut rng);
+    }
+}

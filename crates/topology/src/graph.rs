@@ -1,0 +1,403 @@
+//! Undirected weighted graph used to model the physical (underlying) network.
+//!
+//! The graph is deliberately simple and dense-friendly: node identifiers are
+//! compact `u32` indices wrapped in [`NodeId`], adjacency is stored per node,
+//! and edge weights are integer delay units (see [`crate::Delay`]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in a physical-network [`Graph`].
+///
+/// `NodeId`s are dense indices in `0..graph.node_count()`.
+///
+/// # Examples
+///
+/// ```
+/// use ace_topology::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index as `usize` (for indexing into per-node arrays).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as `u32`.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Integer link delay / cost, in tenths of a millisecond.
+///
+/// All traffic-cost accounting in the reproduction is expressed in these
+/// units so that query traffic and optimization overhead are directly
+/// comparable, as in the paper's gain/penalty ratio.
+pub type Delay = u32;
+
+/// A single undirected edge with its weight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint (always the smaller id after normalization).
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Link delay in tenths of a millisecond.
+    pub weight: Delay,
+}
+
+/// An undirected, weighted physical-network graph.
+///
+/// Parallel edges and self-loops are rejected at construction time; edge
+/// weights must be strictly positive so that shortest-path distances form a
+/// metric on connected graphs.
+///
+/// # Examples
+///
+/// ```
+/// use ace_topology::{Graph, NodeId};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 5).unwrap();
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 7).unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, Delay)>>,
+    edge_count: usize,
+}
+
+/// Error produced when inserting an invalid edge into a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeError {
+    /// An endpoint index is out of `0..node_count`.
+    NodeOutOfRange(NodeId),
+    /// Both endpoints are the same node.
+    SelfLoop(NodeId),
+    /// The edge already exists.
+    Duplicate(NodeId, NodeId),
+    /// The weight is zero (weights must be strictly positive).
+    ZeroWeight,
+}
+
+impl fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeError::NodeOutOfRange(n) => write!(f, "node {n} out of range"),
+            EdgeError::SelfLoop(n) => write!(f, "self loop at {n}"),
+            EdgeError::Duplicate(a, b) => write!(f, "duplicate edge {a}-{b}"),
+            EdgeError::ZeroWeight => write!(f, "edge weight must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId::new)
+    }
+
+    /// Appends one isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId::new((self.adj.len() - 1) as u32)
+    }
+
+    /// Adds the undirected edge `a-b` with the given positive `weight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EdgeError`] if an endpoint is out of range, `a == b`,
+    /// the edge already exists, or `weight == 0`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: Delay) -> Result<(), EdgeError> {
+        if a.index() >= self.adj.len() {
+            return Err(EdgeError::NodeOutOfRange(a));
+        }
+        if b.index() >= self.adj.len() {
+            return Err(EdgeError::NodeOutOfRange(b));
+        }
+        if a == b {
+            return Err(EdgeError::SelfLoop(a));
+        }
+        if weight == 0 {
+            return Err(EdgeError::ZeroWeight);
+        }
+        if self.has_edge(a, b) {
+            return Err(EdgeError::Duplicate(a, b));
+        }
+        self.adj[a.index()].push((b, weight));
+        self.adj[b.index()].push((a, weight));
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Returns true if the undirected edge `a-b` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a.index() >= self.adj.len() {
+            return false;
+        }
+        // Scan the smaller adjacency list.
+        let (probe, target) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[probe.index()].iter().any(|&(n, _)| n == target)
+    }
+
+    /// Returns the weight of edge `a-b`, if present.
+    pub fn edge_weight(&self, a: NodeId, b: NodeId) -> Option<Delay> {
+        self.adj.get(a.index())?.iter().find(|&&(n, _)| n == b).map(|&(_, w)| w)
+    }
+
+    /// Neighbors of `n` with the connecting edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, Delay)] {
+        &self.adj[n.index()]
+    }
+
+    /// Degree of `n` (0 for out-of-range ids).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj.get(n.index()).map_or(0, Vec::len)
+    }
+
+    /// Iterates over every undirected edge exactly once (with `a < b`).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, nbrs)| {
+            let a = NodeId::new(i as u32);
+            nbrs.iter()
+                .filter(move |&&(b, _)| a < b)
+                .map(move |&(b, weight)| Edge { a, b, weight })
+        })
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.edges().map(|e| u64::from(e.weight)) .sum()
+    }
+
+    /// Returns true if every node is reachable from node 0 (empty and
+    /// single-node graphs count as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        self.component_of(NodeId::new(0)).len() == n
+    }
+
+    /// Returns the set of nodes reachable from `start` (including `start`).
+    pub fn component_of(&self, start: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        seen[start.index()] = true;
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            for &(v, _) in &self.adj[u.index()] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits the graph into connected components (each a sorted node list).
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.node_count()];
+        let mut comps = Vec::new();
+        for s in self.nodes() {
+            if seen[s.index()] {
+                continue;
+            }
+            let mut comp = self.component_of(s);
+            for n in &comp {
+                seen[n.index()] = true;
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Connects all components into one by adding an edge of weight
+    /// `bridge_weight` between a representative of each component and a
+    /// representative of the largest component. Returns how many edges were
+    /// added. Used by generators to guarantee connectivity.
+    pub fn connect_components(&mut self, bridge_weight: Delay) -> usize {
+        let mut comps = self.components();
+        if comps.len() <= 1 {
+            return 0;
+        }
+        comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let anchor = comps[0][0];
+        let mut added = 0;
+        for comp in &comps[1..] {
+            // `comp` is disjoint from the anchor component, so this cannot fail.
+            self.add_edge(anchor, comp[0], bridge_weight)
+                .expect("bridging edge between distinct components");
+            added += 1;
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> Graph {
+        let mut g = Graph::new(n as usize);
+        for i in 1..n {
+            g.add_edge(NodeId::new(i - 1), NodeId::new(i), i).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = Graph::new(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn add_edge_rejects_invalid() {
+        let mut g = Graph::new(2);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(g.add_edge(a, a, 1), Err(EdgeError::SelfLoop(a)));
+        assert_eq!(g.add_edge(a, b, 0), Err(EdgeError::ZeroWeight));
+        assert_eq!(
+            g.add_edge(a, NodeId::new(9), 1),
+            Err(EdgeError::NodeOutOfRange(NodeId::new(9)))
+        );
+        g.add_edge(a, b, 3).unwrap();
+        assert_eq!(g.add_edge(b, a, 4), Err(EdgeError::Duplicate(b, a)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_weight_is_symmetric() {
+        let g = path_graph(3);
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(1));
+        assert_eq!(g.edge_weight(NodeId::new(1), NodeId::new(0)), Some(1));
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = path_graph(5);
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.iter().all(|e| e.a < e.b));
+        assert_eq!(g.total_weight(), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn components_and_bridging() {
+        let mut g = Graph::new(6);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(3), 1).unwrap();
+        // node 4, 5 isolated
+        let comps = g.components();
+        assert_eq!(comps.len(), 4);
+        assert!(!g.is_connected());
+        let added = g.connect_components(9);
+        assert_eq!(added, 3);
+        assert!(g.is_connected());
+        assert_eq!(g.components().len(), 1);
+    }
+
+    #[test]
+    fn degree_counts_incident_edges() {
+        let mut g = Graph::new(4);
+        let c = NodeId::new(0);
+        for i in 1..4 {
+            g.add_edge(c, NodeId::new(i), 2).unwrap();
+        }
+        assert_eq!(g.degree(c), 3);
+        assert_eq!(g.degree(NodeId::new(1)), 1);
+        assert_eq!(g.degree(NodeId::new(99)), 0);
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut g = path_graph(2);
+        let n = g.add_node();
+        assert_eq!(n, NodeId::new(2));
+        assert_eq!(g.node_count(), 3);
+        g.add_edge(NodeId::new(1), n, 7).unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn component_of_reports_reachable_set() {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1).unwrap();
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1).unwrap();
+        let mut comp = g.component_of(NodeId::new(0));
+        comp.sort_unstable();
+        assert_eq!(comp, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+}

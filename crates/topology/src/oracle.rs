@@ -1,0 +1,269 @@
+//! Distance oracles over the physical graph.
+//!
+//! [`DistanceOracle`] memoizes full Dijkstra distance vectors per source so
+//! that repeated overlay-link cost queries (the hot path of every
+//! experiment) are `O(1)` after the first hit. [`LandmarkOracle`] implements
+//! the landmark/"global soft state" estimation scheme the paper contrasts
+//! ACE against, used by the landmark ablation experiment.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::graph::{Delay, Graph, NodeId};
+use crate::sssp;
+
+/// A caching exact distance oracle.
+///
+/// Thread-safe: the cache is guarded by a mutex and distance vectors are
+/// shared via `Arc`, so experiment harnesses can query one oracle from many
+/// worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use ace_topology::{Graph, NodeId, DistanceOracle};
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 2).unwrap();
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 3).unwrap();
+/// let oracle = DistanceOracle::new(g);
+/// assert_eq!(oracle.distance(NodeId::new(0), NodeId::new(2)), 5);
+/// assert_eq!(oracle.cached_sources(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DistanceOracle {
+    graph: Arc<Graph>,
+    cache: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// `Some(vec)` once the row for that source has been computed.
+    rows: Vec<Option<Arc<Vec<Delay>>>>,
+    /// Insertion order for FIFO eviction.
+    order: std::collections::VecDeque<u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DistanceOracle {
+    /// Default maximum number of cached source rows.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Wraps `graph` with an unbounded-ish cache (capacity
+    /// [`Self::DEFAULT_CAPACITY`] rows).
+    pub fn new(graph: Graph) -> Self {
+        Self::with_capacity(graph, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Wraps `graph` with a cache of at most `capacity` source rows
+    /// (`capacity >= 1`; FIFO eviction).
+    pub fn with_capacity(graph: Graph, capacity: usize) -> Self {
+        let n = graph.node_count();
+        DistanceOracle {
+            graph: Arc::new(graph),
+            cache: Mutex::new(CacheInner {
+                rows: vec![None; n],
+                order: std::collections::VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The underlying physical graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Shortest-path delay between `a` and `b` ([`sssp::UNREACHABLE`] when
+    /// disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Delay {
+        if a == b {
+            return 0;
+        }
+        self.distances_from(a)[b.index()]
+    }
+
+    /// Full distance row from `src`, computing and caching it on first use.
+    pub fn distances_from(&self, src: NodeId) -> Arc<Vec<Delay>> {
+        {
+            let mut c = self.cache.lock();
+            if let Some(row) = c.rows[src.index()].clone() {
+                c.hits += 1;
+                return row;
+            }
+            c.misses += 1;
+        }
+        // Compute outside the lock so parallel misses don't serialize.
+        let row = Arc::new(sssp::dijkstra(&self.graph, src));
+        let mut c = self.cache.lock();
+        if c.rows[src.index()].is_none() {
+            while c.order.len() >= self.capacity {
+                if let Some(old) = c.order.pop_front() {
+                    c.rows[old as usize] = None;
+                }
+            }
+            c.rows[src.index()] = Some(Arc::clone(&row));
+            c.order.push_back(src.raw());
+        }
+        row
+    }
+
+    /// Number of source rows currently cached.
+    pub fn cached_sources(&self) -> usize {
+        self.cache.lock().order.len()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.cache.lock();
+        (c.hits, c.misses)
+    }
+}
+
+/// Landmark-based distance *estimator* (triangulation upper bound).
+///
+/// Each node stores its distance vector to `k` landmark nodes; the distance
+/// between `a` and `b` is estimated as `min_l d(a,l) + d(l,b)`. This is the
+/// style of scheme used by the "global soft-state"/landmark related work
+/// (\[21\] in the paper), whose inaccuracy motivates ACE's direct probing.
+///
+/// # Examples
+///
+/// ```
+/// use ace_topology::{Graph, NodeId, LandmarkOracle};
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 2).unwrap();
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 3).unwrap();
+/// let lm = LandmarkOracle::new(&g, vec![NodeId::new(1)]);
+/// // Estimate through the landmark: d(0,1)+d(1,2) = 5 (here exact).
+/// assert_eq!(lm.estimate(NodeId::new(0), NodeId::new(2)), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LandmarkOracle {
+    landmarks: Vec<NodeId>,
+    /// `dist[l][v]` = distance from landmark `l` to node `v`.
+    dist: Vec<Vec<Delay>>,
+}
+
+impl LandmarkOracle {
+    /// Builds the oracle by running one Dijkstra per landmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `landmarks` is empty or contains an out-of-range node.
+    pub fn new(graph: &Graph, landmarks: Vec<NodeId>) -> Self {
+        assert!(!landmarks.is_empty(), "need at least one landmark");
+        let dist = landmarks.iter().map(|&l| sssp::dijkstra(graph, l)).collect();
+        LandmarkOracle { landmarks, dist }
+    }
+
+    /// The landmark set.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Triangulation estimate `min_l d(a,l)+d(l,b)`; an upper bound on the
+    /// true distance, saturating on unreachable pairs.
+    pub fn estimate(&self, a: NodeId, b: NodeId) -> Delay {
+        if a == b {
+            return 0;
+        }
+        self.dist
+            .iter()
+            .map(|row| row[a.index()].saturating_add(row[b.index()]))
+            .min()
+            .unwrap_or(sssp::UNREACHABLE)
+    }
+
+    /// The landmark coordinate vector of node `v` (its distances to every
+    /// landmark), as used by landmark-clustering neighbor selection.
+    pub fn coordinates(&self, v: NodeId) -> Vec<Delay> {
+        self.dist.iter().map(|row| row[v.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u32, w: Delay) -> Graph {
+        let mut g = Graph::new(n as usize);
+        for i in 1..n {
+            g.add_edge(NodeId::new(i - 1), NodeId::new(i), w).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn oracle_matches_dijkstra() {
+        let g = line(10, 3);
+        let want = sssp::dijkstra(&g, NodeId::new(2));
+        let oracle = DistanceOracle::new(g);
+        for i in 0..10 {
+            assert_eq!(oracle.distance(NodeId::new(2), NodeId::new(i)), want[i as usize]);
+        }
+    }
+
+    #[test]
+    fn oracle_caches_rows() {
+        let oracle = DistanceOracle::new(line(5, 1));
+        oracle.distance(NodeId::new(0), NodeId::new(4));
+        oracle.distance(NodeId::new(0), NodeId::new(3));
+        let (hits, misses) = oracle.cache_stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 1);
+        assert_eq!(oracle.cached_sources(), 1);
+    }
+
+    #[test]
+    fn oracle_evicts_fifo() {
+        let oracle = DistanceOracle::with_capacity(line(6, 1), 2);
+        for i in 0..4 {
+            oracle.distances_from(NodeId::new(i));
+        }
+        assert_eq!(oracle.cached_sources(), 2);
+        // Still correct after eviction.
+        assert_eq!(oracle.distance(NodeId::new(0), NodeId::new(5)), 5);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let oracle = DistanceOracle::new(line(3, 7));
+        assert_eq!(oracle.distance(NodeId::new(1), NodeId::new(1)), 0);
+    }
+
+    #[test]
+    fn landmark_estimate_upper_bounds_truth() {
+        let g = line(8, 2);
+        let truth = DistanceOracle::new(g.clone());
+        let lm = LandmarkOracle::new(&g, vec![NodeId::new(0), NodeId::new(7)]);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                assert!(lm.estimate(a, b) >= truth.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_exact_on_path_through_landmark() {
+        let g = line(5, 1);
+        let lm = LandmarkOracle::new(&g, vec![NodeId::new(2)]);
+        assert_eq!(lm.estimate(NodeId::new(0), NodeId::new(4)), 4);
+        assert_eq!(lm.coordinates(NodeId::new(4)), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one landmark")]
+    fn landmark_requires_nonempty_set() {
+        let _ = LandmarkOracle::new(&line(3, 1), vec![]);
+    }
+}

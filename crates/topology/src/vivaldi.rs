@@ -1,0 +1,267 @@
+//! Vivaldi network coordinates — decentralized latency estimation.
+//!
+//! Vivaldi (Dabek et al., SIGCOMM 2004 — contemporary with the paper)
+//! embeds hosts in a low-dimensional Euclidean space by treating each
+//! measured RTT as a spring; distances between coordinates then *estimate*
+//! latencies without further probing. The ACE reproduction uses it to ask
+//! a question the paper raises against landmark schemes: how much does
+//! topology matching degrade when link costs come from an estimator
+//! instead of direct probes? (See the `ablation_estimation` benchmark.)
+
+use rand::Rng;
+
+use crate::graph::Delay;
+use crate::oracle::DistanceOracle;
+use crate::NodeId;
+
+/// Parameters of the Vivaldi embedding.
+#[derive(Clone, Copy, Debug)]
+pub struct VivaldiConfig {
+    /// Euclidean dimensions (2–5 typical; the paper found 2–3 adequate).
+    pub dims: usize,
+    /// Update rounds; each round every node samples one measurement.
+    pub rounds: usize,
+    /// Error-weighting constant `c_e` (0 < c_e < 1).
+    pub ce: f64,
+    /// Timestep constant `c_c` (0 < c_c < 1).
+    pub cc: f64,
+}
+
+impl Default for VivaldiConfig {
+    fn default() -> Self {
+        VivaldiConfig { dims: 3, rounds: 64, ce: 0.25, cc: 0.25 }
+    }
+}
+
+/// A computed Vivaldi embedding for a set of nodes.
+#[derive(Clone, Debug)]
+pub struct VivaldiCoords {
+    nodes: Vec<NodeId>,
+    index: std::collections::HashMap<NodeId, usize>,
+    coords: Vec<Vec<f64>>,
+    error: Vec<f64>,
+}
+
+impl VivaldiCoords {
+    /// Runs the decentralized spring relaxation: in each round every node
+    /// measures the true delay to one random other node (one RTT sample,
+    /// exactly what a real Vivaldi node piggybacks on its traffic) and
+    /// nudges its coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 nodes or an invalid configuration.
+    pub fn compute<R: Rng + ?Sized>(
+        oracle: &DistanceOracle,
+        nodes: &[NodeId],
+        cfg: &VivaldiConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(nodes.len() >= 2, "need at least two nodes to embed");
+        assert!(cfg.dims >= 1, "need at least one dimension");
+        assert!(cfg.ce > 0.0 && cfg.ce < 1.0 && cfg.cc > 0.0 && cfg.cc < 1.0);
+        let n = nodes.len();
+        let mut coords: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..cfg.dims).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let mut error = vec![1.0f64; n];
+
+        for _ in 0..cfg.rounds {
+            for i in 0..n {
+                let j = loop {
+                    let j = rng.gen_range(0..n);
+                    if j != i {
+                        break j;
+                    }
+                };
+                let rtt = f64::from(oracle.distance(nodes[i], nodes[j]));
+                if !rtt.is_finite() || rtt <= 0.0 {
+                    continue;
+                }
+                // Current estimated distance and unit direction j -> i.
+                let mut dist2 = 0.0;
+                for d in 0..cfg.dims {
+                    let diff = coords[i][d] - coords[j][d];
+                    dist2 += diff * diff;
+                }
+                let dist = dist2.sqrt();
+                let w = error[i] / (error[i] + error[j]).max(1e-12);
+                let es = (dist - rtt).abs() / rtt;
+                error[i] = es * cfg.ce * w + error[i] * (1.0 - cfg.ce * w);
+                let delta = cfg.cc * w;
+                // Move along the spring force.
+                for d in 0..cfg.dims {
+                    let dir = if dist > 1e-9 {
+                        (coords[i][d] - coords[j][d]) / dist
+                    } else {
+                        // Coincident points: pick a deterministic axis kick.
+                        if d == 0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    };
+                    coords[i][d] += delta * (rtt - dist) * dir;
+                }
+            }
+        }
+        let index = nodes.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+        VivaldiCoords { nodes: nodes.to_vec(), index, coords, error }
+    }
+
+    /// The embedded node set.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Estimated delay between two embedded nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node was not part of the embedding.
+    pub fn estimate(&self, a: NodeId, b: NodeId) -> Delay {
+        let (i, j) = (self.index[&a], self.index[&b]);
+        if i == j {
+            return 0;
+        }
+        let mut dist2 = 0.0;
+        for d in 0..self.coords[i].len() {
+            let diff = self.coords[i][d] - self.coords[j][d];
+            dist2 += diff * diff;
+        }
+        dist2.sqrt().round().max(1.0) as Delay
+    }
+
+    /// The node's current confidence error (Vivaldi's `e_i`, lower is
+    /// better; starts at 1.0).
+    pub fn node_error(&self, node: NodeId) -> f64 {
+        self.error[self.index[&node]]
+    }
+
+    /// Median relative estimation error over `samples` random pairs —
+    /// the standard Vivaldi accuracy metric.
+    pub fn median_relative_error<R: Rng + ?Sized>(
+        &self,
+        oracle: &DistanceOracle,
+        samples: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let n = self.nodes.len();
+        let mut errs = Vec::with_capacity(samples);
+        for _ in 0..samples.max(1) {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let truth = f64::from(oracle.distance(self.nodes[i], self.nodes[j]));
+            if truth <= 0.0 {
+                continue;
+            }
+            let est = f64::from(self.estimate(self.nodes[i], self.nodes[j]));
+            errs.push((est - truth).abs() / truth);
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        errs.get(errs.len() / 2).copied().unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{two_level, TwoLevelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> (DistanceOracle, Vec<NodeId>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let topo = two_level(
+            &TwoLevelConfig { as_count: 5, nodes_per_as: 40, ..TwoLevelConfig::default() },
+            &mut rng,
+        );
+        let nodes: Vec<NodeId> = topo.graph.nodes().step_by(2).collect();
+        (DistanceOracle::new(topo.graph), nodes)
+    }
+
+    #[test]
+    fn embedding_converges_to_useful_accuracy() {
+        let (oracle, nodes) = world();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = VivaldiConfig { rounds: 128, ..VivaldiConfig::default() };
+        let v = VivaldiCoords::compute(&oracle, &nodes, &cfg, &mut rng);
+        let err = v.median_relative_error(&oracle, 400, &mut rng);
+        assert!(err < 0.5, "median relative error {err}");
+        // Node confidences must have dropped from the initial 1.0.
+        let avg_conf: f64 =
+            nodes.iter().map(|&n| v.node_error(n)).sum::<f64>() / nodes.len() as f64;
+        assert!(avg_conf < 0.8, "avg confidence error {avg_conf}");
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt() {
+        let (oracle, nodes) = world();
+        let mut rng = StdRng::seed_from_u64(7);
+        let short = VivaldiCoords::compute(
+            &oracle,
+            &nodes,
+            &VivaldiConfig { rounds: 8, ..VivaldiConfig::default() },
+            &mut rng,
+        );
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let long = VivaldiCoords::compute(
+            &oracle,
+            &nodes,
+            &VivaldiConfig { rounds: 128, ..VivaldiConfig::default() },
+            &mut rng2,
+        );
+        let mut erng = StdRng::seed_from_u64(8);
+        let e_short = short.median_relative_error(&oracle, 300, &mut erng);
+        let mut erng = StdRng::seed_from_u64(8);
+        let e_long = long.median_relative_error(&oracle, 300, &mut erng);
+        assert!(e_long <= e_short * 1.2, "long {e_long} vs short {e_short}");
+    }
+
+    #[test]
+    fn estimates_are_symmetric_and_zero_on_self() {
+        let (oracle, nodes) = world();
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = VivaldiCoords::compute(&oracle, &nodes, &VivaldiConfig::default(), &mut rng);
+        let (a, b) = (nodes[0], nodes[7]);
+        assert_eq!(v.estimate(a, b), v.estimate(b, a));
+        assert_eq!(v.estimate(a, a), 0);
+    }
+
+    #[test]
+    fn near_pairs_estimated_closer_than_far_pairs() {
+        let (oracle, nodes) = world();
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = VivaldiConfig { rounds: 128, ..VivaldiConfig::default() };
+        let v = VivaldiCoords::compute(&oracle, &nodes, &cfg, &mut rng);
+        // Average same-AS estimate vs cross-AS estimate (nodes are spaced
+        // evenly, 20 per AS after the step_by).
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        let mut ns = 0;
+        let mut nc = 0;
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len().min(i + 30) {
+                let e = f64::from(v.estimate(nodes[i], nodes[j]));
+                if i / 20 == j / 20 {
+                    same += e;
+                    ns += 1;
+                } else {
+                    cross += e;
+                    nc += 1;
+                }
+            }
+        }
+        assert!(same / ns as f64 * 2.0 < cross / nc as f64, "embedding keeps locality");
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn rejects_single_node() {
+        let (oracle, nodes) = world();
+        let mut rng = StdRng::seed_from_u64(11);
+        VivaldiCoords::compute(&oracle, &nodes[..1], &VivaldiConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the physical-network substrate.
+
+use ace_topology::generate::{gnm, DelayModel, GnmConfig};
+use ace_topology::{sssp, DistanceOracle, Graph, LandmarkOracle, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random connected graph with 2..=40 nodes and positive weights.
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=40, 0usize..80, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gnm(
+            &GnmConfig { nodes: n, edges: extra, delays: DelayModel::Uniform { lo: 1, hi: 50 } },
+            &mut rng,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in arb_connected_graph()) {
+        let src = NodeId::new(0);
+        let d = sssp::dijkstra(&g, src);
+        let bf = sssp::bellman_ford(&g, src);
+        for i in 0..g.node_count() {
+            let dv = if d[i] == sssp::UNREACHABLE { u64::MAX } else { u64::from(d[i]) };
+            prop_assert_eq!(dv, bf[i], "node {}", i);
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric(g in arb_connected_graph()) {
+        let n = g.node_count();
+        let oracle = DistanceOracle::new(g);
+        for i in 0..n.min(6) {
+            for j in 0..n.min(6) {
+                let (a, b) = (NodeId::new(i as u32), NodeId::new(j as u32));
+                prop_assert_eq!(oracle.distance(a, b), oracle.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds(g in arb_connected_graph()) {
+        let n = g.node_count().min(8);
+        let oracle = DistanceOracle::new(g);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let (a, b, c) =
+                        (NodeId::new(i as u32), NodeId::new(j as u32), NodeId::new(k as u32));
+                    let (ab, ac, cb) =
+                        (oracle.distance(a, b), oracle.distance(a, c), oracle.distance(c, b));
+                    prop_assert!(u64::from(ab) <= u64::from(ac) + u64::from(cb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_along_edges_never_exceeds_edge_weight(g in arb_connected_graph()) {
+        let edges: Vec<_> = g.edges().collect();
+        let oracle = DistanceOracle::new(g);
+        for e in edges {
+            prop_assert!(oracle.distance(e.a, e.b) <= e.weight);
+        }
+    }
+
+    #[test]
+    fn landmark_estimate_is_upper_bound(g in arb_connected_graph()) {
+        let n = g.node_count();
+        let lm = LandmarkOracle::new(&g, vec![NodeId::new(0), NodeId::new((n as u32 - 1).max(0))]);
+        let oracle = DistanceOracle::new(g);
+        for i in 0..n.min(8) {
+            for j in 0..n.min(8) {
+                let (a, b) = (NodeId::new(i as u32), NodeId::new(j as u32));
+                prop_assert!(lm.estimate(a, b) >= oracle.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_hops_lower_bound_weighted_paths(g in arb_connected_graph()) {
+        // hops * min_edge_weight <= weighted distance
+        let min_w = g.edges().map(|e| e.weight).min().unwrap_or(1);
+        let hops = sssp::bfs_hops(&g, NodeId::new(0));
+        let dist = sssp::dijkstra(&g, NodeId::new(0));
+        for i in 0..g.node_count() {
+            if dist[i] != sssp::UNREACHABLE {
+                prop_assert!(u64::from(hops[i]) * u64::from(min_w) <= u64::from(dist[i]));
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Cross-crate property-based tests: ACE invariants on randomized worlds.
+
+use ace_core::experiments::{OverlayKind, PhysKind, Scenario, ScenarioConfig};
+use ace_core::mst::{kruskal, prim, prim_heap, ClosureEdge};
+use ace_core::{AceConfig, AceEngine, AceForward, Closure};
+use ace_overlay::{run_query, FloodAll, PeerId, QueryConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
+    (2usize..=5, 30usize..=70, 4usize..=8, any::<u64>(), 0usize..3).prop_map(
+        |(ases, peers, degree, seed, kind)| ScenarioConfig {
+            phys: PhysKind::TwoLevel { as_count: ases, nodes_per_as: 50 },
+            peers,
+            avg_degree: degree,
+            overlay: match kind {
+                0 => OverlayKind::Clustered,
+                1 => OverlayKind::Random,
+                _ => OverlayKind::PrefAttach,
+            },
+            objects: 30,
+            replicas: 4,
+            zipf: 0.8,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ACE rounds never disconnect the overlay or break its invariants.
+    #[test]
+    fn rounds_preserve_connectivity(cfg in arb_scenario()) {
+        let mut s = Scenario::build(&cfg);
+        let mut ace = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
+        for _ in 0..4 {
+            ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+            prop_assert!(s.overlay.is_connected());
+            prop_assert!(s.overlay.check_invariants().is_ok());
+        }
+    }
+
+    /// Tree forwarding reaches (almost) the flooding scope with a TTL that
+    /// does not truncate, and never exceeds flooding traffic.
+    #[test]
+    fn tree_forwarding_keeps_scope_and_saves_traffic(cfg in arb_scenario()) {
+        let mut s = Scenario::build(&cfg);
+        let mut ace = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
+        for _ in 0..3 {
+            ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+        }
+        let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+        let src = PeerId::new(0);
+        let flood = run_query(&s.overlay, &s.oracle, src, &qc, &FloodAll, |_| false);
+        let tree = run_query(&s.overlay, &s.oracle, src, &qc, &AceForward::new(&ace), |_| false);
+        // Transient forwarding islands can momentarily trap a few peers on
+        // very sparse worlds (see the min_flooding ablation); the bound
+        // here is the documented worst case, not the typical ~1.0.
+        prop_assert!(tree.scope as f64 >= 0.9 * flood.scope as f64,
+            "scope {} vs {}", tree.scope, flood.scope);
+        prop_assert!(tree.traffic_cost <= flood.traffic_cost * 1.01);
+    }
+
+    /// Prim (dense and heap) and Kruskal agree on spanning weight for
+    /// random connected closure subgraphs.
+    #[test]
+    fn mst_algorithms_agree(n in 3usize..24, extra in 0usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let members: Vec<PeerId> = (0..n as u32).map(PeerId::new).collect();
+        let mut edges = Vec::new();
+        // Random spanning chain + extra random edges.
+        for i in 1..n {
+            edges.push(ClosureEdge {
+                a: members[i - 1],
+                b: members[i],
+                cost: rng.gen_range(1..100),
+            });
+        }
+        for _ in 0..extra {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i != j {
+                edges.push(ClosureEdge { a: members[i], b: members[j], cost: rng.gen_range(1..100) });
+            }
+        }
+        let dense = prim(members[0], &members, &edges);
+        let heap = prim_heap(members[0], &members, &edges);
+        let kk = kruskal(&members, &edges);
+        prop_assert_eq!(dense.weight(), heap.weight());
+        prop_assert_eq!(dense.weight(), kk.weight());
+        prop_assert_eq!(dense.len(), n - 1);
+    }
+
+    /// Closures are internally consistent: every member within depth, relay
+    /// paths valid, hop counts increasing along BFS parents.
+    #[test]
+    fn closures_are_well_formed(cfg in arb_scenario(), depth in 1u8..4) {
+        let s = Scenario::build(&cfg);
+        let src = PeerId::new(0);
+        let c = Closure::collect(&s.overlay, src, depth);
+        prop_assert_eq!(c.members()[0], src);
+        for &m in c.members() {
+            let h = c.hop_of(m).unwrap();
+            prop_assert!(h <= depth);
+            let path = c.relay_path(m).unwrap();
+            prop_assert_eq!(path.len() as u8, h + 1);
+            prop_assert_eq!(*path.last().unwrap(), src);
+            // Consecutive relay hops are overlay neighbors.
+            for w in path.windows(2) {
+                prop_assert!(s.overlay.are_neighbors(w[0], w[1]));
+            }
+        }
+    }
+
+    /// Replacement never increases the replaced peer's probed link cost:
+    /// the sum of logical link costs is non-increasing over rounds except
+    /// for bounded keep-both additions.
+    #[test]
+    fn link_costs_trend_downward(cfg in arb_scenario()) {
+        let mut s = Scenario::build(&cfg);
+        let total = |s: &Scenario| -> f64 {
+            let mut t = 0.0;
+            for p in s.overlay.peers() {
+                for &n in s.overlay.neighbors(p) {
+                    if p < n {
+                        t += f64::from(s.overlay.link_cost(&s.oracle, p, n));
+                    }
+                }
+            }
+            t
+        };
+        let before = total(&s);
+        let mut ace = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
+        for _ in 0..5 {
+            ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+        }
+        // Allow a small slack for keep-both additions that have not been
+        // trimmed yet; the trend must still be clearly downward.
+        prop_assert!(total(&s) < before * 1.02, "{} -> {}", before, total(&s));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// HPF partial flooding never exceeds blind-flooding traffic and its
+    /// scope shrinks monotonically with the kept fraction.
+    #[test]
+    fn partial_flooding_is_bounded_by_flooding(cfg in arb_scenario()) {
+        use ace_overlay::{HpfWeight, PartialFlood};
+        let s = Scenario::build(&cfg);
+        let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+        let src = PeerId::new(0);
+        let flood = run_query(&s.overlay, &s.oracle, src, &qc, &FloodAll, |_| false);
+        let mut last_scope = usize::MAX;
+        for fraction in [1.0, 0.6, 0.3] {
+            let policy = PartialFlood::new(&s.oracle, fraction, 1, HpfWeight::Cheapest);
+            let q = run_query(&s.overlay, &s.oracle, src, &qc, &policy, |_| false);
+            prop_assert!(q.traffic_cost <= flood.traffic_cost * 1.01);
+            prop_assert!(q.scope <= last_scope);
+            last_scope = q.scope;
+        }
+    }
+
+    /// Random walks never visit more peers than they take steps (+source)
+    /// and their traffic equals the sum of walked links.
+    #[test]
+    fn random_walk_accounting_is_consistent(cfg in arb_scenario(), walkers in 1usize..8, hops in 1usize..40) {
+        use ace_overlay::{random_walk_query, WalkConfig};
+        let mut s = Scenario::build(&cfg);
+        let wc = WalkConfig { walkers, max_hops: hops, avoid_backtrack: true };
+        let out = random_walk_query(&s.overlay, &s.oracle, PeerId::new(0), &wc, |_| false, &mut s.rng);
+        prop_assert!(out.messages <= (walkers * hops) as u64);
+        prop_assert!(out.peers_visited as u64 <= out.messages + 1);
+        prop_assert!(out.first_response.is_none());
+    }
+
+    /// Two-tier networks: every leaf has a live supernode and core queries
+    /// cover the whole core.
+    #[test]
+    fn two_tier_structure_is_sound(cfg in arb_scenario()) {
+        use ace_overlay::{TwoTierConfig, TwoTierNetwork};
+        let mut s = Scenario::build(&cfg);
+        let hosts: Vec<_> = s.overlay.peers().map(|p| s.overlay.host(p)).collect();
+        let tt = TwoTierNetwork::build(hosts, &TwoTierConfig::default(), &s.oracle, &mut s.rng);
+        prop_assert!(tt.core.is_connected());
+        prop_assert_eq!(tt.leaf_count() + tt.supernode_count(), cfg.peers);
+        let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+        let (outcome, total) = tt.query_from_leaf(&s.oracle, 0, &qc, &FloodAll, |_| false);
+        prop_assert_eq!(outcome.scope, tt.supernode_count());
+        prop_assert!(total >= outcome.traffic_cost);
+    }
+}

@@ -9,7 +9,10 @@ use std::hint::black_box;
 
 fn world(peers: usize) -> Scenario {
     Scenario::build(&ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 8, nodes_per_as: 150 },
+        phys: PhysKind::TwoLevel {
+            as_count: 8,
+            nodes_per_as: 150,
+        },
         peers,
         avg_degree: 8,
         seed: 12,
@@ -22,19 +25,23 @@ fn bench_ace(c: &mut Criterion) {
     g.sample_size(10);
 
     for &peers in &[200usize, 500] {
-        g.bench_with_input(BenchmarkId::new("full_round", peers), &peers, |b, &peers| {
-            b.iter_batched(
-                || {
-                    let s = world(peers);
-                    let e = AceEngine::new(peers, AceConfig::paper_default());
-                    (s, e)
-                },
-                |(mut s, mut e)| {
-                    black_box(e.round(&mut s.overlay, &s.oracle, &mut s.rng));
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("full_round", peers),
+            &peers,
+            |b, &peers| {
+                b.iter_batched(
+                    || {
+                        let s = world(peers);
+                        let e = AceEngine::new(peers, AceConfig::paper_default());
+                        (s, e)
+                    },
+                    |(mut s, mut e)| {
+                        black_box(e.round(&mut s.overlay, &s.oracle, &mut s.rng));
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
 
     g.bench_function("tree_round_500", |b| {
@@ -53,9 +60,11 @@ fn bench_ace(c: &mut Criterion) {
 
     let s = world(500);
     for depth in [1u8, 2, 3] {
-        g.bench_with_input(BenchmarkId::new("closure_collect", depth), &depth, |b, &d| {
-            b.iter(|| black_box(Closure::collect(&s.overlay, PeerId::new(0), d)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("closure_collect", depth),
+            &depth,
+            |b, &d| b.iter(|| black_box(Closure::collect(&s.overlay, PeerId::new(0), d))),
+        );
     }
     g.finish();
 }

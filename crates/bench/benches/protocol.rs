@@ -16,12 +16,18 @@ fn bench_codec(c: &mut Criterion) {
         owner: PeerId::new(7),
         entries: (0..10).map(|i| (PeerId::new(i), 100 + i)).collect(),
     };
-    g.bench_function("encode_cost_table_10", |b| b.iter(|| black_box(table.encode())));
+    g.bench_function("encode_cost_table_10", |b| {
+        b.iter(|| black_box(table.encode()))
+    });
     let encoded = table.encode();
     g.bench_function("decode_cost_table_10", |b| {
         b.iter(|| black_box(Message::decode(encoded.clone()).unwrap()))
     });
-    let query = Message::Query { id: 1, ttl: 7, object: 42 };
+    let query = Message::Query {
+        id: 1,
+        ttl: 7,
+        object: 42,
+    };
     g.bench_function("encode_query", |b| b.iter(|| black_box(query.encode())));
     g.finish();
 }
@@ -34,7 +40,11 @@ fn bench_async(c: &mut Criterion) {
             || {
                 let mut rng = StdRng::seed_from_u64(3);
                 let topo = two_level(
-                    &TwoLevelConfig { as_count: 6, nodes_per_as: 80, ..TwoLevelConfig::default() },
+                    &TwoLevelConfig {
+                        as_count: 6,
+                        nodes_per_as: 80,
+                        ..TwoLevelConfig::default()
+                    },
                     &mut rng,
                 );
                 let oracle = DistanceOracle::new(topo.graph);

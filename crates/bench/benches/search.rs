@@ -9,7 +9,10 @@ use std::hint::black_box;
 
 fn bench_search(c: &mut Criterion) {
     let mut s = Scenario::build(&ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 8, nodes_per_as: 150 },
+        phys: PhysKind::TwoLevel {
+            as_count: 8,
+            nodes_per_as: 150,
+        },
         peers: 500,
         avg_degree: 6,
         seed: 9,
@@ -19,18 +22,35 @@ fn bench_search(c: &mut Criterion) {
     for _ in 0..6 {
         ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
     }
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
 
     let mut g = c.benchmark_group("search");
     g.bench_function("flood_500_peers", |b| {
         b.iter(|| {
-            black_box(run_query(&s.overlay, &s.oracle, PeerId::new(0), &qc, &FloodAll, |_| false))
+            black_box(run_query(
+                &s.overlay,
+                &s.oracle,
+                PeerId::new(0),
+                &qc,
+                &FloodAll,
+                |_| false,
+            ))
         })
     });
     g.bench_function("ace_tree_500_peers", |b| {
         let fwd = AceForward::new(&ace);
         b.iter(|| {
-            black_box(run_query(&s.overlay, &s.oracle, PeerId::new(0), &qc, &fwd, |_| false))
+            black_box(run_query(
+                &s.overlay,
+                &s.oracle,
+                PeerId::new(0),
+                &qc,
+                &fwd,
+                |_| false,
+            ))
         })
     });
     g.finish();

@@ -11,7 +11,11 @@ use std::hint::black_box;
 fn bench_sssp(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let topo = two_level(
-        &TwoLevelConfig { as_count: 10, nodes_per_as: 1000, ..TwoLevelConfig::default() },
+        &TwoLevelConfig {
+            as_count: 10,
+            nodes_per_as: 1000,
+            ..TwoLevelConfig::default()
+        },
         &mut rng,
     );
     let n = topo.graph.node_count();

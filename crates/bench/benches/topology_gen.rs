@@ -1,6 +1,9 @@
 //! Criterion benchmarks for physical-topology generation.
 
-use ace_topology::generate::{ba, gnm, two_level, watts_strogatz, BaConfig, DelayModel, GnmConfig, TwoLevelConfig, WattsStrogatzConfig};
+use ace_topology::generate::{
+    ba, gnm, two_level, watts_strogatz, BaConfig, DelayModel, GnmConfig, TwoLevelConfig,
+    WattsStrogatzConfig,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,7 +15,13 @@ fn bench_generators(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(1);
-                black_box(ba(&BaConfig { nodes: n, ..BaConfig::default() }, &mut rng))
+                black_box(ba(
+                    &BaConfig {
+                        nodes: n,
+                        ..BaConfig::default()
+                    },
+                    &mut rng,
+                ))
             })
         });
     }
@@ -20,7 +29,11 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             black_box(two_level(
-                &TwoLevelConfig { as_count: 10, nodes_per_as: 400, ..TwoLevelConfig::default() },
+                &TwoLevelConfig {
+                    as_count: 10,
+                    nodes_per_as: 400,
+                    ..TwoLevelConfig::default()
+                },
                 &mut rng,
             ))
         })
@@ -29,7 +42,11 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             black_box(gnm(
-                &GnmConfig { nodes: 5_000, edges: 10_000, delays: DelayModel::default() },
+                &GnmConfig {
+                    nodes: 5_000,
+                    edges: 10_000,
+                    delays: DelayModel::default(),
+                },
                 &mut rng,
             ))
         })
@@ -38,7 +55,12 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
             black_box(watts_strogatz(
-                &WattsStrogatzConfig { nodes: 5_000, k: 3, beta: 0.1, delays: DelayModel::default() },
+                &WattsStrogatzConfig {
+                    nodes: 5_000,
+                    k: 3,
+                    beta: 0.1,
+                    delays: DelayModel::default(),
+                },
                 &mut rng,
             ))
         })

@@ -1,0 +1,19 @@
+//! Standalone round-pipeline wall-clock bench: serial vs plan/commit
+//! parallel rounds on one scenario, written to `BENCH_rounds.json`.
+//!
+//! Scale: `QUICK=1` (smoke), default (laptop), `FULL=1` (paper's 20k).
+
+use ace_bench::{figures, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[bench_rounds at {scale:?} scale]");
+    let bench = figures::bench_rounds(scale, scale.steps());
+    eprintln!(
+        "[bench_rounds: {} rounds, serial {:.1} ms, parallel {:.1} ms, {:.2}x on {} worker(s)]",
+        bench.rounds, bench.serial_total_ms, bench.parallel_total_ms, bench.speedup, bench.workers
+    );
+    let json = serde_json::to_string_pretty(&bench).expect("serialize round bench");
+    std::fs::write("BENCH_rounds.json", json).expect("write BENCH_rounds.json");
+    eprintln!("[saved BENCH_rounds.json]");
+}

@@ -4,7 +4,10 @@ use ace_core::{AceConfig, AceEngine, OverheadKind};
 
 fn main() {
     let scenario = ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 100 },
+        phys: PhysKind::TwoLevel {
+            as_count: 4,
+            nodes_per_as: 100,
+        },
         peers: 100,
         avg_degree: 10,
         objects: 200,

@@ -23,12 +23,13 @@ use ace_core::{AceConfig, AceEngine, AceForward, OverheadKind, ProbeModel, Repla
 use ace_metrics::{f1, f3, pct, ExperimentRecord, NamedSeries, Table};
 use ace_overlay::{
     assign_capacities, random_overlay, random_walk_query, run_query, FloodAll, ForwardPolicy,
-    GiaAdaptation, GiaConfig, HpfWeight, Overlay, PartialFlood, PeerId, QueryConfig,
-    TwoTierConfig, TwoTierNetwork, WalkConfig, GNUTELLA_CAPACITY_MIX,
+    GiaAdaptation, GiaConfig, HpfWeight, Overlay, PartialFlood, PeerId, QueryConfig, TwoTierConfig,
+    TwoTierNetwork, WalkConfig, GNUTELLA_CAPACITY_MIX,
 };
 use ace_topology::{DistanceOracle, Graph, LandmarkOracle, NodeId, VivaldiConfig, VivaldiCoords};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
 
 use crate::Scale;
 
@@ -44,7 +45,10 @@ pub const R_AXIS: [f64; 8] = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0];
 fn base_scenario(scale: Scale, avg_degree: usize, seed: u64) -> ScenarioConfig {
     let (as_count, nodes_per_as) = scale.phys();
     ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count, nodes_per_as },
+        phys: PhysKind::TwoLevel {
+            as_count,
+            nodes_per_as,
+        },
         peers: scale.peers(),
         avg_degree,
         overlay: OverlayKind::Clustered,
@@ -86,13 +90,22 @@ fn record_transmissions<P: ForwardPolicy + ?Sized>(
             continue;
         }
         arrived[peer.index()] = true;
-        let from_peer = if to == from { None } else { Some(PeerId::new(from)) };
+        let from_peer = if to == from {
+            None
+        } else {
+            Some(PeerId::new(from))
+        };
         for target in policy.forward_targets(ov, peer, from_peer) {
             let cost = ov.link_cost(oracle, peer, target);
             sends.push((peer, target, cost));
             total += f64::from(cost);
             seq += 1;
-            heap.push(Reverse((t + u64::from(cost), seq, target.raw(), peer.raw())));
+            heap.push(Reverse((
+                t + u64::from(cost),
+                seq,
+                target.raw(),
+                peer.raw(),
+            )));
         }
     }
     (sends, total, dups)
@@ -106,14 +119,30 @@ fn record_transmissions<P: ForwardPolicy + ?Sized>(
 pub fn table01_02() -> (ExperimentRecord, Vec<Table>) {
     // Physical: two 3-router sites joined by one expensive link.
     let mut g = Graph::new(6);
-    for (a, b, w) in [(0, 1, 2), (1, 2, 3), (0, 2, 4), (3, 4, 2), (4, 5, 3), (3, 5, 4), (2, 3, 40)]
-    {
+    for (a, b, w) in [
+        (0, 1, 2),
+        (1, 2, 3),
+        (0, 2, 4),
+        (3, 4, 2),
+        (4, 5, 3),
+        (3, 5, 4),
+        (2, 3, 40),
+    ] {
         g.add_edge(NodeId::new(a), NodeId::new(b), w).unwrap();
     }
     let oracle = DistanceOracle::new(g);
     // Mismatched overlay: local chains plus three cross-site links.
     let mut ov = Overlay::new((0..6).map(NodeId::new).collect(), None);
-    for (a, b) in [(0, 1), (1, 2), (3, 4), (4, 5), (3, 5), (0, 3), (1, 4), (2, 5)] {
+    for (a, b) in [
+        (0, 1),
+        (1, 2),
+        (3, 4),
+        (4, 5),
+        (3, 5),
+        (0, 3),
+        (1, 4),
+        (2, 5),
+    ] {
         ov.connect(PeerId::new(a), PeerId::new(b)).unwrap();
     }
     let src = PeerId::new(0);
@@ -142,18 +171,24 @@ pub fn table01_02() -> (ExperimentRecord, Vec<Table>) {
     let flood_total = total;
 
     for h in [1u8, 2u8] {
-        let mut engine = AceEngine::new(6, AceConfig {
-            depth: h,
-            min_flooding: 1,
-            ..AceConfig::paper_default()
-        });
+        let mut engine = AceEngine::new(
+            6,
+            AceConfig {
+                depth: h,
+                min_flooding: 1,
+                ..AceConfig::paper_default()
+            },
+        );
         engine.tree_round(&ov, &oracle);
         let fwd = AceForward::new(&engine);
         let (sends, total, dups) = record_transmissions(&ov, &oracle, src, &fwd);
         tables.push(render(&format!("trees, h={h}"), &sends, total));
         totals.push(f64::from(h), total);
         dup_series.push(f64::from(h), dups as f64);
-        assert!(total <= flood_total, "closure trees must not cost more than flooding");
+        assert!(
+            total <= flood_total,
+            "closure trees must not cost more than flooding"
+        );
     }
     rec.param("peers", 6).param("source", "A");
     rec.add_series(totals).add_series(dup_series);
@@ -164,36 +199,77 @@ pub fn table01_02() -> (ExperimentRecord, Vec<Table>) {
 // Figures 7 & 8 — static environment
 // ---------------------------------------------------------------------
 
-/// Runs `f` over `items` on parallel worker threads (one per item, capped
-/// by the host's parallelism) and returns results in input order.
+/// Runs `f` over `items` on a pool of worker threads (work-stealing over
+/// the item list, sized by the host's parallelism) and returns results in
+/// input order. Unlike a thread-per-item spawn, the pool stays efficient
+/// when the item list is a full parameter grid rather than a handful of
+/// sweep values.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let mut out: Vec<Option<U>> = items.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, item) in items.into_iter().enumerate() {
-            let f = &f;
-            handles.push((i, scope.spawn(move |_| f(item))));
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if n <= 1 || workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot poisoned")
+                    .take()
+                    .expect("item taken once");
+                *results[i].lock().expect("result poisoned") = Some(f(item));
+            });
         }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("experiment worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result poisoned")
+                .expect("worker filled slot")
+        })
+        .collect()
 }
 
-/// Shared static sweep over the paper's average-connection values, run in
-/// parallel (one thread per C value — the runs are independent worlds).
+/// The `(C, seed)` grid behind the static sweep. One world per grid cell;
+/// `parallel_map` schedules the whole grid across the worker pool instead
+/// of one thread per C value.
+pub fn static_grid() -> Vec<(usize, u64)> {
+    C_SWEEP.iter().map(|&c| (c, 40 + c as u64)).collect()
+}
+
+/// Shared static sweep over the paper's average-connection values. Each
+/// grid cell is an independent world; inside each world the engine itself
+/// runs its rounds through the parallel plan/commit pipeline (results are
+/// bit-identical to the serial engine's planned mode regardless of the
+/// host's core count).
 pub fn compute_static(scale: Scale) -> Vec<(usize, StaticResult)> {
-    let runs = parallel_map(C_SWEEP.to_vec(), |c| {
+    let runs = parallel_map(static_grid(), |(c, seed)| {
         let cfg = StaticConfig {
-            scenario: base_scenario(scale, c, 40 + c as u64),
-            ace: AceConfig::paper_default(),
+            scenario: base_scenario(scale, c, seed),
+            ace: AceConfig {
+                parallel: true,
+                ..AceConfig::paper_default()
+            },
             steps: scale.steps(),
             query_samples: scale.samples(),
             ttl: 32,
@@ -219,10 +295,14 @@ pub fn fig07_08(scale: Scale) -> Vec<(ExperimentRecord, Vec<Table>)> {
     let mut t8 = Table::new(["step", "C=4", "C=6", "C=8", "C=10"]);
     let steps = runs[0].1.steps.len();
     for i in 0..steps {
-        let r7: Vec<String> =
-            runs.iter().map(|(_, r)| f1(r.steps[i].ace.traffic)).collect();
-        let r8: Vec<String> =
-            runs.iter().map(|(_, r)| f1(r.steps[i].ace.response_ms)).collect();
+        let r7: Vec<String> = runs
+            .iter()
+            .map(|(_, r)| f1(r.steps[i].ace.traffic))
+            .collect();
+        let r8: Vec<String> = runs
+            .iter()
+            .map(|(_, r)| f1(r.steps[i].ace.response_ms))
+            .collect();
         let mut row7 = vec![i.to_string()];
         row7.extend(r7);
         t7.row(row7);
@@ -264,8 +344,10 @@ pub fn fig09_10(scale: Scale) -> Vec<(ExperimentRecord, Vec<Table>)> {
     let base = mk(None);
     let ace = mk(Some(AceConfig::paper_default()));
 
-    let mut rec9 =
-        ExperimentRecord::new("fig09", "Average traffic cost per query in a dynamic environment");
+    let mut rec9 = ExperimentRecord::new(
+        "fig09",
+        "Average traffic cost per query in a dynamic environment",
+    );
     let mut rec10 =
         ExperimentRecord::new("fig10", "Average response time in a dynamic environment");
     for rec in [&mut rec9, &mut rec10] {
@@ -294,7 +376,11 @@ pub fn fig09_10(scale: Scale) -> Vec<(ExperimentRecord, Vec<Table>)> {
     let mut s10a = NamedSeries::new("ACE-enabled");
     for (wb, wa) in base.windows.iter().zip(ace.windows.iter()) {
         t9.row([wb.queries_done.to_string(), f1(wb.traffic), f1(wa.traffic)]);
-        t10.row([wb.queries_done.to_string(), f1(wb.response_ms), f1(wa.response_ms)]);
+        t10.row([
+            wb.queries_done.to_string(),
+            f1(wb.response_ms),
+            f1(wa.response_ms),
+        ]);
         s9b.push(wb.queries_done as f64, wb.traffic);
         s9a.push(wa.queries_done as f64, wa.traffic);
         s10b.push(wb.queries_done as f64, wb.response_ms);
@@ -316,14 +402,16 @@ pub struct DepthData {
     pub by_c: Vec<(usize, Vec<DepthPoint>)>,
 }
 
-/// Runs the closure-depth sweeps shared by Figures 11–16.
+/// Runs the closure-depth sweeps shared by Figures 11–16, scheduling the
+/// full `(C, seed)` grid across the worker pool.
 pub fn compute_depth_data(scale: Scale) -> DepthData {
-    let sweeps = parallel_map(C_SWEEP.to_vec(), |c| {
+    let grid: Vec<(usize, u64)> = C_SWEEP.iter().map(|&c| (c, 70 + c as u64)).collect();
+    let sweeps = parallel_map(grid, |(c, seed)| {
         let max_depth = if c == 4 { 8 } else { 4 };
         let cfg = DepthSweepConfig {
             scenario: ScenarioConfig {
                 peers: scale.sweep_peers(),
-                ..base_scenario(scale, c, 70 + c as u64)
+                ..base_scenario(scale, c, seed)
             },
             max_depth,
             steps: scale.steps().min(12),
@@ -332,7 +420,9 @@ pub fn compute_depth_data(scale: Scale) -> DepthData {
         };
         depth_sweep(&cfg)
     });
-    DepthData { by_c: C_SWEEP.iter().copied().zip(sweeps).collect() }
+    DepthData {
+        by_c: C_SWEEP.iter().copied().zip(sweeps).collect(),
+    }
 }
 
 /// Figures 11–16 from one shared sweep.
@@ -385,7 +475,12 @@ pub fn depth_figures(scale: Scale) -> Vec<(ExperimentRecord, Vec<Table>)> {
         ("fig13", 10usize, "Optimization rate vs depth (C=10)"),
         ("fig14", 4usize, "Optimization rate vs depth (C=4)"),
     ] {
-        let pts = &data.by_c.iter().find(|(cc, _)| *cc == c).expect("C in sweep").1;
+        let pts = &data
+            .by_c
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .expect("C in sweep")
+            .1;
         let mut rec = ExperimentRecord::new(id, title);
         rec.param("C", c).param("peers", scale.sweep_peers());
         let mut headers = vec!["h".to_string()];
@@ -410,10 +505,25 @@ pub fn depth_figures(scale: Scale) -> Vec<(ExperimentRecord, Vec<Table>)> {
 
     // Figs 15/16: optimization rate vs R for C=10 (h=1..4) / C=4 (h=1..8).
     for (id, c, hmax, title) in [
-        ("fig15", 10usize, 4usize, "Optimization rate vs frequency ratio (C=10)"),
-        ("fig16", 4usize, 8usize, "Optimization rate vs frequency ratio (C=4)"),
+        (
+            "fig15",
+            10usize,
+            4usize,
+            "Optimization rate vs frequency ratio (C=10)",
+        ),
+        (
+            "fig16",
+            4usize,
+            8usize,
+            "Optimization rate vs frequency ratio (C=4)",
+        ),
     ] {
-        let pts = &data.by_c.iter().find(|(cc, _)| *cc == c).expect("C in sweep").1;
+        let pts = &data
+            .by_c
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .expect("C in sweep")
+            .1;
         let hmax = hmax.min(pts.len());
         let mut rec = ExperimentRecord::new(id, title);
         rec.param("C", c).param("peers", scale.sweep_peers());
@@ -465,9 +575,17 @@ pub fn ext_index_cache(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     rec.param("peers", scale.peers()).param("cache_items", 200);
     let mut t = Table::new(["system", "traffic/query", "response ms", "vs flooding"]);
     let rows = [
-        ("Gnutella flooding", base.steady_traffic(), base.steady_response_ms()),
+        (
+            "Gnutella flooding",
+            base.steady_traffic(),
+            base.steady_response_ms(),
+        ),
         ("ACE", ace.steady_traffic(), ace.steady_response_ms()),
-        ("ACE + index cache", cached.steady_traffic(), cached.steady_response_ms()),
+        (
+            "ACE + index cache",
+            cached.steady_traffic(),
+            cached.steady_response_ms(),
+        ),
     ];
     for (name, traffic, resp) in rows {
         t.row([
@@ -477,7 +595,10 @@ pub fn ext_index_cache(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
             pct(1.0 - traffic / base.steady_traffic()),
         ]);
     }
-    rec.param("traffic_reduction", pct(1.0 - cached.steady_traffic() / base.steady_traffic()));
+    rec.param(
+        "traffic_reduction",
+        pct(1.0 - cached.steady_traffic() / base.steady_traffic()),
+    );
     rec.param(
         "response_reduction",
         pct(1.0 - cached.steady_response_ms() / base.steady_response_ms()),
@@ -501,8 +622,13 @@ pub fn ablation_policies(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         "Phase-3 replacement policies: Random vs Naive vs Closest",
     );
     rec.param("peers", scale.peers()).param("C", 6);
-    let mut t =
-        Table::new(["policy", "traffic reduction", "response reduction", "probe msgs", "probe cost"]);
+    let mut t = Table::new([
+        "policy",
+        "traffic reduction",
+        "response reduction",
+        "probe msgs",
+        "probe cost",
+    ]);
     for (name, policy) in [
         ("Random", ReplacePolicy::Random),
         ("Naive", ReplacePolicy::Naive),
@@ -510,16 +636,25 @@ pub fn ablation_policies(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     ] {
         let cfg = StaticConfig {
             scenario: base_scenario(scale, 6, 55),
-            ace: AceConfig { policy, ..AceConfig::paper_default() },
+            ace: AceConfig {
+                policy,
+                ..AceConfig::paper_default()
+            },
             steps: scale.steps(),
             query_samples: scale.samples(),
             ttl: 32,
         };
         let r = static_run(&cfg);
-        let probes: u64 =
-            r.steps.iter().map(|s| s.overhead.count_of(OverheadKind::Probe)).sum();
-        let probe_cost: f64 =
-            r.steps.iter().map(|s| s.overhead.cost_of(OverheadKind::Probe)).sum();
+        let probes: u64 = r
+            .steps
+            .iter()
+            .map(|s| s.overhead.count_of(OverheadKind::Probe))
+            .sum();
+        let probe_cost: f64 = r
+            .steps
+            .iter()
+            .map(|s| s.overhead.cost_of(OverheadKind::Probe))
+            .sum();
         t.row([
             name.to_string(),
             pct(r.traffic_reduction()),
@@ -543,7 +678,11 @@ pub fn ablation_landmark(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     let (as_count, nodes_per_as) = scale.phys();
     let mut rng = StdRng::seed_from_u64(77);
     let topo = two_level(
-        &TwoLevelConfig { as_count, nodes_per_as, ..TwoLevelConfig::default() },
+        &TwoLevelConfig {
+            as_count,
+            nodes_per_as,
+            ..TwoLevelConfig::default()
+        },
         &mut rng,
     );
     let n = topo.graph.node_count();
@@ -561,9 +700,13 @@ pub fn ablation_landmark(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         ..base_scenario(scale, 6, 77)
     });
 
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
-    let sources: Vec<PeerId> =
-        (0..scale.samples()).map(|_| PeerId::new(rng.gen_range(0..peers as u32))).collect();
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
+    let sources: Vec<PeerId> = (0..scale.samples())
+        .map(|_| PeerId::new(rng.gen_range(0..peers as u32)))
+        .collect();
     let measure = |ov: &Overlay, policy: &dyn ForwardPolicy| {
         let mut total = 0.0;
         let mut scope = 0.0;
@@ -605,8 +748,16 @@ pub fn ablation_landmark(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     );
     rec.param("peers", peers).param("landmarks", 8);
     let mut t = Table::new(["scheme", "traffic/query", "avg scope"]);
-    t.row(["random attachment + flooding".to_string(), f1(t_rand), f1(s_rand)]);
-    t.row(["landmark clustering + flooding".to_string(), f1(t_lm), f1(s_lm)]);
+    t.row([
+        "random attachment + flooding".to_string(),
+        f1(t_rand),
+        f1(s_rand),
+    ]);
+    t.row([
+        "landmark clustering + flooding".to_string(),
+        f1(t_lm),
+        f1(s_lm),
+    ]);
     t.row(["ACE (measurement-based)".to_string(), f1(t_ace), f1(s_ace)]);
     let mut s = NamedSeries::new("traffic: random/landmark/ACE");
     s.push(0.0, t_rand);
@@ -639,16 +790,28 @@ pub fn ablation_phases(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     // Trees only.
     let mut trees = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
     trees.tree_round(&s.overlay, &s.oracle);
-    let tree_sample =
-        measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, 32, &AceForward::new(&trees));
+    let tree_sample = measure_queries(
+        &s.overlay,
+        &s.oracle,
+        &s.placement,
+        &pairs,
+        32,
+        &AceForward::new(&trees),
+    );
 
     // Full ACE to convergence.
     let mut full = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
     for _ in 0..scale.steps() {
         full.round(&mut s.overlay, &s.oracle, &mut s.rng);
     }
-    let full_sample =
-        measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, 32, &AceForward::new(&full));
+    let full_sample = measure_queries(
+        &s.overlay,
+        &s.oracle,
+        &s.placement,
+        &pairs,
+        32,
+        &AceForward::new(&full),
+    );
 
     let mut rec = ExperimentRecord::new(
         "ablation_phases",
@@ -661,10 +824,21 @@ pub fn ablation_phases(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         ("phase 2 trees only", tree_sample),
         ("full ACE (2+3)", full_sample),
     ] {
-        t.row([name.to_string(), f1(q.traffic), f1(q.response_ms), f1(q.scope)]);
+        t.row([
+            name.to_string(),
+            f1(q.traffic),
+            f1(q.response_ms),
+            f1(q.scope),
+        ]);
     }
-    rec.param("tree_only_reduction", pct(1.0 - tree_sample.traffic / flood.traffic));
-    rec.param("full_reduction", pct(1.0 - full_sample.traffic / flood.traffic));
+    rec.param(
+        "tree_only_reduction",
+        pct(1.0 - tree_sample.traffic / flood.traffic),
+    );
+    rec.param(
+        "full_reduction",
+        pct(1.0 - full_sample.traffic / flood.traffic),
+    );
     let mut series = NamedSeries::new("traffic: flood/trees/full");
     series.push(0.0, flood.traffic);
     series.push(1.0, tree_sample.traffic);
@@ -695,13 +869,23 @@ pub fn ablation_ttl(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     let mut sa = NamedSeries::new("ACE");
     for ttl in [4u8, 5, 6, 7, 8, 10, 12, 16, 24, 32] {
         let f = measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, ttl, &FloodAll);
-        let a =
-            measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, ttl, &AceForward::new(&ace));
+        let a = measure_queries(
+            &s.overlay,
+            &s.oracle,
+            &s.placement,
+            &pairs,
+            ttl,
+            &AceForward::new(&ace),
+        );
         t.row([
             ttl.to_string(),
             f1(f.scope),
             f1(a.scope),
-            f3(if f.scope > 0.0 { a.scope / f.scope } else { 1.0 }),
+            f3(if f.scope > 0.0 {
+                a.scope / f.scope
+            } else {
+                1.0
+            }),
         ]);
         sf.push(f64::from(ttl), f.scope);
         sa.push(f64::from(ttl), a.scope);
@@ -719,14 +903,22 @@ pub fn ablation_overlays(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         "ACE traffic reduction by overlay family (clustering dependence)",
     );
     rec.param("peers", scale.peers()).param("C", 6);
-    let mut t = Table::new(["overlay", "traffic reduction", "response reduction", "min scope"]);
+    let mut t = Table::new([
+        "overlay",
+        "traffic reduction",
+        "response reduction",
+        "min scope",
+    ]);
     for (name, kind) in [
         ("clustered (small-world)", OverlayKind::Clustered),
         ("random attachment", OverlayKind::Random),
         ("preferential attachment", OverlayKind::PrefAttach),
     ] {
         let cfg = StaticConfig {
-            scenario: ScenarioConfig { overlay: kind, ..base_scenario(scale, 6, 66) },
+            scenario: ScenarioConfig {
+                overlay: kind,
+                ..base_scenario(scale, 6, 66)
+            },
             ace: AceConfig::paper_default(),
             steps: scale.steps(),
             query_samples: scale.samples(),
@@ -758,7 +950,14 @@ pub fn baseline_ltm(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     // Arm 1: untouched flooding.
     let mut s0 = Scenario::build(&scenario_cfg);
     let pairs = draw_query_pairs(&s0.overlay, &s0.catalog, scale.samples(), &mut s0.rng);
-    let flood = measure_queries(&s0.overlay, &s0.oracle, &s0.placement, &pairs, 32, &FloodAll);
+    let flood = measure_queries(
+        &s0.overlay,
+        &s0.oracle,
+        &s0.placement,
+        &pairs,
+        32,
+        &FloodAll,
+    );
 
     // Arm 2: LTM-optimized topology, still flooding.
     let mut s1 = Scenario::build(&scenario_cfg);
@@ -766,7 +965,14 @@ pub fn baseline_ltm(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     for _ in 0..scale.steps() {
         ltm.round(&mut s1.overlay, &s1.oracle, &mut s1.rng);
     }
-    let ltm_sample = measure_queries(&s1.overlay, &s1.oracle, &s1.placement, &pairs, 32, &FloodAll);
+    let ltm_sample = measure_queries(
+        &s1.overlay,
+        &s1.oracle,
+        &s1.placement,
+        &pairs,
+        32,
+        &FloodAll,
+    );
     let ltm_overhead = ltm.ledger().total_cost();
 
     // Arm 3: ACE.
@@ -775,21 +981,59 @@ pub fn baseline_ltm(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     for _ in 0..scale.steps() {
         ace.round(&mut s2.overlay, &s2.oracle, &mut s2.rng);
     }
-    let ace_sample =
-        measure_queries(&s2.overlay, &s2.oracle, &s2.placement, &pairs, 32, &AceForward::new(&ace));
+    let ace_sample = measure_queries(
+        &s2.overlay,
+        &s2.oracle,
+        &s2.placement,
+        &pairs,
+        32,
+        &AceForward::new(&ace),
+    );
     let ace_overhead = ace.ledger().total_cost();
 
     let mut rec = ExperimentRecord::new(
         "baseline_ltm",
         "ACE vs LTM (location-aware topology matching) vs blind flooding",
     );
-    rec.param("peers", scale.peers()).param("C", 6).param("steps", scale.steps());
-    let mut t = Table::new(["scheme", "traffic/query", "response ms", "scope", "total overhead"]);
-    t.row(["blind flooding".to_string(), f1(flood.traffic), f1(flood.response_ms), f1(flood.scope), "0".to_string()]);
-    t.row(["LTM + flooding".to_string(), f1(ltm_sample.traffic), f1(ltm_sample.response_ms), f1(ltm_sample.scope), f1(ltm_overhead)]);
-    t.row(["ACE".to_string(), f1(ace_sample.traffic), f1(ace_sample.response_ms), f1(ace_sample.scope), f1(ace_overhead)]);
-    rec.param("ltm_reduction", pct(1.0 - ltm_sample.traffic / flood.traffic));
-    rec.param("ace_reduction", pct(1.0 - ace_sample.traffic / flood.traffic));
+    rec.param("peers", scale.peers())
+        .param("C", 6)
+        .param("steps", scale.steps());
+    let mut t = Table::new([
+        "scheme",
+        "traffic/query",
+        "response ms",
+        "scope",
+        "total overhead",
+    ]);
+    t.row([
+        "blind flooding".to_string(),
+        f1(flood.traffic),
+        f1(flood.response_ms),
+        f1(flood.scope),
+        "0".to_string(),
+    ]);
+    t.row([
+        "LTM + flooding".to_string(),
+        f1(ltm_sample.traffic),
+        f1(ltm_sample.response_ms),
+        f1(ltm_sample.scope),
+        f1(ltm_overhead),
+    ]);
+    t.row([
+        "ACE".to_string(),
+        f1(ace_sample.traffic),
+        f1(ace_sample.response_ms),
+        f1(ace_sample.scope),
+        f1(ace_overhead),
+    ]);
+    rec.param(
+        "ltm_reduction",
+        pct(1.0 - ltm_sample.traffic / flood.traffic),
+    );
+    rec.param(
+        "ace_reduction",
+        pct(1.0 - ace_sample.traffic / flood.traffic),
+    );
     let mut series = NamedSeries::new("traffic: flood/LTM/ACE");
     series.push(0.0, flood.traffic);
     series.push(1.0, ltm_sample.traffic);
@@ -811,7 +1055,14 @@ pub fn ext_random_walk(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     let walk_avg = |s: &mut Scenario, label: &str| {
         let (mut traffic, mut resp, mut found) = (0.0, 0.0, 0u64);
         for &(src, obj) in &pairs {
-            let out = random_walk_query(&s.overlay, &s.oracle, src, &cfg, |p| s.placement.is_holder(obj, p), &mut s.rng);
+            let out = random_walk_query(
+                &s.overlay,
+                &s.oracle,
+                src,
+                &cfg,
+                |p| s.placement.is_holder(obj, p),
+                &mut s.rng,
+            );
             traffic += out.traffic_cost;
             if let Some(rt) = out.first_response {
                 resp += rt.as_millis_f64();
@@ -820,7 +1071,11 @@ pub fn ext_random_walk(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         }
         let n = pairs.len() as f64;
         let _ = label;
-        (traffic / n, if found > 0 { resp / found as f64 } else { 0.0 }, found as f64 / n)
+        (
+            traffic / n,
+            if found > 0 { resp / found as f64 } else { 0.0 },
+            found as f64 / n,
+        )
     };
 
     let (t_before, r_before, hit_before) = walk_avg(&mut s, "before");
@@ -838,10 +1093,23 @@ pub fn ext_random_walk(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         .param("walkers", cfg.walkers)
         .param("max_hops", cfg.max_hops);
     let mut t = Table::new(["topology", "walk traffic", "walk response ms", "hit rate"]);
-    t.row(["original".to_string(), f1(t_before), f1(r_before), pct(hit_before)]);
-    t.row(["ACE-matched".to_string(), f1(t_after), f1(r_after), pct(hit_after)]);
+    t.row([
+        "original".to_string(),
+        f1(t_before),
+        f1(r_before),
+        pct(hit_before),
+    ]);
+    t.row([
+        "ACE-matched".to_string(),
+        f1(t_after),
+        f1(r_after),
+        pct(hit_after),
+    ]);
     rec.param("traffic_reduction", pct(1.0 - t_after / t_before));
-    rec.param("response_reduction", pct(1.0 - r_after / r_before.max(1e-9)));
+    rec.param(
+        "response_reduction",
+        pct(1.0 - r_after / r_before.max(1e-9)),
+    );
     let mut series = NamedSeries::new("walk traffic: before/after");
     series.push(0.0, t_before);
     series.push(1.0, t_after);
@@ -860,7 +1128,10 @@ pub fn ext_async_churn(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     let oracle = &s.oracle;
     let mut sim = AsyncAceSim::new(s.overlay.clone(), ProtoConfig::default(), 222);
     let mut crng = StdRng::seed_from_u64(223);
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
 
     // Mean stretch of reached peers for a probe query from peer 0.
     let stretch = |sim: &AsyncAceSim| -> (f64, f64, usize) {
@@ -884,7 +1155,11 @@ pub fn ext_async_churn(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
                 }
             }
         }
-        let st = if counted > 0 { total_stretch / counted as f64 } else { 0.0 };
+        let st = if counted > 0 {
+            total_stretch / counted as f64
+        } else {
+            0.0
+        };
         (q.traffic_cost, st, q.scope)
     };
 
@@ -908,8 +1183,11 @@ pub fn ext_async_churn(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
                 if sim.overlay().is_alive(victim) && sim.overlay().alive_count() > 2 {
                     sim.peer_leave(victim);
                 }
-                let dead: Vec<PeerId> =
-                    sim.overlay().peers().filter(|&p| !sim.overlay().is_alive(p)).collect();
+                let dead: Vec<PeerId> = sim
+                    .overlay()
+                    .peers()
+                    .filter(|&p| !sim.overlay().is_alive(p))
+                    .collect();
                 if !dead.is_empty() {
                     let joiner = dead[crng.gen_range(0..dead.len())];
                     sim.peer_join(joiner, 6);
@@ -970,8 +1248,14 @@ pub fn baseline_gia(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
         gia.round(&mut s.overlay, &mut s.rng);
     }
-    let both =
-        measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, 32, &AceForward::new(&ace));
+    let both = measure_queries(
+        &s.overlay,
+        &s.oracle,
+        &s.placement,
+        &pairs,
+        32,
+        &AceForward::new(&ace),
+    );
     rows.push((
         "Gia + ACE composed".into(),
         both.traffic,
@@ -1007,14 +1291,27 @@ pub fn ext_async(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     // Arm 1: round-based engine.
     let mut s1 = Scenario::build(&scenario_cfg);
     let pairs = draw_query_pairs(&s1.overlay, &s1.catalog, scale.samples(), &mut s1.rng);
-    let flood = measure_queries(&s1.overlay, &s1.oracle, &s1.placement, &pairs, 32, &FloodAll);
+    let flood = measure_queries(
+        &s1.overlay,
+        &s1.oracle,
+        &s1.placement,
+        &pairs,
+        32,
+        &FloodAll,
+    );
     let mut eng = AceEngine::new(s1.overlay.peer_count(), AceConfig::paper_default());
     let cycles = scale.steps() as u64;
     for _ in 0..cycles {
         eng.round(&mut s1.overlay, &s1.oracle, &mut s1.rng);
     }
-    let sync_sample =
-        measure_queries(&s1.overlay, &s1.oracle, &s1.placement, &pairs, 32, &AceForward::new(&eng));
+    let sync_sample = measure_queries(
+        &s1.overlay,
+        &s1.oracle,
+        &s1.placement,
+        &pairs,
+        32,
+        &AceForward::new(&eng),
+    );
 
     // Arm 2: asynchronous protocol on an identical world, run for the same
     // number of 30-second optimization periods.
@@ -1034,7 +1331,12 @@ pub fn ext_async(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         .param("cycles", cycles)
         .param("async_messages", sim.messages_delivered());
     let mut t = Table::new(["implementation", "traffic/query", "scope", "overhead"]);
-    t.row(["blind flooding (baseline)".to_string(), f1(flood.traffic), f1(flood.scope), "0".to_string()]);
+    t.row([
+        "blind flooding (baseline)".to_string(),
+        f1(flood.traffic),
+        f1(flood.scope),
+        "0".to_string(),
+    ]);
     t.row([
         "round-based engine".to_string(),
         f1(sync_sample.traffic),
@@ -1047,8 +1349,14 @@ pub fn ext_async(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         f1(async_sample.scope),
         f1(sim.ledger().total_cost()),
     ]);
-    rec.param("sync_reduction", pct(1.0 - sync_sample.traffic / flood.traffic));
-    rec.param("async_reduction", pct(1.0 - async_sample.traffic / flood.traffic));
+    rec.param(
+        "sync_reduction",
+        pct(1.0 - sync_sample.traffic / flood.traffic),
+    );
+    rec.param(
+        "async_reduction",
+        pct(1.0 - async_sample.traffic / flood.traffic),
+    );
     let mut series = NamedSeries::new("traffic: flood/sync/async");
     series.push(0.0, flood.traffic);
     series.push(1.0, sync_sample.traffic);
@@ -1072,15 +1380,26 @@ pub fn ext_search_strategies(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     let flood = measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, 32, &FloodAll);
     let hpf_policy = PartialFlood::new(&s.oracle, 0.5, 2, HpfWeight::Cheapest);
     let hpf = measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, 32, &hpf_policy);
-    let tree =
-        measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, 32, &AceForward::new(&ace));
+    let tree = measure_queries(
+        &s.overlay,
+        &s.oracle,
+        &s.placement,
+        &pairs,
+        32,
+        &AceForward::new(&ace),
+    );
     // Random walks measured separately (not a ForwardPolicy propagation).
     let (mut w_traffic, mut w_resp, mut w_hits) = (0.0, 0.0, 0u64);
     let wcfg = WalkConfig::default();
     for &(src, obj) in &pairs {
-        let out = random_walk_query(&s.overlay, &s.oracle, src, &wcfg, |p| {
-            s.placement.is_holder(obj, p)
-        }, &mut s.rng);
+        let out = random_walk_query(
+            &s.overlay,
+            &s.oracle,
+            src,
+            &wcfg,
+            |p| s.placement.is_holder(obj, p),
+            &mut s.rng,
+        );
         w_traffic += out.traffic_cost;
         if let Some(rt) = out.first_response {
             w_resp += rt.as_millis_f64();
@@ -1090,7 +1409,11 @@ pub fn ext_search_strategies(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     let n = pairs.len() as f64;
     let walks = (
         w_traffic / n,
-        if w_hits > 0 { w_resp / w_hits as f64 } else { 0.0 },
+        if w_hits > 0 {
+            w_resp / w_hits as f64
+        } else {
+            0.0
+        },
         w_hits as f64 / n,
     );
 
@@ -1099,13 +1422,46 @@ pub fn ext_search_strategies(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         "Search strategies on the ACE-matched overlay: flooding vs HPF vs walks vs trees",
     );
     rec.param("peers", scale.peers()).param("C", 6);
-    let mut t = Table::new(["strategy", "traffic/query", "response ms", "scope", "success"]);
-    t.row(["blind flooding".to_string(), f1(flood.traffic), f1(flood.response_ms), f1(flood.scope), pct(flood.success)]);
-    t.row(["HPF partial flooding (50%)".to_string(), f1(hpf.traffic), f1(hpf.response_ms), f1(hpf.scope), pct(hpf.success)]);
-    t.row(["16-walker random walk".to_string(), f1(walks.0), f1(walks.1), "-".to_string(), pct(walks.2)]);
-    t.row(["ACE tree forwarding".to_string(), f1(tree.traffic), f1(tree.response_ms), f1(tree.scope), pct(tree.success)]);
+    let mut t = Table::new([
+        "strategy",
+        "traffic/query",
+        "response ms",
+        "scope",
+        "success",
+    ]);
+    t.row([
+        "blind flooding".to_string(),
+        f1(flood.traffic),
+        f1(flood.response_ms),
+        f1(flood.scope),
+        pct(flood.success),
+    ]);
+    t.row([
+        "HPF partial flooding (50%)".to_string(),
+        f1(hpf.traffic),
+        f1(hpf.response_ms),
+        f1(hpf.scope),
+        pct(hpf.success),
+    ]);
+    t.row([
+        "16-walker random walk".to_string(),
+        f1(walks.0),
+        f1(walks.1),
+        "-".to_string(),
+        pct(walks.2),
+    ]);
+    t.row([
+        "ACE tree forwarding".to_string(),
+        f1(tree.traffic),
+        f1(tree.response_ms),
+        f1(tree.scope),
+        pct(tree.success),
+    ]);
     let mut series = NamedSeries::new("traffic: flood/hpf/walk/tree");
-    for (i, v) in [flood.traffic, hpf.traffic, walks.0, tree.traffic].into_iter().enumerate() {
+    for (i, v) in [flood.traffic, hpf.traffic, walks.0, tree.traffic]
+        .into_iter()
+        .enumerate()
+    {
         series.push(i as f64, v);
     }
     rec.add_series(series);
@@ -1120,7 +1476,10 @@ pub fn ext_supernode(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     let scenario_cfg = base_scenario(scale, 6, 171);
     let mut s = Scenario::build(&scenario_cfg);
     let hosts: Vec<NodeId> = s.overlay.peers().map(|p| s.overlay.host(p)).collect();
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
     let samples = scale.samples();
 
     // Flat Gnutella reference on the same hosts.
@@ -1129,8 +1488,9 @@ pub fn ext_supernode(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
 
     // Two-tier network (random attach, the mismatch-prone default).
     let mut tt = TwoTierNetwork::build(hosts, &TwoTierConfig::default(), &s.oracle, &mut s.rng);
-    let leaves: Vec<usize> =
-        (0..samples).map(|_| s.rng.gen_range(0..tt.leaf_count())).collect();
+    let leaves: Vec<usize> = (0..samples)
+        .map(|_| s.rng.gen_range(0..tt.leaf_count()))
+        .collect();
     let measure_tt = |tt: &TwoTierNetwork, policy: &dyn ForwardPolicy, rng_leaves: &[usize]| {
         let mut total = 0.0;
         let mut scope = 0.0;
@@ -1139,7 +1499,10 @@ pub fn ext_supernode(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
             total += cost;
             scope += outcome.scope as f64;
         }
-        (total / rng_leaves.len() as f64, scope / rng_leaves.len() as f64)
+        (
+            total / rng_leaves.len() as f64,
+            scope / rng_leaves.len() as f64,
+        )
     };
     let (tt_flood, tt_scope) = measure_tt(&tt, &FloodAll, &leaves);
 
@@ -1160,9 +1523,21 @@ pub fn ext_supernode(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         .param("supernodes", tt.supernode_count())
         .param("leaves", tt.leaf_count());
     let mut t = Table::new(["system", "traffic/query", "flooding scope"]);
-    t.row(["flat Gnutella (all peers flood)".to_string(), f1(flat.traffic), f1(flat.scope)]);
-    t.row(["two-tier, flooding core".to_string(), f1(tt_flood), f1(tt_scope)]);
-    t.row(["two-tier, ACE-optimized core".to_string(), f1(tt_ace), f1(tt_ace_scope)]);
+    t.row([
+        "flat Gnutella (all peers flood)".to_string(),
+        f1(flat.traffic),
+        f1(flat.scope),
+    ]);
+    t.row([
+        "two-tier, flooding core".to_string(),
+        f1(tt_flood),
+        f1(tt_scope),
+    ]);
+    t.row([
+        "two-tier, ACE-optimized core".to_string(),
+        f1(tt_ace),
+        f1(tt_ace_scope),
+    ]);
     rec.param("core_reduction", pct(1.0 - tt_ace / tt_flood));
     let mut series = NamedSeries::new("traffic: flat/two-tier/two-tier+ACE");
     series.push(0.0, flat.traffic);
@@ -1181,8 +1556,11 @@ pub fn ablation_estimation(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     // Measure Vivaldi's accuracy on this world's peer hosts.
     let scenario_cfg = base_scenario(scale, 6, 151);
     let probe_world = Scenario::build(&scenario_cfg);
-    let hosts: Vec<NodeId> =
-        probe_world.overlay.peers().map(|p| probe_world.overlay.host(p)).collect();
+    let hosts: Vec<NodeId> = probe_world
+        .overlay
+        .peers()
+        .map(|p| probe_world.overlay.host(p))
+        .collect();
     let mut vrng = StdRng::seed_from_u64(152);
     let viv = VivaldiCoords::compute(
         &probe_world.oracle,
@@ -1198,7 +1576,12 @@ pub fn ablation_estimation(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     );
     rec.param("peers", scale.peers())
         .param("vivaldi_median_rel_error", pct(viv_err));
-    let mut t = Table::new(["measurement noise", "traffic reduction", "response reduction", "min scope"]);
+    let mut t = Table::new([
+        "measurement noise",
+        "traffic reduction",
+        "response reduction",
+        "min scope",
+    ]);
     let mut series = NamedSeries::new("reduction vs noise");
     for noise in [0.0f64, 0.1, 0.2, 0.4] {
         let cfg = StaticConfig {
@@ -1242,7 +1625,10 @@ pub fn ablation_load(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
     }
 
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
     let load_stats = |policy: &dyn ForwardPolicy| {
         let n = s.overlay.peer_count();
         let mut load = vec![0u64; n];
@@ -1271,10 +1657,29 @@ pub fn ablation_load(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         "ablation_load",
         "Per-peer forwarding-load distribution: flooding vs ACE trees",
     );
-    rec.param("peers", scale.peers()).param("queries", scale.samples());
-    let mut t = Table::new(["policy", "mean load", "p95 load", "max load", "top-10% share"]);
-    t.row(["blind flooding".to_string(), f1(flood.0), f1(flood.1), f1(flood.2), pct(flood.3)]);
-    t.row(["ACE trees".to_string(), f1(tree.0), f1(tree.1), f1(tree.2), pct(tree.3)]);
+    rec.param("peers", scale.peers())
+        .param("queries", scale.samples());
+    let mut t = Table::new([
+        "policy",
+        "mean load",
+        "p95 load",
+        "max load",
+        "top-10% share",
+    ]);
+    t.row([
+        "blind flooding".to_string(),
+        f1(flood.0),
+        f1(flood.1),
+        f1(flood.2),
+        pct(flood.3),
+    ]);
+    t.row([
+        "ACE trees".to_string(),
+        f1(tree.0),
+        f1(tree.1),
+        f1(tree.2),
+        pct(tree.3),
+    ]);
     let mut series = NamedSeries::new("top-10% load share");
     series.push(0.0, flood.3);
     series.push(1.0, tree.3);
@@ -1291,11 +1696,19 @@ pub fn ablation_min_flooding(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
         "Scope guard: minimum flooding links vs traffic reduction and scope",
     );
     rec.param("peers", scale.peers()).param("C", 4);
-    let mut t = Table::new(["min_flooding", "traffic reduction", "min scope", "response reduction"]);
+    let mut t = Table::new([
+        "min_flooding",
+        "traffic reduction",
+        "min scope",
+        "response reduction",
+    ]);
     let results = parallel_map(vec![1usize, 2, 3, 4], |mf| {
         let cfg = StaticConfig {
             scenario: base_scenario(scale, 4, 161),
-            ace: AceConfig { min_flooding: mf, ..AceConfig::paper_default() },
+            ace: AceConfig {
+                min_flooding: mf,
+                ..AceConfig::paper_default()
+            },
             steps: scale.steps(),
             query_samples: scale.samples(),
             ttl: 32,
@@ -1316,6 +1729,85 @@ pub fn ablation_min_flooding(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
     }
     rec.add_series(s_red).add_series(s_scope);
     (rec, vec![t])
+}
+
+// ---------------------------------------------------------------------
+// Round-level wall-clock bench — BENCH_rounds.json
+// ---------------------------------------------------------------------
+
+/// One optimization round's wall time and oracle traffic.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoundTiming {
+    pub round: usize,
+    pub wall_ms: f64,
+    pub oracle_hits: u64,
+    pub oracle_misses: u64,
+}
+
+/// Serial-vs-parallel wall-clock comparison of the ACE round pipeline on
+/// one scenario, written to `BENCH_rounds.json` by `repro_all`.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoundBench {
+    pub scale: String,
+    pub peers: usize,
+    pub phys_nodes: usize,
+    pub rounds: usize,
+    pub workers: usize,
+    pub serial: Vec<RoundTiming>,
+    pub parallel: Vec<RoundTiming>,
+    pub serial_total_ms: f64,
+    pub parallel_total_ms: f64,
+    pub speedup: f64,
+}
+
+/// Times `rounds` ACE steps on identical worlds, once with the classic
+/// serial round and once through the plan/commit pipeline. Oracle cache
+/// counters are read as per-round deltas, so `oracle_misses` shows the
+/// warm-up round paying the Dijkstra cost and later rounds hitting cache.
+pub fn bench_rounds(scale: Scale, rounds: usize) -> RoundBench {
+    let run = |parallel: bool| -> Vec<RoundTiming> {
+        let mut s = Scenario::build(&base_scenario(scale, 6, 97));
+        let mut ace = AceEngine::new(
+            s.overlay.peer_count(),
+            AceConfig {
+                parallel,
+                ..AceConfig::paper_default()
+            },
+        );
+        let mut timings = Vec::with_capacity(rounds);
+        let (mut prev_hits, mut prev_misses) = s.oracle.cache_stats();
+        for round in 0..rounds {
+            let start = std::time::Instant::now();
+            ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let (hits, misses) = s.oracle.cache_stats();
+            timings.push(RoundTiming {
+                round,
+                wall_ms,
+                oracle_hits: hits - prev_hits,
+                oracle_misses: misses - prev_misses,
+            });
+            (prev_hits, prev_misses) = (hits, misses);
+        }
+        timings
+    };
+    let serial = run(false);
+    let parallel = run(true);
+    let serial_total_ms: f64 = serial.iter().map(|t| t.wall_ms).sum();
+    let parallel_total_ms: f64 = parallel.iter().map(|t| t.wall_ms).sum();
+    let (as_count, nodes_per_as) = scale.phys();
+    RoundBench {
+        scale: format!("{scale:?}"),
+        peers: scale.peers(),
+        phys_nodes: as_count * nodes_per_as,
+        rounds,
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial,
+        parallel,
+        serial_total_ms,
+        parallel_total_ms,
+        speedup: serial_total_ms / parallel_total_ms.max(1e-9),
+    }
 }
 
 #[cfg(test)]

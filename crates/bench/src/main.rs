@@ -5,7 +5,10 @@ use ace_overlay::{run_query, FloodAll, PeerId, QueryConfig};
 
 fn main() {
     let scenario = ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 40 },
+        phys: PhysKind::TwoLevel {
+            as_count: 4,
+            nodes_per_as: 40,
+        },
         peers: 70,
         avg_degree: 6,
         objects: 40,
@@ -14,8 +17,17 @@ fn main() {
         ..ScenarioConfig::default()
     };
     let mut s = Scenario::build(&scenario);
-    let mut ace = AceEngine::new(70, AceConfig { depth: 2, ..AceConfig::paper_default() });
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+    let mut ace = AceEngine::new(
+        70,
+        AceConfig {
+            depth: 2,
+            ..AceConfig::paper_default()
+        },
+    );
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
     for round in 0..8 {
         let st = ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
         // stale tree entries
@@ -23,14 +35,41 @@ fn main() {
         let mut empty_fwd = 0usize;
         for p in s.overlay.alive_peers() {
             let f = ace.flooding_neighbors(p);
-            let live: Vec<_> = f.iter().filter(|&&n| s.overlay.are_neighbors(p, n)).collect();
+            let live: Vec<_> = f
+                .iter()
+                .filter(|&&n| s.overlay.are_neighbors(p, n))
+                .collect();
             stale += f.len() - live.len();
-            if live.is_empty() { empty_fwd += 1; }
+            if live.is_empty() {
+                empty_fwd += 1;
+            }
         }
-        let out = run_query(&s.overlay, &s.oracle, PeerId::new(0), &qc, &AceForward::new(&ace), |_| false);
-        let fl = run_query(&s.overlay, &s.oracle, PeerId::new(0), &qc, &FloodAll, |_| false);
-        println!("round {round}: replaced {} added {} scope {}/{} stale {} emptyfwd {} avgdeg {:.2}",
-            st.replaced, st.added, out.scope, fl.scope, stale, empty_fwd, s.overlay.average_degree());
+        let out = run_query(
+            &s.overlay,
+            &s.oracle,
+            PeerId::new(0),
+            &qc,
+            &AceForward::new(&ace),
+            |_| false,
+        );
+        let fl = run_query(
+            &s.overlay,
+            &s.oracle,
+            PeerId::new(0),
+            &qc,
+            &FloodAll,
+            |_| false,
+        );
+        println!(
+            "round {round}: replaced {} added {} scope {}/{} stale {} emptyfwd {} avgdeg {:.2}",
+            st.replaced,
+            st.added,
+            out.scope,
+            fl.scope,
+            stale,
+            empty_fwd,
+            s.overlay.average_degree()
+        );
     }
     // Check union-graph connectivity: undirected U
     let n = s.overlay.peer_count();
@@ -47,6 +86,14 @@ fn main() {
     let mut stack = vec![0usize];
     seen[0] = true;
     let mut cnt = 0;
-    while let Some(u) = stack.pop() { cnt += 1; for &v in &adj[u] { if !seen[v] { seen[v]=true; stack.push(v);} } }
+    while let Some(u) = stack.pop() {
+        cnt += 1;
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
     println!("U-component of p0: {cnt}/{n}");
 }

@@ -49,8 +49,8 @@ impl Closure {
                 continue;
             }
             for &v in overlay.neighbors(u) {
-                if !index.contains_key(&v) {
-                    index.insert(v, members.len());
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(v) {
+                    e.insert(members.len());
                     members.push(v);
                     hops.push(uh + 1);
                     parents.push(Some(u));
@@ -58,7 +58,14 @@ impl Closure {
                 }
             }
         }
-        Closure { source, depth, members, hops, parents, index }
+        Closure {
+            source,
+            depth,
+            members,
+            hops,
+            parents,
+            index,
+        }
     }
 
     /// The source peer.
@@ -164,7 +171,15 @@ mod tests {
         let ov = path_overlay(5);
         let c = Closure::collect(&ov, PeerId::new(0), 3);
         let path = c.relay_path(PeerId::new(3)).unwrap();
-        assert_eq!(path, vec![PeerId::new(3), PeerId::new(2), PeerId::new(1), PeerId::new(0)]);
+        assert_eq!(
+            path,
+            vec![
+                PeerId::new(3),
+                PeerId::new(2),
+                PeerId::new(1),
+                PeerId::new(0)
+            ]
+        );
         assert_eq!(c.relay_path(PeerId::new(0)).unwrap(), vec![PeerId::new(0)]);
         assert_eq!(c.relay_path(PeerId::new(4)), None);
     }

@@ -32,7 +32,10 @@ pub struct CostTable {
 impl CostTable {
     /// Creates an empty table owned by `owner`.
     pub fn new(owner: PeerId) -> Self {
-        CostTable { owner, entries: Vec::new() }
+        CostTable {
+            owner,
+            entries: Vec::new(),
+        }
     }
 
     /// The owning peer.
@@ -71,7 +74,10 @@ impl CostTable {
 
     /// The probed cost to `neighbor`, if known.
     pub fn get(&self, neighbor: PeerId) -> Option<Delay> {
-        self.entries.iter().find(|(p, _)| *p == neighbor).map(|&(_, c)| c)
+        self.entries
+            .iter()
+            .find(|(p, _)| *p == neighbor)
+            .map(|&(_, c)| c)
     }
 
     /// Iterates over `(neighbor, cost)` entries.
@@ -94,7 +100,10 @@ impl CostTable {
     /// Renders the table as the wire message used for the exchange —
     /// overhead accounting charges its real encoded size.
     pub fn to_message(&self) -> Message {
-        Message::CostTable { owner: self.owner, entries: self.entries.clone() }
+        Message::CostTable {
+            owner: self.owner,
+            entries: self.entries.clone(),
+        }
     }
 }
 

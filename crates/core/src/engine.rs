@@ -16,9 +16,14 @@
 //! never uses global knowledge — every decision is based on probed costs
 //! and exchanged tables, exactly as in the distributed protocol.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use ace_overlay::{Message, Overlay, OverlayError, PeerId};
 use ace_topology::{Delay, DistanceOracle};
@@ -58,17 +63,29 @@ pub struct AceConfig {
     /// flooding links too. Guards the search scope against forwarding
     /// islands on sparse overlays (the paper's scope-retention claim).
     pub min_flooding: usize,
+    /// When true, [`AceEngine::round`] runs the two-stage plan/commit
+    /// pipeline: every alive peer *plans* its round concurrently against a
+    /// snapshot of the overlay, then the plans are *committed* serially in
+    /// peer-id order. The result is bit-identical for any worker count
+    /// (including 1) but differs from the serial schedule, which lets each
+    /// peer observe earlier peers' rewiring within the same round.
+    pub parallel: bool,
+    /// Worker threads for the parallel pipeline; `0` means one per
+    /// available core. Has no effect on results — only on wall time.
+    pub workers: usize,
 }
 
 impl AceConfig {
     /// The paper's base configuration: `h = 1`, random policy, exact
-    /// probes, scope guard of 2 flooding links.
+    /// probes, scope guard of 2 flooding links, serial rounds.
     pub fn paper_default() -> Self {
         AceConfig {
             depth: 1,
             policy: ReplacePolicy::Random,
             probe: ProbeModel::default(),
             min_flooding: 2,
+            parallel: false,
+            workers: 0,
         }
     }
 }
@@ -189,7 +206,9 @@ impl AceEngine {
         if cfg.depth == 0 {
             cfg.depth = 1;
         }
-        let states = (0..peer_count).map(|i| PeerState::new(PeerId::new(i as u32))).collect();
+        let states = (0..peer_count)
+            .map(|i| PeerState::new(PeerId::new(i as u32)))
+            .collect();
         AceEngine {
             cfg,
             states,
@@ -228,14 +247,24 @@ impl AceEngine {
     /// May contain stale entries after topology changes; forwarding
     /// filters against current neighbors.
     pub fn flooding_neighbors(&self, peer: PeerId) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        self.flooding_neighbors_into(peer, &mut out);
+        out
+    }
+
+    /// Like [`AceEngine::flooding_neighbors`], but writes into a caller
+    /// buffer (cleared first) instead of allocating. Forwarding calls this
+    /// once per visited peer per query, so the reuse matters on the query
+    /// hot path.
+    pub fn flooding_neighbors_into(&self, peer: PeerId, out: &mut Vec<PeerId>) {
+        out.clear();
         let s = &self.states[peer.index()];
-        let mut out = s.own_tree.clone();
+        out.extend_from_slice(&s.own_tree);
         for &r in &s.requested {
             if !out.contains(&r) {
                 out.push(r);
             }
         }
-        out
     }
 
     /// `peer`'s own-tree neighbors only (without symmetrization requests).
@@ -295,7 +324,9 @@ impl AceEngine {
             let measured = if peer < n || self.states[n.index()].table.get(peer).is_none() {
                 self.probe_and_charge(ov, oracle, peer, n)
             } else {
-                self.cfg.probe.perturb(peer, n, ov.link_cost(oracle, peer, n))
+                self.cfg
+                    .probe
+                    .perturb(peer, n, ov.link_cost(oracle, peer, n))
             };
             self.states[peer.index()].table.set(n, measured);
         }
@@ -442,7 +473,9 @@ impl AceEngine {
                 .filter(|n| !new_tree.contains(n))
                 .map(|&n| {
                     let c = self.states[peer.index()].table.get(n).unwrap_or_else(|| {
-                        self.cfg.probe.perturb(peer, n, ov.link_cost(oracle, peer, n))
+                        self.cfg
+                            .probe
+                            .perturb(peer, n, ov.link_cost(oracle, peer, n))
                     });
                     (c, n)
                 })
@@ -465,14 +498,18 @@ impl AceEngine {
                 req.push(peer);
             }
             let cost = ov.link_cost(oracle, peer, f);
-            self.ledger
-                .charge(OverheadKind::TableExchange, f64::from(cost) * self.notify_units);
+            self.ledger.charge(
+                OverheadKind::TableExchange,
+                f64::from(cost) * self.notify_units,
+            );
         }
         for &f in old_tree.iter().filter(|f| !new_tree.contains(f)) {
             self.states[f.index()].requested.retain(|&p| p != peer);
             let cost = ov.link_cost(oracle, peer, f);
-            self.ledger
-                .charge(OverheadKind::TableExchange, f64::from(cost) * self.notify_units);
+            self.ledger.charge(
+                OverheadKind::TableExchange,
+                f64::from(cost) * self.notify_units,
+            );
         }
         {
             let s = &mut self.states[peer.index()];
@@ -561,9 +598,11 @@ impl AceEngine {
                 let mut best: Option<(Delay, PeerId)> = None;
                 for &b in &non_flooding {
                     let c = self.states[peer.index()].table.get(b).unwrap_or_else(|| {
-                        self.cfg.probe.perturb(peer, b, ov.link_cost(oracle, peer, b))
+                        self.cfg
+                            .probe
+                            .perturb(peer, b, ov.link_cost(oracle, peer, b))
                     });
-                    if best.map_or(true, |(bc, bp)| (c, b) > (bc, bp)) {
+                    if best.is_none_or(|(bc, bp)| (c, b) > (bc, bp)) {
                         best = Some((c, b));
                     }
                 }
@@ -590,7 +629,7 @@ impl AceEngine {
                 let mut best: Option<(Delay, PeerId, Delay)> = None;
                 for &(h, bh) in &candidates {
                     let ch = self.probe_and_charge(ov, oracle, peer, h);
-                    if best.map_or(true, |(bc, bp, _)| (ch, h) < (bc, bp)) {
+                    if best.is_none_or(|(bc, bp, _)| (ch, h) < (bc, bp)) {
                         best = Some((ch, h, bh));
                     }
                 }
@@ -605,7 +644,9 @@ impl AceEngine {
         };
 
         let far_cost = self.states[peer.index()].table.get(far).unwrap_or_else(|| {
-            self.cfg.probe.perturb(peer, far, ov.link_cost(oracle, peer, far))
+            self.cfg
+                .probe
+                .perturb(peer, far, ov.link_cost(oracle, peer, far))
         });
 
         if near_cost < far_cost {
@@ -679,25 +720,39 @@ impl AceEngine {
 
     fn charge_connect(&mut self, ov: &Overlay, oracle: &DistanceOracle, a: PeerId, b: PeerId) {
         let cost = ov.link_cost(oracle, a, b);
-        self.ledger
-            .charge(OverheadKind::Reconnect, f64::from(cost) * self.connect_units);
+        self.ledger.charge(
+            OverheadKind::Reconnect,
+            f64::from(cost) * self.connect_units,
+        );
     }
 
     fn charge_disconnect(&mut self, ov: &Overlay, oracle: &DistanceOracle, a: PeerId, b: PeerId) {
         let cost = ov.link_cost(oracle, a, b);
-        self.ledger
-            .charge(OverheadKind::Reconnect, f64::from(cost) * self.disconnect_units);
+        self.ledger.charge(
+            OverheadKind::Reconnect,
+            f64::from(cost) * self.disconnect_units,
+        );
     }
 
     /// One full optimization round: every alive peer probes (phase 1),
     /// then — in random order — rebuilds its tree and makes one adaptive
     /// attempt (phases 2–3).
+    ///
+    /// With [`AceConfig::parallel`] set, the round instead runs the
+    /// plan/commit pipeline (see [`AceConfig::parallel`]): one `u64` is
+    /// drawn from `rng` as the round seed and each peer plans with its own
+    /// seed-derived RNG stream, so the outcome is independent of thread
+    /// scheduling and worker count.
     pub fn round<R: Rng + ?Sized>(
         &mut self,
         ov: &mut Overlay,
         oracle: &DistanceOracle,
         rng: &mut R,
     ) -> RoundStats {
+        if self.cfg.parallel {
+            let round_seed: u64 = rng.gen();
+            return self.round_planned(ov, oracle, round_seed);
+        }
         let before = self.ledger;
         let mut stats = RoundStats::default();
         let mut alive: Vec<PeerId> = ov.alive_peers().collect();
@@ -739,6 +794,532 @@ impl AceEngine {
         stats.overhead = self.ledger.since(&before);
         stats
     }
+
+    // ----- parallel plan/commit pipeline ---------------------------------
+
+    /// Worker-thread count for the pipeline (`cfg.workers`, or one per
+    /// available core when 0). Never affects results, only wall time.
+    fn effective_workers(&self) -> usize {
+        if self.cfg.workers > 0 {
+            self.cfg.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Per-peer RNG stream seed: distinct per `(round_seed, peer)` and
+    /// independent of which worker thread runs the plan.
+    fn peer_stream_seed(round_seed: u64, peer: PeerId) -> u64 {
+        round_seed ^ (peer.index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Pure probe: charges `ledger` (a plan-local ledger, merged at commit
+    /// in peer-id order) and returns the perturbed measurement. Safe to
+    /// run concurrently — [`ProbeModel::perturb`] is pair-deterministic.
+    fn plan_probe(
+        &self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        ledger: &mut OverheadLedger,
+        a: PeerId,
+        b: PeerId,
+    ) -> Delay {
+        let true_cost = ov.link_cost(oracle, a, b);
+        ledger.charge(OverheadKind::Probe, f64::from(true_cost) * self.probe_units);
+        self.cfg.probe.perturb(a, b, true_cost)
+    }
+
+    /// Stage A: plan one peer's phase 2 against the round-start snapshot.
+    /// Read-only on `self`; every side effect is recorded in the plan.
+    fn plan_tree(&self, ov: &Overlay, oracle: &DistanceOracle, peer: PeerId) -> TreePlan {
+        let mut ledger = OverheadLedger::new();
+        let closure = Closure::collect(ov, peer, self.cfg.depth);
+        let mut known: HashMap<PeerId, CostTable> = HashMap::with_capacity(closure.len());
+        known.insert(peer, self.states[peer.index()].table.clone());
+        for &w in closure.members().iter().filter(|&&w| w != peer) {
+            let table = self.states[w.index()].table.clone();
+            let path = closure.relay_path(w).expect("member has a relay path");
+            let units = table.to_message().size_units();
+            let kind = if path.len() <= 2 {
+                OverheadKind::TableExchange
+            } else {
+                OverheadKind::ClosureRelay
+            };
+            for hop in path.windows(2) {
+                let cost = ov.link_cost(oracle, hop[0], hop[1]);
+                ledger.charge(kind, f64::from(cost) * units);
+            }
+            known.insert(w, table);
+        }
+
+        let mut edges: Vec<ClosureEdge> = Vec::new();
+        let mut core_probes: Vec<((PeerId, PeerId), Delay)> = Vec::new();
+        for (a, b) in closure.internal_edges(ov) {
+            let cost = known
+                .get(&a)
+                .and_then(|t| t.get(b))
+                .or_else(|| known.get(&b).and_then(|t| t.get(a)))
+                .unwrap_or_else(|| self.plan_probe(ov, oracle, &mut ledger, a, b));
+            edges.push(ClosureEdge { a, b, cost });
+        }
+        let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if ov.are_neighbors(a, b) {
+                    continue;
+                }
+                let key = if a <= b { (a, b) } else { (b, a) };
+                let cost = match self.core_cache.get(&key) {
+                    Some(&c) => c,
+                    None => {
+                        // Concurrent planners may both pay for the same
+                        // missing pair (as real concurrent peers would);
+                        // commit keeps the first value so the cache stays
+                        // deterministic.
+                        let c = self.plan_probe(ov, oracle, &mut ledger, a, b);
+                        core_probes.push((key, c));
+                        c
+                    }
+                };
+                edges.push(ClosureEdge { a, b, cost });
+            }
+        }
+        let tree = prim_heap(peer, closure.members(), &edges);
+        let mut new_tree = tree.tree_neighbors(peer);
+        if new_tree.len() < self.cfg.min_flooding {
+            let mut extras: Vec<(Delay, PeerId)> = nbrs
+                .iter()
+                .filter(|n| !new_tree.contains(n))
+                .map(|&n| {
+                    let c = self.states[peer.index()].table.get(n).unwrap_or_else(|| {
+                        self.cfg
+                            .probe
+                            .perturb(peer, n, ov.link_cost(oracle, peer, n))
+                    });
+                    (c, n)
+                })
+                .collect();
+            extras.sort_unstable();
+            for (_, n) in extras {
+                if new_tree.len() >= self.cfg.min_flooding {
+                    break;
+                }
+                new_tree.push(n);
+            }
+        }
+        TreePlan {
+            peer,
+            known,
+            new_tree,
+            core_probes,
+            ledger,
+        }
+    }
+
+    /// Serial commit of stage A: merge plan ledgers, fill the pairwise
+    /// core cache (first value wins), and apply each tree diff — all in
+    /// plan (peer-id) order, which also fixes float summation order.
+    fn commit_trees(
+        &mut self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        plans: &[TreePlan],
+        stats: &mut RoundStats,
+    ) {
+        for plan in plans {
+            self.ledger.merge(&plan.ledger);
+            for &(key, c) in &plan.core_probes {
+                self.core_cache.entry(key).or_insert(c);
+            }
+            let peer = plan.peer;
+            let old_tree = std::mem::take(&mut self.states[peer.index()].own_tree);
+            for &f in plan.new_tree.iter().filter(|f| !old_tree.contains(f)) {
+                let req = &mut self.states[f.index()].requested;
+                if !req.contains(&peer) {
+                    req.push(peer);
+                }
+                let cost = ov.link_cost(oracle, peer, f);
+                self.ledger.charge(
+                    OverheadKind::TableExchange,
+                    f64::from(cost) * self.notify_units,
+                );
+            }
+            for &f in old_tree.iter().filter(|f| !plan.new_tree.contains(f)) {
+                self.states[f.index()].requested.retain(|&p| p != peer);
+                let cost = ov.link_cost(oracle, peer, f);
+                self.ledger.charge(
+                    OverheadKind::TableExchange,
+                    f64::from(cost) * self.notify_units,
+                );
+            }
+            let s = &mut self.states[peer.index()];
+            s.own_tree = plan.new_tree.clone();
+            s.tree_built = true;
+            stats.trees_built += 1;
+        }
+    }
+
+    /// Stage B: plan one peer's watch expiry and phase-3 attempt. Reads
+    /// the committed trees (post stage A) and the round-start overlay;
+    /// randomness comes from the peer's own seed-derived stream.
+    fn plan_adapt(
+        &self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+        known: &HashMap<PeerId, CostTable>,
+        rng: &mut StdRng,
+    ) -> AdaptPlan {
+        let mut ledger = OverheadLedger::new();
+        let state = &self.states[peer.index()];
+
+        // Watch triage (read-only twin of `process_watches`); cuts are
+        // revalidated at commit because earlier commits may rewire links.
+        let mut watch_cuts = Vec::new();
+        let mut watch_keeps = Vec::new();
+        for &(far, near) in &state.watches {
+            if !ov.are_neighbors(peer, far) || !ov.are_neighbors(peer, near) {
+                continue; // expired
+            }
+            if state.own_tree.contains(&far) {
+                watch_keeps.push((far, near));
+                continue;
+            }
+            let has_detour = ov
+                .neighbors(peer)
+                .iter()
+                .any(|&n| n != far && ov.are_neighbors(n, far));
+            if !has_detour {
+                watch_keeps.push((far, near));
+                continue;
+            }
+            let Some(far_table) = known.get(&far) else {
+                watch_keeps.push((far, near));
+                continue;
+            };
+            if far_table.get(near).is_some() {
+                watch_keeps.push((far, near));
+                continue;
+            }
+            watch_cuts.push((far, near));
+        }
+
+        let proposal = self.plan_phase3(ov, oracle, peer, known, &mut ledger, rng);
+        AdaptPlan {
+            peer,
+            watch_cuts,
+            watch_keeps,
+            proposal,
+            ledger,
+        }
+    }
+
+    /// Read-only twin of `phase3_adapt`: same Figure-4 decision rules, but
+    /// probes charge the plan ledger and the chosen action is returned as
+    /// a proposal instead of being applied.
+    fn plan_phase3(
+        &self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        peer: PeerId,
+        known: &HashMap<PeerId, CostTable>,
+        ledger: &mut OverheadLedger,
+        rng: &mut StdRng,
+    ) -> Proposal {
+        let flooding = self.flooding_neighbors(peer);
+        let non_flooding: Vec<PeerId> = ov
+            .neighbors(peer)
+            .iter()
+            .copied()
+            .filter(|n| !flooding.contains(n))
+            .collect();
+        if non_flooding.is_empty() {
+            return Proposal::Keep;
+        }
+
+        let far = match self.cfg.policy {
+            ReplacePolicy::Random => non_flooding[rng.gen_range(0..non_flooding.len())],
+            ReplacePolicy::Naive | ReplacePolicy::Closest => {
+                let mut best: Option<(Delay, PeerId)> = None;
+                for &b in &non_flooding {
+                    let c = self.states[peer.index()].table.get(b).unwrap_or_else(|| {
+                        self.cfg
+                            .probe
+                            .perturb(peer, b, ov.link_cost(oracle, peer, b))
+                    });
+                    if best.is_none_or(|(bc, bp)| (c, b) > (bc, bp)) {
+                        best = Some((c, b));
+                    }
+                }
+                best.expect("non_flooding is non-empty").1
+            }
+        };
+
+        let Some(far_table) = known.get(&far) else {
+            return Proposal::Keep;
+        };
+        let candidates: Vec<(PeerId, Delay)> = far_table
+            .iter()
+            .filter(|&(h, _)| h != peer && ov.is_alive(h) && !ov.are_neighbors(peer, h))
+            .collect();
+        if candidates.is_empty() {
+            return Proposal::Keep;
+        }
+
+        let (near, near_cost, far_near_cost) = match self.cfg.policy {
+            ReplacePolicy::Closest => {
+                let mut best: Option<(Delay, PeerId, Delay)> = None;
+                for &(h, bh) in &candidates {
+                    let ch = self.plan_probe(ov, oracle, ledger, peer, h);
+                    if best.is_none_or(|(bc, bp, _)| (ch, h) < (bc, bp)) {
+                        best = Some((ch, h, bh));
+                    }
+                }
+                let (ch, h, bh) = best.expect("candidates is non-empty");
+                (h, ch, bh)
+            }
+            _ => {
+                let (h, bh) = candidates[rng.gen_range(0..candidates.len())];
+                let ch = self.plan_probe(ov, oracle, ledger, peer, h);
+                (h, ch, bh)
+            }
+        };
+
+        let far_cost = self.states[peer.index()].table.get(far).unwrap_or_else(|| {
+            self.cfg
+                .probe
+                .perturb(peer, far, ov.link_cost(oracle, peer, far))
+        });
+
+        if near_cost < far_cost {
+            if !ov.are_neighbors(far, near) {
+                return Proposal::Keep;
+            }
+            Proposal::Replace {
+                far,
+                near,
+                near_cost,
+            }
+        } else if near_cost < far_near_cost {
+            Proposal::Add {
+                far,
+                near,
+                near_cost,
+            }
+        } else {
+            Proposal::Keep
+        }
+    }
+
+    /// Serial commit of stage B, in plan (peer-id) order: apply watch cuts
+    /// and phase-3 proposals, revalidating every Figure-4 precondition
+    /// against the *current* overlay — an earlier peer's commit may have
+    /// consumed a link or a degree slot a plan relied on; such plans
+    /// degrade to keep-all, exactly as a lost race would in a real
+    /// deployment.
+    fn commit_adaptations(
+        &mut self,
+        ov: &mut Overlay,
+        oracle: &DistanceOracle,
+        plans: Vec<AdaptPlan>,
+        stats: &mut RoundStats,
+    ) {
+        for plan in plans {
+            self.ledger.merge(&plan.ledger);
+            let peer = plan.peer;
+
+            let mut keep = plan.watch_keeps;
+            for (far, near) in plan.watch_cuts {
+                if !ov.are_neighbors(peer, far) || !ov.are_neighbors(peer, near) {
+                    continue; // expired since planning
+                }
+                let has_detour = ov
+                    .neighbors(peer)
+                    .iter()
+                    .any(|&n| n != far && ov.are_neighbors(n, far));
+                if !has_detour {
+                    keep.push((far, near));
+                    continue;
+                }
+                if ov.disconnect(peer, far).is_ok() {
+                    self.charge_disconnect(ov, oracle, peer, far);
+                    self.states[peer.index()].table.remove(far);
+                }
+            }
+            self.states[peer.index()].watches = keep;
+
+            match plan.proposal {
+                Proposal::Replace {
+                    far,
+                    near,
+                    near_cost,
+                } => {
+                    let valid = ov.is_alive(near)
+                        && ov.are_neighbors(peer, far)
+                        && !ov.are_neighbors(peer, near)
+                        && ov.are_neighbors(far, near);
+                    if valid && self.replace_link(ov, oracle, peer, far, near).is_ok() {
+                        let s = &mut self.states[peer.index()];
+                        s.table.remove(far);
+                        s.table.set(near, near_cost);
+                        stats.replaced += 1;
+                    }
+                }
+                Proposal::Add {
+                    far,
+                    near,
+                    near_cost,
+                } => {
+                    let valid = ov.is_alive(near) && !ov.are_neighbors(peer, near);
+                    if valid && ov.connect(peer, near).is_ok() {
+                        self.charge_connect(ov, oracle, peer, near);
+                        let st = &mut self.states[peer.index()];
+                        st.table.set(near, near_cost);
+                        st.watches.push((far, near));
+                        stats.added += 1;
+                    }
+                }
+                Proposal::Keep => {}
+            }
+        }
+    }
+
+    /// The parallel round body: phase 1 serially, then plan trees in
+    /// parallel / commit serially, then plan adaptations in parallel /
+    /// commit serially. Bit-identical for any worker count.
+    fn round_planned(
+        &mut self,
+        ov: &mut Overlay,
+        oracle: &DistanceOracle,
+        round_seed: u64,
+    ) -> RoundStats {
+        let before = self.ledger;
+        let mut stats = RoundStats::default();
+        let alive: Vec<PeerId> = ov.alive_peers().collect();
+        for &p in &alive {
+            self.phase1_probe(ov, oracle, p);
+        }
+        let workers = self.effective_workers();
+
+        let tree_plans: Vec<TreePlan> = {
+            let this = &*self;
+            let ov_ref = &*ov;
+            plan_parallel(alive.len(), workers, |i| {
+                this.plan_tree(ov_ref, oracle, alive[i])
+            })
+        };
+        self.commit_trees(ov, oracle, &tree_plans, &mut stats);
+
+        let adapt_plans: Vec<AdaptPlan> = {
+            let this = &*self;
+            let ov_ref = &*ov;
+            plan_parallel(alive.len(), workers, |i| {
+                let peer = alive[i];
+                let mut rng = StdRng::seed_from_u64(Self::peer_stream_seed(round_seed, peer));
+                this.plan_adapt(ov_ref, oracle, peer, &tree_plans[i].known, &mut rng)
+            })
+        };
+        drop(tree_plans);
+        self.commit_adaptations(ov, oracle, adapt_plans, &mut stats);
+
+        stats.overhead = self.ledger.since(&before);
+        debug_assert!(ov.check_invariants().is_ok());
+        stats
+    }
+
+    /// Order-independent digest of all per-peer ACE state plus the ledger
+    /// bit patterns. Two engines with equal digests made bit-identical
+    /// decisions — the equivalence tests compare worker counts this way.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for s in &self.states {
+            let mut entries: Vec<(PeerId, Delay)> = s.table.iter().collect();
+            entries.sort_unstable();
+            entries.hash(&mut h);
+            s.own_tree.hash(&mut h);
+            s.requested.hash(&mut h);
+            s.watches.hash(&mut h);
+            s.tree_built.hash(&mut h);
+        }
+        for kind in OverheadKind::ALL {
+            self.ledger.cost_of(kind).to_bits().hash(&mut h);
+            self.ledger.count_of(kind).hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// One peer's planned phase 2: the tree it wants, the tables it gathered,
+/// the core probes it had to pay for, and the overhead it incurred.
+struct TreePlan {
+    peer: PeerId,
+    known: HashMap<PeerId, CostTable>,
+    new_tree: Vec<PeerId>,
+    core_probes: Vec<((PeerId, PeerId), Delay)>,
+    ledger: OverheadLedger,
+}
+
+/// One peer's planned phase 3 plus watch triage.
+struct AdaptPlan {
+    peer: PeerId,
+    watch_cuts: Vec<(PeerId, PeerId)>,
+    watch_keeps: Vec<(PeerId, PeerId)>,
+    proposal: Proposal,
+    ledger: OverheadLedger,
+}
+
+/// A planned Figure-4 action, applied (after revalidation) at commit.
+enum Proposal {
+    Replace {
+        far: PeerId,
+        near: PeerId,
+        near_cost: Delay,
+    },
+    Add {
+        far: PeerId,
+        near: PeerId,
+        near_cost: Delay,
+    },
+    Keep,
+}
+
+/// Runs `f(0)..f(n-1)` on `workers` scoped threads with atomic-counter
+/// work stealing, returning results in index order. One worker (or one
+/// item) degenerates to an inline loop with identical results — `f` must
+/// not depend on which thread runs it.
+fn plan_parallel<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n <= 1 || workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock().expect("plan slot lock poisoned") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("plan slot lock poisoned")
+                .expect("every index was planned")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -769,7 +1350,10 @@ mod tests {
     /// Config for the 4-peer example: the scope guard would keep every
     /// link flooding on such a tiny world, so relax it to 1.
     fn tiny_cfg() -> AceConfig {
-        AceConfig { min_flooding: 1, ..AceConfig::paper_default() }
+        AceConfig {
+            min_flooding: 1,
+            ..AceConfig::paper_default()
+        }
     }
 
     fn total_link_cost(ov: &Overlay, oracle: &DistanceOracle) -> u64 {
@@ -848,7 +1432,13 @@ mod tests {
 
     #[test]
     fn depth_zero_normalizes_to_one() {
-        let ace = AceEngine::new(2, AceConfig { depth: 0, ..AceConfig::paper_default() });
+        let ace = AceEngine::new(
+            2,
+            AceConfig {
+                depth: 0,
+                ..AceConfig::paper_default()
+            },
+        );
         assert_eq!(ace.config().depth, 1);
     }
 
@@ -856,7 +1446,13 @@ mod tests {
     fn deeper_closures_cost_more_overhead() {
         let mk = |depth| {
             let (mut ov, oracle) = mismatch_env();
-            let mut ace = AceEngine::new(4, AceConfig { depth, ..AceConfig::paper_default() });
+            let mut ace = AceEngine::new(
+                4,
+                AceConfig {
+                    depth,
+                    ..AceConfig::paper_default()
+                },
+            );
             let mut rng = StdRng::seed_from_u64(5);
             let stats = ace.round(&mut ov, &oracle, &mut rng);
             stats.overhead.total_cost()
@@ -881,11 +1477,106 @@ mod tests {
         assert!(converged, "small topology should converge quickly");
     }
 
+    /// Canonical snapshot of the overlay's adjacency for equality checks.
+    fn overlay_adjacency(ov: &Overlay) -> Vec<Vec<PeerId>> {
+        ov.peers()
+            .map(|p| {
+                let mut n = ov.neighbors(p).to_vec();
+                n.sort_unstable();
+                n
+            })
+            .collect()
+    }
+
+    /// The determinism contract: a parallel round's outcome (engine state,
+    /// overlay wiring, and exact ledger bits) must not depend on how many
+    /// worker threads planned it.
+    #[test]
+    fn parallel_round_is_bit_identical_across_worker_counts() {
+        use ace_overlay::random_overlay;
+        use ace_topology::generate::{ba, BaConfig};
+
+        let run = |workers: usize| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let phys = ba(
+                &BaConfig {
+                    nodes: 120,
+                    ..BaConfig::default()
+                },
+                &mut rng,
+            );
+            let oracle = DistanceOracle::new(phys);
+            let hosts = oracle.graph().nodes().take(40).collect();
+            let mut ov = random_overlay(hosts, 4, None, &mut rng);
+            let cfg = AceConfig {
+                parallel: true,
+                workers,
+                ..AceConfig::paper_default()
+            };
+            let mut ace = AceEngine::new(ov.peer_count(), cfg);
+            for _ in 0..3 {
+                ace.round(&mut ov, &oracle, &mut rng);
+            }
+            (
+                ace.state_digest(),
+                overlay_adjacency(&ov),
+                ace.ledger().total_cost().to_bits(),
+            )
+        };
+        let one = run(1);
+        let four = run(4);
+        let three = run(3);
+        assert_eq!(one, four, "workers=4 diverged from workers=1");
+        assert_eq!(one, three, "workers=3 diverged from workers=1");
+    }
+
+    #[test]
+    fn parallel_rounds_reduce_cost_and_keep_connectivity() {
+        let (mut ov, oracle) = mismatch_env();
+        let cfg = AceConfig {
+            parallel: true,
+            workers: 2,
+            ..tiny_cfg()
+        };
+        let mut ace = AceEngine::new(4, cfg);
+        let mut rng = StdRng::seed_from_u64(42);
+        let before = total_link_cost(&ov, &oracle);
+        for _ in 0..6 {
+            ace.round(&mut ov, &oracle, &mut rng);
+            assert!(
+                ov.is_connected(),
+                "parallel ACE must never disconnect the overlay"
+            );
+            ov.check_invariants().unwrap();
+        }
+        let after = total_link_cost(&ov, &oracle);
+        assert!(after < before, "total cost {before} -> {after}");
+    }
+
+    #[test]
+    fn flooding_neighbors_into_matches_allocating_variant() {
+        let (mut ov, oracle) = mismatch_env();
+        let mut ace = AceEngine::new(4, AceConfig::paper_default());
+        let mut rng = StdRng::seed_from_u64(6);
+        ace.round(&mut ov, &oracle, &mut rng);
+        let mut buf = vec![PeerId::new(99)]; // stale content must be cleared
+        for p in ov.alive_peers() {
+            ace.flooding_neighbors_into(p, &mut buf);
+            assert_eq!(buf, ace.flooding_neighbors(p));
+        }
+    }
+
     #[test]
     fn closest_policy_probes_more_than_random() {
         let probes_with = |policy| {
             let (mut ov, oracle) = mismatch_env();
-            let mut ace = AceEngine::new(4, AceConfig { policy, ..AceConfig::paper_default() });
+            let mut ace = AceEngine::new(
+                4,
+                AceConfig {
+                    policy,
+                    ..AceConfig::paper_default()
+                },
+            );
             let mut rng = StdRng::seed_from_u64(3);
             ace.round(&mut ov, &oracle, &mut rng);
             ace.ledger().count_of(OverheadKind::Probe)

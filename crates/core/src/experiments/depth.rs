@@ -72,7 +72,10 @@ pub fn depth_sweep(cfg: &DepthSweepConfig) -> Vec<DepthPoint> {
         .map(|depth| {
             let run = static_run(&StaticConfig {
                 scenario: cfg.scenario,
-                ace: AceConfig { depth, ..AceConfig::paper_default() },
+                ace: AceConfig {
+                    depth,
+                    ..AceConfig::paper_default()
+                },
                 steps: cfg.steps,
                 query_samples: cfg.query_samples,
                 ttl: cfg.ttl,
@@ -110,7 +113,10 @@ mod tests {
     fn tiny() -> DepthSweepConfig {
         DepthSweepConfig {
             scenario: ScenarioConfig {
-                phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 40 },
+                phys: PhysKind::TwoLevel {
+                    as_count: 4,
+                    nodes_per_as: 40,
+                },
                 peers: 70,
                 avg_degree: 6,
                 objects: 40,
@@ -141,7 +147,12 @@ mod tests {
     fn every_depth_reduces_traffic_and_keeps_scope() {
         for p in depth_sweep(&tiny()) {
             assert!(p.reduction > 0.1, "h={} reduction {}", p.depth, p.reduction);
-            assert!(p.scope_ratio > 0.99, "h={} scope {}", p.depth, p.scope_ratio);
+            assert!(
+                p.scope_ratio > 0.99,
+                "h={} scope {}",
+                p.depth,
+                p.scope_ratio
+            );
             assert!(p.ace_traffic < p.flood_traffic);
         }
     }

@@ -9,12 +9,12 @@
 
 use ace_engine::{EventQueue, SimTime};
 use ace_metrics::LogHistogram;
-use rand::Rng;
 use ace_overlay::{
     run_query, FloodAll, ForwardPolicy, IndexCache, LifetimeModel, Overlay, PeerId, Placement,
     QueryConfig, QueryRate,
 };
 use ace_topology::DistanceOracle;
+use rand::Rng;
 
 use crate::engine::{AceConfig, AceEngine};
 use crate::forwarding::AceForward;
@@ -127,6 +127,7 @@ enum Event {
     AceRound,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn one_query<P: ForwardPolicy + ?Sized>(
     overlay: &Overlay,
     oracle: &DistanceOracle,
@@ -141,7 +142,9 @@ fn one_query<P: ForwardPolicy + ?Sized>(
         Some(c) => run_query(overlay, oracle, src, qc, policy, |x| {
             placement.is_holder(obj, x) || c.lookup(x, obj).is_some()
         }),
-        None => run_query(overlay, oracle, src, qc, policy, |x| placement.is_holder(obj, x)),
+        None => run_query(overlay, oracle, src, qc, policy, |x| {
+            placement.is_holder(obj, x)
+        }),
     }
 }
 
@@ -152,13 +155,22 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
     let attach = cfg.scenario.avg_degree; // keeps average degree stable under churn
     let mut ace = cfg.ace.map(|a| AceEngine::new(peer_count, a));
     let mut cache = cfg.index_cache.map(|cap| IndexCache::new(peer_count, cap));
-    let qc = QueryConfig { ttl: cfg.ttl, stop_at_responder: cache.is_some() };
+    let qc = QueryConfig {
+        ttl: cfg.ttl,
+        stop_at_responder: cache.is_some(),
+    };
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut epoch = vec![0u32; peer_count];
     for p in s.overlay.peers() {
-        queue.push(SimTime::ZERO + cfg.lifetime.sample(&mut s.rng).as_ticks(), Event::Leave(p, 0));
-        queue.push(SimTime::ZERO + cfg.query_rate.next_gap(&mut s.rng).as_ticks(), Event::Query(p, 0));
+        queue.push(
+            SimTime::ZERO + cfg.lifetime.sample(&mut s.rng).as_ticks(),
+            Event::Leave(p, 0),
+        );
+        queue.push(
+            SimTime::ZERO + cfg.query_rate.next_gap(&mut s.rng).as_ticks(),
+            Event::Query(p, 0),
+        );
     }
     if ace.is_some() {
         queue.push(SimTime::from_secs(cfg.ace_period_secs), Event::AceRound);
@@ -185,9 +197,27 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                 let obj = s.catalog.draw(&mut s.rng);
                 let outcome = if let Some(eng) = &ace {
                     let policy = AceForward::new(eng);
-                    one_query(&s.overlay, &s.oracle, &s.placement, &mut cache, p, obj, &qc, &policy)
+                    one_query(
+                        &s.overlay,
+                        &s.oracle,
+                        &s.placement,
+                        &mut cache,
+                        p,
+                        obj,
+                        &qc,
+                        &policy,
+                    )
                 } else {
-                    one_query(&s.overlay, &s.oracle, &s.placement, &mut cache, p, obj, &qc, &FloodAll)
+                    one_query(
+                        &s.overlay,
+                        &s.oracle,
+                        &s.placement,
+                        &mut cache,
+                        p,
+                        obj,
+                        &qc,
+                        &FloodAll,
+                    )
                 };
                 // Feed response indices into caches along the return path.
                 if let (Some(c), Some(responder)) = (&mut cache, outcome.first_responder) {
@@ -214,14 +244,17 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                 w_n += 1;
                 done += 1;
                 if w_n >= cfg.window || done >= cfg.total_queries {
-                    let overhead_now =
-                        ace.as_ref().map_or(0.0, |e| e.ledger().total_cost());
+                    let overhead_now = ace.as_ref().map_or(0.0, |e| e.ledger().total_cost());
                     let overhead_delta = overhead_now - overhead_mark;
                     overhead_mark = overhead_now;
                     windows.push(DynamicWindow {
                         queries_done: done,
                         traffic: (w_traffic + overhead_delta) / w_n as f64,
-                        response_ms: if w_answered > 0 { w_resp / w_answered as f64 } else { 0.0 },
+                        response_ms: if w_answered > 0 {
+                            w_resp / w_answered as f64
+                        } else {
+                            0.0
+                        },
                         response_p95_ms: w_hist.quantile(0.95).unwrap_or(0.0),
                         scope_frac: w_scope / w_n as f64,
                         success: w_answered as f64 / w_n as f64,
@@ -233,7 +266,10 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                     w_answered = 0;
                     w_hist = LogHistogram::new();
                 }
-                queue.push(now + cfg.query_rate.next_gap(&mut s.rng).as_ticks(), Event::Query(p, e));
+                queue.push(
+                    now + cfg.query_rate.next_gap(&mut s.rng).as_ticks(),
+                    Event::Query(p, e),
+                );
             }
             Event::Leave(p, e) => {
                 if e != epoch[p.index()] || !s.overlay.is_alive(p) {
@@ -258,8 +294,11 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                 queue.push(now + SimTime::from_secs(1).as_ticks(), Event::Join);
             }
             Event::Join => {
-                let dead: Vec<PeerId> =
-                    s.overlay.peers().filter(|&p| !s.overlay.is_alive(p)).collect();
+                let dead: Vec<PeerId> = s
+                    .overlay
+                    .peers()
+                    .filter(|&p| !s.overlay.is_alive(p))
+                    .collect();
                 if dead.is_empty() {
                     continue;
                 }
@@ -273,13 +312,22 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                     eng.reset_peer(p);
                 }
                 let e = epoch[p.index()];
-                queue.push(now + cfg.lifetime.sample(&mut s.rng).as_ticks(), Event::Leave(p, e));
-                queue.push(now + cfg.query_rate.next_gap(&mut s.rng).as_ticks(), Event::Query(p, e));
+                queue.push(
+                    now + cfg.lifetime.sample(&mut s.rng).as_ticks(),
+                    Event::Leave(p, e),
+                );
+                queue.push(
+                    now + cfg.query_rate.next_gap(&mut s.rng).as_ticks(),
+                    Event::Query(p, e),
+                );
             }
             Event::AceRound => {
                 if let Some(eng) = &mut ace {
                     eng.round(&mut s.overlay, &s.oracle, &mut s.rng);
-                    queue.push(now + SimTime::from_secs(cfg.ace_period_secs).as_ticks(), Event::AceRound);
+                    queue.push(
+                        now + SimTime::from_secs(cfg.ace_period_secs).as_ticks(),
+                        Event::AceRound,
+                    );
                 }
             }
         }
@@ -300,7 +348,10 @@ mod tests {
 
     fn tiny(ace: Option<AceConfig>) -> DynamicConfig {
         let scenario = ScenarioConfig {
-            phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 40 },
+            phys: PhysKind::TwoLevel {
+                as_count: 4,
+                nodes_per_as: 40,
+            },
             peers: 60,
             avg_degree: 6,
             objects: 40,
@@ -311,7 +362,11 @@ mod tests {
         // Fast churn so the short test exercises join/leave heavily while
         // still spanning enough simulated time for several ACE rounds.
         DynamicConfig {
-            lifetime: LifetimeModel::ClampedNormal { mean_secs: 60.0, std_secs: 30.0, min_secs: 5.0 },
+            lifetime: LifetimeModel::ClampedNormal {
+                mean_secs: 60.0,
+                std_secs: 30.0,
+                min_secs: 5.0,
+            },
             query_rate: QueryRate { per_minute: 4.0 },
             total_queries: 600,
             window: 100,

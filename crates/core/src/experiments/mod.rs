@@ -17,8 +17,8 @@ use rand::{Rng, SeedableRng};
 
 use ace_engine::rng::sample_distinct;
 use ace_overlay::{
-    clustered_overlay, pref_attach_overlay, random_overlay, run_query, Catalog, ForwardPolicy,
-    Overlay, PeerId, Placement, QueryConfig,
+    clustered_overlay, pref_attach_overlay, random_overlay, run_query_into, Catalog, ForwardPolicy,
+    Overlay, PeerId, Placement, QueryConfig, QueryOutcome, QueryScratch,
 };
 use ace_topology::generate::{ba, two_level, BaConfig, TwoLevelConfig};
 use ace_topology::{DistanceOracle, LandmarkOracle, NodeId};
@@ -80,7 +80,10 @@ impl Default for ScenarioConfig {
     /// C = 6.
     fn default() -> Self {
         ScenarioConfig {
-            phys: PhysKind::TwoLevel { as_count: 10, nodes_per_as: 200 },
+            phys: PhysKind::TwoLevel {
+                as_count: 10,
+                nodes_per_as: 200,
+            },
             peers: 500,
             avg_degree: 6,
             overlay: OverlayKind::Clustered,
@@ -116,14 +119,27 @@ impl Scenario {
     pub fn build(cfg: &ScenarioConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let graph = match cfg.phys {
-            PhysKind::TwoLevel { as_count, nodes_per_as } => {
+            PhysKind::TwoLevel {
+                as_count,
+                nodes_per_as,
+            } => {
                 two_level(
-                    &TwoLevelConfig { as_count, nodes_per_as, ..TwoLevelConfig::default() },
+                    &TwoLevelConfig {
+                        as_count,
+                        nodes_per_as,
+                        ..TwoLevelConfig::default()
+                    },
                     &mut rng,
                 )
                 .graph
             }
-            PhysKind::Ba { nodes } => ba(&BaConfig { nodes, ..BaConfig::default() }, &mut rng),
+            PhysKind::Ba { nodes } => ba(
+                &BaConfig {
+                    nodes,
+                    ..BaConfig::default()
+                },
+                &mut rng,
+            ),
         };
         assert!(
             cfg.peers <= graph.node_count(),
@@ -140,15 +156,19 @@ impl Scenario {
         // degree drift that phase-3 "keep both" additions could cause.
         let cap = Some(2 * cfg.avg_degree);
         let overlay = match cfg.overlay {
-            OverlayKind::Clustered => {
-                clustered_overlay(hosts, cfg.avg_degree, 0.7, cap, &mut rng)
-            }
+            OverlayKind::Clustered => clustered_overlay(hosts, cfg.avg_degree, 0.7, cap, &mut rng),
             OverlayKind::Random => random_overlay(hosts, cfg.avg_degree, cap, &mut rng),
             OverlayKind::PrefAttach => pref_attach_overlay(hosts, cfg.avg_degree, cap, &mut rng),
         };
         let catalog = Catalog::new(cfg.objects, cfg.zipf);
         let placement = Placement::random(cfg.objects, cfg.replicas, &overlay, &mut rng);
-        Scenario { oracle, overlay, catalog, placement, rng }
+        Scenario {
+            oracle,
+            overlay,
+            catalog,
+            placement,
+            rng,
+        }
     }
 }
 
@@ -179,11 +199,27 @@ pub fn measure_queries<P: ForwardPolicy + ?Sized>(
     policy: &P,
 ) -> QuerySample {
     assert!(!pairs.is_empty(), "need at least one query to measure");
-    let cfg = QueryConfig { ttl, stop_at_responder: false };
+    let cfg = QueryConfig {
+        ttl,
+        stop_at_responder: false,
+    };
     let mut out = QuerySample::default();
     let mut responded = 0u64;
+    // One scratch + outcome amortizes the heap and per-peer vectors over
+    // the whole batch instead of reallocating them per query.
+    let mut scratch = QueryScratch::new();
+    let mut q = QueryOutcome::default();
     for &(src, obj) in pairs {
-        let q = run_query(overlay, oracle, src, &cfg, policy, |p| placement.is_holder(obj, p));
+        run_query_into(
+            overlay,
+            oracle,
+            src,
+            &cfg,
+            policy,
+            |p| placement.is_holder(obj, p),
+            &mut scratch,
+            &mut q,
+        );
         out.traffic += q.traffic_cost;
         out.scope += q.scope as f64;
         out.duplicates += q.duplicates as f64;
@@ -197,7 +233,11 @@ pub fn measure_queries<P: ForwardPolicy + ?Sized>(
     out.scope /= n;
     out.duplicates /= n;
     out.success = responded as f64 / n;
-    out.response_ms = if responded > 0 { out.response_ms / responded as f64 } else { 0.0 };
+    out.response_ms = if responded > 0 {
+        out.response_ms / responded as f64
+    } else {
+        0.0
+    };
     out
 }
 
@@ -291,7 +331,10 @@ mod tests {
 
     fn tiny() -> ScenarioConfig {
         ScenarioConfig {
-            phys: PhysKind::TwoLevel { as_count: 3, nodes_per_as: 40 },
+            phys: PhysKind::TwoLevel {
+                as_count: 3,
+                nodes_per_as: 40,
+            },
             peers: 60,
             avg_degree: 4,
             objects: 50,
@@ -307,8 +350,16 @@ mod tests {
         assert_eq!(a.overlay.edge_count(), b.overlay.edge_count());
         assert_eq!(a.overlay.peer_count(), 60);
         assert!(a.overlay.is_connected());
-        let ea: Vec<_> = a.overlay.peers().map(|p| a.overlay.neighbors(p).to_vec()).collect();
-        let eb: Vec<_> = b.overlay.peers().map(|p| b.overlay.neighbors(p).to_vec()).collect();
+        let ea: Vec<_> = a
+            .overlay
+            .peers()
+            .map(|p| a.overlay.neighbors(p).to_vec())
+            .collect();
+        let eb: Vec<_> = b
+            .overlay
+            .peers()
+            .map(|p| b.overlay.neighbors(p).to_vec())
+            .collect();
         assert_eq!(ea, eb);
     }
 

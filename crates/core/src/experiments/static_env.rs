@@ -77,7 +77,12 @@ impl StaticResult {
     /// as a fraction in `[0, 1]`.
     pub fn traffic_reduction(&self) -> f64 {
         let t0 = self.steps[0].ace.traffic;
-        let tn = self.steps.last().expect("at least the baseline step").ace.traffic;
+        let tn = self
+            .steps
+            .last()
+            .expect("at least the baseline step")
+            .ace
+            .traffic;
         if t0 <= 0.0 {
             0.0
         } else {
@@ -88,7 +93,12 @@ impl StaticResult {
     /// Response-time reduction of the final step vs. the baseline.
     pub fn response_reduction(&self) -> f64 {
         let r0 = self.steps[0].ace.response_ms;
-        let rn = self.steps.last().expect("at least the baseline step").ace.response_ms;
+        let rn = self
+            .steps
+            .last()
+            .expect("at least the baseline step")
+            .ace
+            .response_ms;
         if r0 <= 0.0 {
             0.0
         } else {
@@ -101,15 +111,25 @@ impl StaticResult {
     pub fn min_scope_ratio(&self) -> f64 {
         self.steps
             .iter()
-            .map(|s| if s.flood_now.scope > 0.0 { s.ace.scope / s.flood_now.scope } else { 1.0 })
+            .map(|s| {
+                if s.flood_now.scope > 0.0 {
+                    s.ace.scope / s.flood_now.scope
+                } else {
+                    1.0
+                }
+            })
             .fold(f64::INFINITY, f64::min)
     }
 
     /// Mean per-step overhead cost over the optimization steps (excludes
     /// the measurement-only step 0).
     pub fn mean_step_overhead(&self) -> f64 {
-        let opt_steps: Vec<f64> =
-            self.steps.iter().skip(1).map(|s| s.overhead.total_cost()).collect();
+        let opt_steps: Vec<f64> = self
+            .steps
+            .iter()
+            .skip(1)
+            .map(|s| s.overhead.total_cost())
+            .collect();
         if opt_steps.is_empty() {
             0.0
         } else {
@@ -128,8 +148,14 @@ pub fn static_run(cfg: &StaticConfig) -> StaticResult {
         draw_query_pairs(&s.overlay, &s.catalog, cfg.query_samples, &mut s.rng);
 
     let mut steps = Vec::with_capacity(cfg.steps + 1);
-    let baseline =
-        measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, cfg.ttl, &FloodAll);
+    let baseline = measure_queries(
+        &s.overlay,
+        &s.oracle,
+        &s.placement,
+        &pairs,
+        cfg.ttl,
+        &FloodAll,
+    );
     steps.push(StepStats {
         step: 0,
         ace: baseline,
@@ -151,8 +177,14 @@ pub fn static_run(cfg: &StaticConfig) -> StaticResult {
             cfg.ttl,
             &AceForward::new(&ace),
         );
-        let flood_now =
-            measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, cfg.ttl, &FloodAll);
+        let flood_now = measure_queries(
+            &s.overlay,
+            &s.oracle,
+            &s.placement,
+            &pairs,
+            cfg.ttl,
+            &FloodAll,
+        );
         steps.push(StepStats {
             step,
             ace: ace_sample,
@@ -165,7 +197,11 @@ pub fn static_run(cfg: &StaticConfig) -> StaticResult {
             converged = true;
         }
     }
-    StaticResult { final_avg_degree: s.overlay.average_degree(), steps, converged }
+    StaticResult {
+        final_avg_degree: s.overlay.average_degree(),
+        steps,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +212,10 @@ mod tests {
     fn tiny() -> StaticConfig {
         StaticConfig {
             scenario: ScenarioConfig {
-                phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 50 },
+                phys: PhysKind::TwoLevel {
+                    as_count: 4,
+                    nodes_per_as: 50,
+                },
                 peers: 80,
                 avg_degree: 6,
                 objects: 60,
@@ -220,7 +259,11 @@ mod tests {
     fn overhead_is_accounted_every_step() {
         let r = static_run(&tiny());
         for s in r.steps.iter().skip(1) {
-            assert!(s.overhead.total_cost() > 0.0, "step {} has no overhead", s.step);
+            assert!(
+                s.overhead.total_cost() > 0.0,
+                "step {} has no overhead",
+                s.step
+            );
         }
         assert!(r.mean_step_overhead() > 0.0);
     }

@@ -58,19 +58,30 @@ impl ForwardPolicy for AceForward<'_> {
         peer: PeerId,
         from: Option<PeerId>,
     ) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        self.forward_targets_into(overlay, peer, from, &mut out);
+        out
+    }
+
+    fn forward_targets_into(
+        &self,
+        overlay: &Overlay,
+        peer: PeerId,
+        from: Option<PeerId>,
+        out: &mut Vec<PeerId>,
+    ) {
         if self.engine.tree_built(peer) {
-            self.engine
-                .flooding_neighbors(peer)
-                .into_iter()
-                .filter(|&n| Some(n) != from && overlay.are_neighbors(peer, n))
-                .collect()
+            self.engine.flooding_neighbors_into(peer, out);
+            out.retain(|&n| Some(n) != from && overlay.are_neighbors(peer, n));
         } else {
-            overlay
-                .neighbors(peer)
-                .iter()
-                .copied()
-                .filter(|&n| Some(n) != from)
-                .collect()
+            out.clear();
+            out.extend(
+                overlay
+                    .neighbors(peer)
+                    .iter()
+                    .copied()
+                    .filter(|&n| Some(n) != from),
+            );
         }
     }
 }
@@ -109,8 +120,14 @@ mod tests {
             &AceForward::new(&ace),
             |_| false,
         );
-        let flooded =
-            run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let flooded = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| false,
+        );
         assert_eq!(tree_based.messages, flooded.messages);
         assert_eq!(tree_based.traffic_cost, flooded.traffic_cost);
     }
@@ -130,8 +147,14 @@ mod tests {
             &AceForward::new(&ace),
             |_| false,
         );
-        let flood =
-            run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let flood = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| false,
+        );
         assert_eq!(out.scope, 3, "scope retained");
         assert!(out.traffic_cost <= flood.traffic_cost);
         assert!(out.duplicates <= flood.duplicates);

@@ -149,7 +149,12 @@ impl LtmEngine {
     }
 
     /// Detector flood + rules for one source peer. Returns `(cut, added)`.
-    fn peer_round(&mut self, ov: &mut Overlay, oracle: &DistanceOracle, src: PeerId) -> (usize, usize) {
+    fn peer_round(
+        &mut self,
+        ov: &mut Overlay,
+        oracle: &DistanceOracle,
+        src: PeerId,
+    ) -> (usize, usize) {
         // Detector flood over the 2-hop (TTL) neighborhood: charge every
         // transmission like the real flood it is.
         let nbrs: Vec<PeerId> = ov.neighbors(src).to_vec();
@@ -200,8 +205,10 @@ impl LtmEngine {
                 && ov.disconnect(src, target).is_ok()
             {
                 let c = ov.link_cost(oracle, src, target);
-                self.ledger
-                    .charge(OverheadKind::Reconnect, f64::from(c) * self.disconnect_units);
+                self.ledger.charge(
+                    OverheadKind::Reconnect,
+                    f64::from(c) * self.disconnect_units,
+                );
                 cut += 1;
             }
         }
@@ -222,7 +229,7 @@ impl LtmEngine {
                 continue;
             }
             let d = measured(&self.cfg.probe, ov, oracle, src, target);
-            if u64::from(d) < threshold && best.map_or(true, |(bd, bp)| (d, target) < (bd, bp)) {
+            if u64::from(d) < threshold && best.is_none_or(|(bd, bp)| (d, target) < (bd, bp)) {
                 best = Some((d, target));
             }
         }
@@ -270,7 +277,10 @@ mod tests {
     #[test]
     fn cuts_inefficient_far_links() {
         let (mut ov, oracle) = env();
-        let mut ltm = LtmEngine::new(LtmConfig { min_degree: 1, ..LtmConfig::default() });
+        let mut ltm = LtmEngine::new(LtmConfig {
+            min_degree: 1,
+            ..LtmConfig::default()
+        });
         let mut rng = StdRng::seed_from_u64(4);
         let before = ov.edge_count();
         let mut total_cut = 0;
@@ -287,7 +297,10 @@ mod tests {
     #[test]
     fn respects_min_degree() {
         let (mut ov, oracle) = env();
-        let mut ltm = LtmEngine::new(LtmConfig { min_degree: 4, ..LtmConfig::default() });
+        let mut ltm = LtmEngine::new(LtmConfig {
+            min_degree: 4,
+            ..LtmConfig::default()
+        });
         let mut rng = StdRng::seed_from_u64(4);
         let before = ov.edge_count();
         let st = ltm.round(&mut ov, &oracle, &mut rng);

@@ -83,8 +83,12 @@ impl SpanningTree {
 ///
 /// Panics if `root` is not in `members` or an edge endpoint is unknown.
 pub fn prim(root: PeerId, members: &[PeerId], edges: &[ClosureEdge]) -> SpanningTree {
-    let index: HashMap<PeerId, usize> =
-        members.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+    let index: HashMap<PeerId, usize> = members
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, p)| (p, i))
+        .collect();
     assert!(index.contains_key(&root), "root must be a closure member");
     let n = members.len();
 
@@ -120,7 +124,7 @@ pub fn prim(root: PeerId, members: &[PeerId], edges: &[ClosureEdge]) -> Spanning
             }
             if let Some((c, _)) = best[j] {
                 let cand = (c, members[j], j);
-                if pick.map_or(true, |(pc, pp, _)| (c, members[j]) < (pc, pp)) {
+                if pick.is_none_or(|(pc, pp, _)| (c, members[j]) < (pc, pp)) {
                     pick = Some(cand);
                 }
             }
@@ -128,13 +132,17 @@ pub fn prim(root: PeerId, members: &[PeerId], edges: &[ClosureEdge]) -> Spanning
         let Some((cost, _, j)) = pick else { break };
         let (_, from) = best[j].expect("picked vertex has a best edge");
         in_tree[j] = true;
-        tree.edges.push(ClosureEdge { a: members[from], b: members[j], cost });
+        tree.edges.push(ClosureEdge {
+            a: members[from],
+            b: members[j],
+            cost,
+        });
         for k in 0..n {
             if in_tree[k] {
                 continue;
             }
             if let Some(c) = adj[j][k] {
-                if best[k].map_or(true, |(bc, bi)| (c, members[j]) < (bc, members[bi])) {
+                if best[k].is_none_or(|(bc, bi)| (c, members[j]) < (bc, members[bi])) {
                     best[k] = Some((c, j));
                 }
             }
@@ -156,8 +164,12 @@ pub fn prim_heap(root: PeerId, members: &[PeerId], edges: &[ClosureEdge]) -> Spa
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
-    let index: HashMap<PeerId, usize> =
-        members.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+    let index: HashMap<PeerId, usize> = members
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, p)| (p, i))
+        .collect();
     assert!(index.contains_key(&root), "root must be a closure member");
     let n = members.len();
     let mut adj: Vec<Vec<(usize, Delay)>> = vec![Vec::new(); n];
@@ -184,7 +196,11 @@ pub fn prim_heap(root: PeerId, members: &[PeerId], edges: &[ClosureEdge]) -> Spa
             continue;
         }
         in_tree[j] = true;
-        tree.edges.push(ClosureEdge { a: members[from], b: members[j], cost });
+        tree.edges.push(ClosureEdge {
+            a: members[from],
+            b: members[j],
+            cost,
+        });
         for &(k, c) in &adj[j] {
             if !in_tree[k] {
                 heap.push(Reverse((c, members[k].raw(), k, j)));
@@ -198,14 +214,18 @@ pub fn prim_heap(root: PeerId, members: &[PeerId], edges: &[ClosureEdge]) -> Spa
 /// weight cross-check in tests (spans every component, so compare weights
 /// only when the subgraph is connected).
 pub fn kruskal(members: &[PeerId], edges: &[ClosureEdge]) -> SpanningTree {
-    let index: HashMap<PeerId, usize> =
-        members.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+    let index: HashMap<PeerId, usize> = members
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, p)| (p, i))
+        .collect();
     let mut sorted: Vec<&ClosureEdge> = edges.iter().collect();
     sorted.sort_by_key(|e| (e.cost, e.a, e.b));
 
     // Union-find.
     let mut parent: Vec<usize> = (0..members.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -215,7 +235,10 @@ pub fn kruskal(members: &[PeerId], edges: &[ClosureEdge]) -> SpanningTree {
 
     let mut tree = SpanningTree::default();
     for e in sorted {
-        let (ra, rb) = (find(&mut parent, index[&e.a]), find(&mut parent, index[&e.b]));
+        let (ra, rb) = (
+            find(&mut parent, index[&e.a]),
+            find(&mut parent, index[&e.b]),
+        );
         if ra != rb {
             parent[ra] = rb;
             tree.edges.push(*e);
@@ -233,14 +256,24 @@ mod tests {
     }
 
     fn edge(a: u32, b: u32, cost: Delay) -> ClosureEdge {
-        ClosureEdge { a: p(a), b: p(b), cost }
+        ClosureEdge {
+            a: p(a),
+            b: p(b),
+            cost,
+        }
     }
 
     #[test]
     fn prim_picks_minimum_tree() {
         // Square with one expensive diagonal.
         let members = vec![p(0), p(1), p(2), p(3)];
-        let edges = vec![edge(0, 1, 1), edge(1, 2, 2), edge(2, 3, 1), edge(0, 3, 5), edge(0, 2, 10)];
+        let edges = vec![
+            edge(0, 1, 1),
+            edge(1, 2, 2),
+            edge(2, 3, 1),
+            edge(0, 3, 5),
+            edge(0, 2, 10),
+        ];
         let t = prim(p(0), &members, &edges);
         assert_eq!(t.len(), 3);
         assert_eq!(t.weight(), 4);

@@ -51,7 +51,10 @@ pub fn optimization_rate(
         ("overhead_per_round", overhead_per_round),
         ("frequency_ratio", frequency_ratio),
     ] {
-        assert!(v.is_finite() && v >= 0.0, "{name} must be non-negative, got {v}");
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "{name} must be non-negative, got {v}"
+        );
     }
     let gain = (flood_traffic - ace_traffic).max(0.0) * frequency_ratio;
     if overhead_per_round == 0.0 {

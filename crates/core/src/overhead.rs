@@ -70,7 +70,10 @@ impl OverheadLedger {
     ///
     /// Panics if `cost` is negative or NaN.
     pub fn charge(&mut self, kind: OverheadKind, cost: f64) {
-        assert!(cost.is_finite() && cost >= 0.0, "invalid overhead charge {cost}");
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "invalid overhead charge {cost}"
+        );
         self.cost[kind.index()] += cost;
         self.count[kind.index()] += 1;
     }

@@ -22,7 +22,10 @@ pub struct ProbeModel {
 impl Default for ProbeModel {
     /// Noise-free probes.
     fn default() -> Self {
-        ProbeModel { noise: 0.0, seed: 0 }
+        ProbeModel {
+            noise: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -33,13 +36,22 @@ impl ProbeModel {
     ///
     /// Panics if `noise` is negative or not finite.
     pub fn with_noise(noise: f64, seed: u64) -> Self {
-        assert!(noise.is_finite() && noise >= 0.0, "noise must be non-negative");
+        assert!(
+            noise.is_finite() && noise >= 0.0,
+            "noise must be non-negative"
+        );
         ProbeModel { noise, seed }
     }
 
     /// Measures the cost between two peers: the true physical delay,
     /// perturbed by pair-deterministic noise and clamped to at least 1.
-    pub fn measure(&self, overlay: &Overlay, oracle: &DistanceOracle, a: PeerId, b: PeerId) -> Delay {
+    pub fn measure(
+        &self,
+        overlay: &Overlay,
+        oracle: &DistanceOracle,
+        a: PeerId,
+        b: PeerId,
+    ) -> Delay {
         let true_cost = overlay.link_cost(oracle, a, b);
         self.perturb(a, b, true_cost)
     }
@@ -102,7 +114,10 @@ mod tests {
         let m = ProbeModel::with_noise(0.3, 9);
         let first = m.measure(&ov, &oracle, PeerId::new(0), PeerId::new(1));
         for _ in 0..5 {
-            assert_eq!(m.measure(&ov, &oracle, PeerId::new(0), PeerId::new(1)), first);
+            assert_eq!(
+                m.measure(&ov, &oracle, PeerId::new(0), PeerId::new(1)),
+                first
+            );
         }
     }
 

@@ -115,8 +115,14 @@ impl NodeState {
 }
 
 enum NetEvent {
-    Deliver { from: PeerId, to: PeerId, msg: Message },
-    OptimizeTimer { peer: PeerId },
+    Deliver {
+        from: PeerId,
+        to: PeerId,
+        msg: Message,
+    },
+    OptimizeTimer {
+        peer: PeerId,
+    },
 }
 
 /// The asynchronous simulator: overlay + per-node protocol state + the
@@ -160,7 +166,9 @@ impl AsyncAceSim {
     /// Wraps an overlay and schedules every alive node's first cycle with
     /// uniform jitter.
     pub fn new(overlay: Overlay, cfg: ProtoConfig, seed: u64) -> Self {
-        let nodes = (0..overlay.peer_count()).map(|i| NodeState::new(PeerId::new(i as u32))).collect();
+        let nodes = (0..overlay.peer_count())
+            .map(|i| NodeState::new(PeerId::new(i as u32)))
+            .collect();
         let mut sim = AsyncAceSim {
             overlay,
             nodes,
@@ -175,7 +183,10 @@ impl AsyncAceSim {
         let peers: Vec<PeerId> = sim.overlay.alive_peers().collect();
         for p in peers {
             let jitter = sim.rng.gen_range(0..=sim.cfg.start_jitter.max(1));
-            sim.queue.push(SimTime::from_ticks(jitter), NetEvent::OptimizeTimer { peer: p });
+            sim.queue.push(
+                SimTime::from_ticks(jitter),
+                NetEvent::OptimizeTimer { peer: p },
+            );
         }
         sim
     }
@@ -251,7 +262,8 @@ impl AsyncAceSim {
         }
         self.nodes[peer.index()] = NodeState::new(peer);
         let jitter = self.rng.gen_range(0..=self.cfg.start_jitter.max(1));
-        self.queue.push(self.now + jitter, NetEvent::OptimizeTimer { peer });
+        self.queue
+            .push(self.now + jitter, NetEvent::OptimizeTimer { peer });
         true
     }
 
@@ -273,7 +285,10 @@ impl AsyncAceSim {
             _ => OverheadKind::TableExchange,
         };
         self.ledger.charge(kind, f64::from(dist) * msg.size_units());
-        self.queue.push(self.now + u64::from(dist), NetEvent::Deliver { from, to, msg });
+        self.queue.push(
+            self.now + u64::from(dist),
+            NetEvent::Deliver { from, to, msg },
+        );
     }
 
     /// Runs the protocol until `until` (absolute simulation time).
@@ -331,7 +346,10 @@ impl AsyncAceSim {
             Message::ProbeReply { nonce } => self.on_probe_reply(oracle, from, to, nonce),
             Message::CostTable { owner, entries } => {
                 let node = &mut self.nodes[to.index()];
-                let table = node.neighbor_tables.entry(owner).or_insert_with(|| CostTable::new(owner));
+                let table = node
+                    .neighbor_tables
+                    .entry(owner)
+                    .or_insert_with(|| CostTable::new(owner));
                 for (p, c) in entries {
                     if p != owner {
                         table.set(p, c);
@@ -370,7 +388,10 @@ impl AsyncAceSim {
                 self.nodes[to.index()].table.remove(from);
             }
             // Search-plane messages are not simulated here.
-            Message::Ping | Message::Pong { .. } | Message::Query { .. } | Message::QueryHit { .. } => {}
+            Message::Ping
+            | Message::Pong { .. }
+            | Message::Query { .. }
+            | Message::QueryHit { .. } => {}
         }
     }
 
@@ -379,7 +400,10 @@ impl AsyncAceSim {
             return; // stale reply from an abandoned cycle
         };
         debug_assert_eq!(target, from);
-        let measured = self.cfg.probe.perturb(to, from, self.overlay.link_cost(oracle, to, from));
+        let measured = self
+            .cfg
+            .probe
+            .perturb(to, from, self.overlay.link_cost(oracle, to, from));
         match purpose {
             ProbePurpose::Neighbor => {
                 if self.overlay.are_neighbors(to, from) {
@@ -440,7 +464,13 @@ impl AsyncAceSim {
     }
 
     /// Serve a pairwise probe request: measure unknown targets, then report.
-    fn on_probe_request(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, targets: Vec<PeerId>) {
+    fn on_probe_request(
+        &mut self,
+        oracle: &DistanceOracle,
+        from: PeerId,
+        to: PeerId,
+        targets: Vec<PeerId>,
+    ) {
         let mut known: Vec<(PeerId, Delay)> = Vec::new();
         let mut unknown: Vec<PeerId> = Vec::new();
         for t in targets {
@@ -448,13 +478,25 @@ impl AsyncAceSim {
                 continue;
             }
             let node = &self.nodes[to.index()];
-            match node.table.get(t).or_else(|| node.pair_cache.get(&t).copied()) {
+            match node
+                .table
+                .get(t)
+                .or_else(|| node.pair_cache.get(&t).copied())
+            {
                 Some(c) => known.push((t, c)),
                 None => unknown.push(t),
             }
         }
         if unknown.is_empty() {
-            self.send(oracle, to, from, Message::CostTable { owner: to, entries: known });
+            self.send(
+                oracle,
+                to,
+                from,
+                Message::CostTable {
+                    owner: to,
+                    entries: known,
+                },
+            );
             return;
         }
         let count = unknown.len();
@@ -478,7 +520,11 @@ impl AsyncAceSim {
         let mut edges: Vec<ClosureEdge> = Vec::new();
         for &n in &nbrs {
             if let Some(c) = self.nodes[peer.index()].table.get(n) {
-                edges.push(ClosureEdge { a: peer, b: n, cost: c });
+                edges.push(ClosureEdge {
+                    a: peer,
+                    b: n,
+                    cost: c,
+                });
             }
         }
         // Pairwise costs among neighbors from their reports.
@@ -564,7 +610,9 @@ impl AsyncAceSim {
             return;
         }
         let far = non_flooding[self.rng.gen_range(0..non_flooding.len())];
-        let candidates: Vec<(PeerId, Delay)> = match self.nodes[peer.index()].neighbor_tables.get(&far)
+        let candidates: Vec<(PeerId, Delay)> = match self.nodes[peer.index()]
+            .neighbor_tables
+            .get(&far)
         {
             Some(t) => t
                 .iter()
@@ -635,7 +683,12 @@ impl<'a> AsyncForward<'a> {
 }
 
 impl ForwardPolicy for AsyncForward<'_> {
-    fn forward_targets(&self, overlay: &Overlay, peer: PeerId, from: Option<PeerId>) -> Vec<PeerId> {
+    fn forward_targets(
+        &self,
+        overlay: &Overlay,
+        peer: PeerId,
+        from: Option<PeerId>,
+    ) -> Vec<PeerId> {
         if self.sim.tree_built(peer) {
             self.sim
                 .flooding_neighbors(peer)
@@ -643,7 +696,12 @@ impl ForwardPolicy for AsyncForward<'_> {
                 .filter(|&n| Some(n) != from && overlay.are_neighbors(peer, n))
                 .collect()
         } else {
-            overlay.neighbors(peer).iter().copied().filter(|&n| Some(n) != from).collect()
+            overlay
+                .neighbors(peer)
+                .iter()
+                .copied()
+                .filter(|&n| Some(n) != from)
+                .collect()
         }
     }
 }
@@ -658,7 +716,11 @@ mod tests {
     fn world(peers: usize, seed: u64) -> (DistanceOracle, Overlay) {
         let mut rng = StdRng::seed_from_u64(seed);
         let topo = two_level(
-            &TwoLevelConfig { as_count: 5, nodes_per_as: 60, ..TwoLevelConfig::default() },
+            &TwoLevelConfig {
+                as_count: 5,
+                nodes_per_as: 60,
+                ..TwoLevelConfig::default()
+            },
             &mut rng,
         );
         let oracle = DistanceOracle::new(topo.graph);
@@ -672,7 +734,11 @@ mod tests {
         let (oracle, ov) = world(60, 1);
         let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 2);
         sim.run_until(&oracle, SimTime::from_secs(120));
-        assert!(sim.min_cycles_done() >= 2, "min cycles {}", sim.min_cycles_done());
+        assert!(
+            sim.min_cycles_done() >= 2,
+            "min cycles {}",
+            sim.min_cycles_done()
+        );
         assert!(sim.messages_delivered() > 1000);
         assert!(sim.ledger().total_cost() > 0.0);
         for p in sim.overlay().alive_peers() {
@@ -683,7 +749,10 @@ mod tests {
     #[test]
     fn async_protocol_reduces_traffic_and_keeps_scope() {
         let (oracle, ov) = world(80, 3);
-        let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+        let qc = QueryConfig {
+            ttl: 32,
+            stop_at_responder: false,
+        };
         let before = run_query(&ov, &oracle, PeerId::new(0), &qc, &FloodAll, |_| false);
 
         let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 4);
@@ -749,7 +818,11 @@ mod tests {
             let (oracle, ov) = world(50, 5);
             let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 6);
             sim.run_until(&oracle, SimTime::from_secs(90));
-            (sim.messages_delivered(), sim.ledger().total_cost() as u64, sim.overlay().edge_count())
+            (
+                sim.messages_delivered(),
+                sim.ledger().total_cost() as u64,
+                sim.overlay().edge_count(),
+            )
         };
         assert_eq!(run(), run());
     }

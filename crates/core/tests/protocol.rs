@@ -42,7 +42,13 @@ fn pairwise_core_lets_tree_bypass_far_neighbor() {
     // tree keeps only the cheapest incident structure.
     let (_, oracle) = two_sites();
     let mut ov = overlay_with(&[(0, 1), (0, 4), (1, 4)]);
-    let mut ace = AceEngine::new(6, AceConfig { min_flooding: 1, ..AceConfig::paper_default() });
+    let mut ace = AceEngine::new(
+        6,
+        AceConfig {
+            min_flooding: 1,
+            ..AceConfig::paper_default()
+        },
+    );
     for peer in [0u32, 1, 4] {
         ace.phase1_probe(&ov, &oracle, p(peer));
     }
@@ -66,7 +72,13 @@ fn replace_prefers_same_site_candidate() {
     // < CB = cost(0,4) ≈ 102 → replace.
     let (_, oracle) = two_sites();
     let mut ov = overlay_with(&[(0, 4), (0, 2), (4, 1), (2, 4)]);
-    let mut ace = AceEngine::new(6, AceConfig { min_flooding: 1, ..AceConfig::paper_default() });
+    let mut ace = AceEngine::new(
+        6,
+        AceConfig {
+            min_flooding: 1,
+            ..AceConfig::paper_default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(1);
     // Probe everyone so tables exist.
     for peer in ov.alive_peers().collect::<Vec<_>>() {
@@ -102,7 +114,13 @@ fn keep_both_then_watch_cut_resolves() {
     // Overlay: 0-4 (B), 0-2 (keeps 0's tree busy), 4-1 (B's neighbor H),
     // 2-4 (makes 4 non-flooding for 0 via triangle 0-2-4).
     let mut ov = overlay_with(&[(0, 4), (0, 2), (4, 1), (2, 4), (1, 5)]);
-    let mut ace = AceEngine::new(6, AceConfig { min_flooding: 1, ..AceConfig::paper_default() });
+    let mut ace = AceEngine::new(
+        6,
+        AceConfig {
+            min_flooding: 1,
+            ..AceConfig::paper_default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(3);
     // Run rounds until peer 0 performs an Added (keep-both) or gives up.
     let mut added_near = None;
@@ -141,7 +159,13 @@ fn degree_cap_makes_replace_swap_in_place() {
     ov.connect(p(0), p(4)).unwrap();
     ov.connect(p(0), p(2)).unwrap();
     ov.connect(p(4), p(1)).unwrap(); // peer 4 is now at the cap as well
-    let mut ace = AceEngine::new(6, AceConfig { min_flooding: 1, ..AceConfig::paper_default() });
+    let mut ace = AceEngine::new(
+        6,
+        AceConfig {
+            min_flooding: 1,
+            ..AceConfig::paper_default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(5);
     for peer in ov.alive_peers().collect::<Vec<_>>() {
         ace.phase1_probe(&ov, &oracle, peer);
@@ -193,7 +217,11 @@ fn naive_policy_targets_most_expensive_link() {
     }
     if let AdaptOutcome::Replaced { far, .. } = ace.optimize_peer(&mut ov, &oracle, p(0), &mut rng)
     {
-        assert_eq!(far, p(4), "naive picks the most expensive non-flooding link");
+        assert_eq!(
+            far,
+            p(4),
+            "naive picks the most expensive non-flooding link"
+        );
     }
 }
 

@@ -41,7 +41,13 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `lo > hi`.
-pub fn clamped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+pub fn clamped_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
     assert!(lo <= hi, "empty clamp range");
     normal(rng, mean, std_dev).clamp(lo, hi)
 }
@@ -114,7 +120,10 @@ impl Zipf {
     /// Draws a 0-based rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_ticks(), 20);
 /// assert_eq!(t.to_string(), "2.0ms");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

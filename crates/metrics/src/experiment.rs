@@ -19,7 +19,10 @@ pub struct NamedSeries {
 impl NamedSeries {
     /// Creates an empty series with the given label.
     pub fn new(label: impl Into<String>) -> Self {
-        NamedSeries { label: label.into(), points: Vec::new() }
+        NamedSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends one point.

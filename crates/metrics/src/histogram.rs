@@ -41,8 +41,15 @@ impl LogHistogram {
     ///
     /// Panics on negative or NaN values.
     pub fn record(&mut self, v: f64) {
-        assert!(v.is_finite() && v >= 0.0, "histogram values must be non-negative");
-        let idx = if v < 1.0 { 0 } else { (v.log2().floor() as usize) + 1 };
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "histogram values must be non-negative"
+        );
+        let idx = if v < 1.0 {
+            0
+        } else {
+            (v.log2().floor() as usize) + 1
+        };
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }

@@ -26,7 +26,13 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -139,7 +145,10 @@ pub struct Percentiles {
 impl Percentiles {
     /// Creates an empty collector.
     pub fn new() -> Self {
-        Percentiles { samples: Vec::new(), sorted: true }
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds one observation.
@@ -169,7 +178,8 @@ impl Percentiles {
             return None;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
             self.sorted = true;
         }
         let idx = ((self.samples.len() - 1) as f64 * q).round() as usize;

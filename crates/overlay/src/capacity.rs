@@ -15,8 +15,13 @@ use crate::peer::PeerId;
 
 /// The measured Gnutella capacity mix used by the Gia paper
 /// (`(population share, relative capacity)`).
-pub const GNUTELLA_CAPACITY_MIX: [(f64, f64); 5] =
-    [(0.2, 1.0), (0.45, 10.0), (0.3, 100.0), (0.049, 1000.0), (0.001, 10_000.0)];
+pub const GNUTELLA_CAPACITY_MIX: [(f64, f64); 5] = [
+    (0.2, 1.0),
+    (0.45, 10.0),
+    (0.3, 100.0),
+    (0.049, 1000.0),
+    (0.001, 10_000.0),
+];
 
 /// Draws per-peer capacities from a share/level mix.
 ///
@@ -59,7 +64,11 @@ pub struct GiaConfig {
 
 impl Default for GiaConfig {
     fn default() -> Self {
-        GiaConfig { satisfaction_target: 0.8, min_degree: 3, degree_per_level: 3 }
+        GiaConfig {
+            satisfaction_target: 0.8,
+            min_degree: 3,
+            degree_per_level: 3,
+        }
     }
 }
 
@@ -94,7 +103,10 @@ impl GiaAdaptation {
     ///
     /// Panics on non-positive capacities or an invalid config.
     pub fn new(capacities: Vec<f64>, cfg: GiaConfig) -> Self {
-        assert!(capacities.iter().all(|&c| c > 0.0), "capacities must be positive");
+        assert!(
+            capacities.iter().all(|&c| c > 0.0),
+            "capacities must be positive"
+        );
         assert!(cfg.satisfaction_target > 0.0 && cfg.satisfaction_target <= 1.0);
         GiaAdaptation { capacities, cfg }
     }
@@ -141,8 +153,11 @@ impl GiaAdaptation {
                 continue;
             }
             // Pick a target with probability ∝ capacity (rejection sample).
-            let max_cap =
-                alive.iter().map(|&a| self.capacity(a)).fold(0.0f64, f64::max).max(1.0);
+            let max_cap = alive
+                .iter()
+                .map(|&a| self.capacity(a))
+                .fold(0.0f64, f64::max)
+                .max(1.0);
             let mut target = None;
             for _ in 0..32 {
                 let cand = alive[rng.gen_range(0..alive.len())];
@@ -168,7 +183,9 @@ impl GiaAdaptation {
                     .copied()
                     .filter(|&v| v != p && ov.degree(v) > self.cfg.min_degree)
                     .min_by(|&a, &b| {
-                        self.capacity(a).partial_cmp(&self.capacity(b)).expect("finite caps")
+                        self.capacity(a)
+                            .partial_cmp(&self.capacity(b))
+                            .expect("finite caps")
                     });
                 if let Some(v) = victim {
                     if self.capacity(p) > self.capacity(v)
@@ -247,7 +264,10 @@ mod tests {
             ov.check_invariants().unwrap();
         }
         let after = gia.capacity_degree_correlation(&ov).unwrap();
-        assert!(after > before + 0.2, "correlation {before:.3} -> {after:.3}");
+        assert!(
+            after > before + 0.2,
+            "correlation {before:.3} -> {after:.3}"
+        );
     }
 
     #[test]

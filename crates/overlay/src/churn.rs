@@ -46,15 +46,21 @@ impl LifetimeModel {
     /// The paper's configuration: mean 10 minutes, std = mean/2, minimum
     /// 10 seconds.
     pub fn paper_default() -> Self {
-        LifetimeModel::ClampedNormal { mean_secs: 600.0, std_secs: 300.0, min_secs: 10.0 }
+        LifetimeModel::ClampedNormal {
+            mean_secs: 600.0,
+            std_secs: 300.0,
+            min_secs: 10.0,
+        }
     }
 
     /// Draws one lifetime.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
         let secs = match *self {
-            LifetimeModel::ClampedNormal { mean_secs, std_secs, min_secs } => {
-                clamped_normal(rng, mean_secs, std_secs, min_secs, f64::INFINITY)
-            }
+            LifetimeModel::ClampedNormal {
+                mean_secs,
+                std_secs,
+                min_secs,
+            } => clamped_normal(rng, mean_secs, std_secs, min_secs, f64::INFINITY),
             LifetimeModel::Exponential { mean_secs } => exponential(rng, mean_secs).max(1.0),
             LifetimeModel::Pareto { min_secs, alpha } => pareto(rng, min_secs, alpha),
         };
@@ -107,7 +113,11 @@ mod tests {
 
     #[test]
     fn lifetimes_respect_minimum() {
-        let m = LifetimeModel::ClampedNormal { mean_secs: 10.0, std_secs: 100.0, min_secs: 5.0 };
+        let m = LifetimeModel::ClampedNormal {
+            mean_secs: 10.0,
+            std_secs: 100.0,
+            min_secs: 5.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..2000 {
             assert!(m.sample(&mut rng).as_secs_f64() >= 5.0);
@@ -118,7 +128,10 @@ mod tests {
     fn exponential_and_pareto_sample_positive() {
         let mut rng = StdRng::seed_from_u64(3);
         let e = LifetimeModel::Exponential { mean_secs: 100.0 };
-        let p = LifetimeModel::Pareto { min_secs: 60.0, alpha: 1.5 };
+        let p = LifetimeModel::Pareto {
+            min_secs: 60.0,
+            alpha: 1.5,
+        };
         for _ in 0..500 {
             assert!(e.sample(&mut rng).as_ticks() > 0);
             assert!(p.sample(&mut rng).as_secs_f64() >= 60.0);

@@ -39,7 +39,9 @@ impl Catalog {
     ///
     /// Panics if `objects == 0` or `skew` is negative.
     pub fn new(objects: usize, skew: f64) -> Self {
-        Catalog { zipf: Zipf::new(objects, skew) }
+        Catalog {
+            zipf: Zipf::new(objects, skew),
+        }
     }
 
     /// Number of objects.
@@ -182,6 +184,11 @@ mod tests {
         for _ in 0..20_000 {
             counts[cat.draw(&mut rng) as usize] += 1;
         }
-        assert!(counts[0] > counts[50] * 5, "head {} mid {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "head {} mid {}",
+            counts[0],
+            counts[50]
+        );
     }
 }

@@ -27,7 +27,10 @@ pub struct DiscoveryConfig {
 
 impl Default for DiscoveryConfig {
     fn default() -> Self {
-        DiscoveryConfig { ttl: 2, addrs_per_pong: 8 }
+        DiscoveryConfig {
+            ttl: 2,
+            addrs_per_pong: 8,
+        }
     }
 }
 
@@ -88,9 +91,13 @@ pub fn ping_pong_round<R: Rng + ?Sized>(
         for &responder in seen.iter().filter(|&&p| p != src) {
             let nbrs = overlay.neighbors(responder);
             let take = cfg.addrs_per_pong.min(nbrs.len());
-            let addrs: Vec<PeerId> =
-                sample_distinct(rng, nbrs.len(), take).into_iter().map(|i| nbrs[i]).collect();
-            let pong = Message::Pong { addrs: addrs.clone() };
+            let addrs: Vec<PeerId> = sample_distinct(rng, nbrs.len(), take)
+                .into_iter()
+                .map(|i| nbrs[i])
+                .collect();
+            let pong = Message::Pong {
+                addrs: addrs.clone(),
+            };
             // Pong routed back over the overlay path; approximate the path
             // cost with the direct physical distance (lower bound).
             let back = f64::from(overlay.link_cost(oracle, responder, src));
@@ -157,14 +164,20 @@ mod tests {
         let small = ping_pong_round(
             &mut ov,
             &oracle,
-            &DiscoveryConfig { ttl: 1, addrs_per_pong: 8 },
+            &DiscoveryConfig {
+                ttl: 1,
+                addrs_per_pong: 8,
+            },
             &mut rng,
         );
         let (mut ov2, oracle2) = line_world(8);
         let big = ping_pong_round(
             &mut ov2,
             &oracle2,
-            &DiscoveryConfig { ttl: 3, addrs_per_pong: 8 },
+            &DiscoveryConfig {
+                ttl: 3,
+                addrs_per_pong: 8,
+            },
             &mut rng,
         );
         assert!(big.pings > small.pings);
@@ -182,7 +195,9 @@ mod tests {
         let made = ov.join(PeerId::new(2), 2, &mut rng).unwrap();
         assert_eq!(made.len(), 2);
         // At least one connection should come from its cache.
-        assert!(made.iter().any(|m| former.contains(m) || ov.addr_cache(PeerId::new(2)).contains(m)));
+        assert!(made
+            .iter()
+            .any(|m| former.contains(m) || ov.addr_cache(PeerId::new(2)).contains(m)));
         ov.check_invariants().unwrap();
     }
 }

@@ -44,9 +44,19 @@ impl<'a> PartialFlood<'a> {
     /// # Panics
     ///
     /// Panics if `fraction` is outside `(0, 1]`.
-    pub fn new(oracle: &'a DistanceOracle, fraction: f64, min_targets: usize, weight: HpfWeight) -> Self {
+    pub fn new(
+        oracle: &'a DistanceOracle,
+        fraction: f64,
+        min_targets: usize,
+        weight: HpfWeight,
+    ) -> Self {
         assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
-        PartialFlood { oracle, fraction, min_targets, weight }
+        PartialFlood {
+            oracle,
+            fraction,
+            min_targets,
+            weight,
+        }
     }
 
     /// The configured fraction.
@@ -137,7 +147,10 @@ mod tests {
     #[test]
     fn partial_flood_reduces_traffic_at_scope_cost() {
         let (ov, oracle) = env();
-        let qc = QueryConfig { ttl: 7, stop_at_responder: false };
+        let qc = QueryConfig {
+            ttl: 7,
+            stop_at_responder: false,
+        };
         let flood = run_query(&ov, &oracle, PeerId::new(0), &qc, &FloodAll, |_| false);
         let hpf = PartialFlood::new(&oracle, 0.5, 1, HpfWeight::Cheapest);
         let partial = run_query(&ov, &oracle, PeerId::new(0), &qc, &hpf, |_| false);

@@ -38,7 +38,12 @@ impl IndexCache {
     /// Panics if `capacity == 0`.
     pub fn new(peers: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        IndexCache { caps: capacity, entries: vec![VecDeque::new(); peers], hits: 0, misses: 0 }
+        IndexCache {
+            caps: capacity,
+            entries: vec![VecDeque::new(); peers],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Cache capacity per peer.

@@ -57,13 +57,17 @@ mod walk;
 
 pub use capacity::{assign_capacities, GiaAdaptation, GiaConfig, GNUTELLA_CAPACITY_MIX};
 pub use churn::{LifetimeModel, QueryRate};
-pub use discovery::{ping_pong_round, DiscoveryConfig, DiscoveryStats};
 pub use content::{Catalog, ObjectId, Placement};
+pub use discovery::{ping_pong_round, DiscoveryConfig, DiscoveryStats};
 pub use hpf::{HpfWeight, PartialFlood};
 pub use index_cache::IndexCache;
 pub use message::{Message, QUERY_BASE_SIZE};
-pub use network::{clustered_overlay, pref_attach_overlay, random_overlay, Overlay, OverlayError, ADDR_CACHE_CAP};
+pub use network::{
+    clustered_overlay, pref_attach_overlay, random_overlay, Overlay, OverlayError, ADDR_CACHE_CAP,
+};
 pub use peer::PeerId;
-pub use search::{run_query, FloodAll, ForwardPolicy, QueryConfig, QueryOutcome};
+pub use search::{
+    run_query, run_query_into, FloodAll, ForwardPolicy, QueryConfig, QueryOutcome, QueryScratch,
+};
 pub use two_tier::{TwoTierConfig, TwoTierNetwork};
 pub use walk::{random_walk_query, WalkConfig, WalkOutcome};

@@ -183,15 +183,22 @@ impl Message {
             }
             3 => {
                 need(&buf, 12)?;
-                Message::QueryHit { id: buf.get_u64(), responder: PeerId::new(buf.get_u32()) }
+                Message::QueryHit {
+                    id: buf.get_u64(),
+                    responder: PeerId::new(buf.get_u32()),
+                }
             }
             4 => {
                 need(&buf, 8)?;
-                Message::Probe { nonce: buf.get_u64() }
+                Message::Probe {
+                    nonce: buf.get_u64(),
+                }
             }
             5 => {
                 need(&buf, 8)?;
-                Message::ProbeReply { nonce: buf.get_u64() }
+                Message::ProbeReply {
+                    nonce: buf.get_u64(),
+                }
             }
             6 => {
                 need(&buf, 6)?;
@@ -250,9 +257,18 @@ mod tests {
     #[test]
     fn all_variants_round_trip() {
         round_trip(Message::Ping);
-        round_trip(Message::Pong { addrs: vec![PeerId::new(1), PeerId::new(9)] });
-        round_trip(Message::Query { id: 77, ttl: 7, object: 1234 });
-        round_trip(Message::QueryHit { id: 77, responder: PeerId::new(4) });
+        round_trip(Message::Pong {
+            addrs: vec![PeerId::new(1), PeerId::new(9)],
+        });
+        round_trip(Message::Query {
+            id: 77,
+            ttl: 7,
+            object: 1234,
+        });
+        round_trip(Message::QueryHit {
+            id: 77,
+            responder: PeerId::new(4),
+        });
         round_trip(Message::Probe { nonce: 0xdead });
         round_trip(Message::ProbeReply { nonce: 0xdead });
         round_trip(Message::CostTable {
@@ -262,21 +278,30 @@ mod tests {
         round_trip(Message::Connect);
         round_trip(Message::ConnectOk);
         round_trip(Message::Disconnect);
-        round_trip(Message::ProbeRequest { targets: vec![PeerId::new(2), PeerId::new(8)] });
+        round_trip(Message::ProbeRequest {
+            targets: vec![PeerId::new(2), PeerId::new(8)],
+        });
         round_trip(Message::ForwardRequest);
         round_trip(Message::ForwardCancel);
     }
 
     #[test]
     fn query_is_exactly_one_size_unit() {
-        let q = Message::Query { id: 1, ttl: 7, object: 0 };
+        let q = Message::Query {
+            id: 1,
+            ttl: 7,
+            object: 0,
+        };
         assert_eq!(q.wire_size(), QUERY_BASE_SIZE);
         assert!((q.size_units() - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn cost_table_grows_with_entries() {
-        let small = Message::CostTable { owner: PeerId::new(0), entries: vec![(PeerId::new(1), 5)] };
+        let small = Message::CostTable {
+            owner: PeerId::new(0),
+            entries: vec![(PeerId::new(1), 5)],
+        };
         let big = Message::CostTable {
             owner: PeerId::new(0),
             entries: (0..20).map(|i| (PeerId::new(i), 5)).collect(),

@@ -295,7 +295,11 @@ impl Overlay {
 
         let mut targets: Vec<PeerId> = Vec::with_capacity(attach);
         // Cached addresses, most recently learned first.
-        let cached: Vec<PeerId> = self.addr_cache[peer.index()].iter().rev().copied().collect();
+        let cached: Vec<PeerId> = self.addr_cache[peer.index()]
+            .iter()
+            .rev()
+            .copied()
+            .collect();
         for cand in cached {
             if targets.len() >= attach {
                 break;
@@ -352,7 +356,10 @@ impl Overlay {
             }
         }
         if edges != 2 * self.edge_count {
-            return Err(format!("edge count {} vs adjacency {}", self.edge_count, edges));
+            return Err(format!(
+                "edge count {} vs adjacency {}",
+                self.edge_count, edges
+            ));
         }
         Ok(())
     }
@@ -632,7 +639,10 @@ mod tests {
     fn leave_offline_fails() {
         let mut ov = Overlay::new(hosts(2), None);
         ov.leave(PeerId::new(0)).unwrap();
-        assert_eq!(ov.leave(PeerId::new(0)), Err(OverlayError::PeerOffline(PeerId::new(0))));
+        assert_eq!(
+            ov.leave(PeerId::new(0)),
+            Err(OverlayError::PeerOffline(PeerId::new(0)))
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.index(), 7);
 /// assert_eq!(p.to_string(), "p7");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct PeerId(u32);
 
 impl PeerId {

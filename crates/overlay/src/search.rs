@@ -24,6 +24,21 @@ pub trait ForwardPolicy {
     /// return current logical neighbors of `peer`.
     fn forward_targets(&self, overlay: &Overlay, peer: PeerId, from: Option<PeerId>)
         -> Vec<PeerId>;
+
+    /// Buffer-reusing variant: writes the targets into `out` (cleared
+    /// first). The query loop calls this once per visited peer, so
+    /// policies should override it to avoid the per-hop allocation; the
+    /// default delegates to [`ForwardPolicy::forward_targets`].
+    fn forward_targets_into(
+        &self,
+        overlay: &Overlay,
+        peer: PeerId,
+        from: Option<PeerId>,
+        out: &mut Vec<PeerId>,
+    ) {
+        out.clear();
+        out.extend(self.forward_targets(overlay, peer, from));
+    }
 }
 
 /// Blind flooding: forward to every neighbor except the sender.
@@ -49,12 +64,26 @@ impl ForwardPolicy for FloodAll {
         peer: PeerId,
         from: Option<PeerId>,
     ) -> Vec<PeerId> {
-        overlay
-            .neighbors(peer)
-            .iter()
-            .copied()
-            .filter(|&n| Some(n) != from)
-            .collect()
+        let mut out = Vec::new();
+        self.forward_targets_into(overlay, peer, from, &mut out);
+        out
+    }
+
+    fn forward_targets_into(
+        &self,
+        overlay: &Overlay,
+        peer: PeerId,
+        from: Option<PeerId>,
+        out: &mut Vec<PeerId>,
+    ) {
+        out.clear();
+        out.extend(
+            overlay
+                .neighbors(peer)
+                .iter()
+                .copied()
+                .filter(|&n| Some(n) != from),
+        );
     }
 }
 
@@ -72,7 +101,10 @@ pub struct QueryConfig {
 
 impl Default for QueryConfig {
     fn default() -> Self {
-        QueryConfig { ttl: 7, stop_at_responder: false }
+        QueryConfig {
+            ttl: 7,
+            stop_at_responder: false,
+        }
     }
 }
 
@@ -105,7 +137,42 @@ pub struct QueryOutcome {
     pub sent_by: Vec<u32>,
 }
 
+impl Default for QueryOutcome {
+    fn default() -> Self {
+        QueryOutcome {
+            scope: 0,
+            traffic_cost: 0.0,
+            messages: 0,
+            duplicates: 0,
+            arrivals: Vec::new(),
+            parents: Vec::new(),
+            first_response: None,
+            first_responder: None,
+            responders_hit: 0,
+            sent_by: Vec::new(),
+        }
+    }
+}
+
 impl QueryOutcome {
+    /// Resets all measurements for a fresh query over `n` peers, reusing
+    /// the per-peer vectors' allocations.
+    pub fn reset(&mut self, n: usize) {
+        self.scope = 0;
+        self.traffic_cost = 0.0;
+        self.messages = 0;
+        self.duplicates = 0;
+        self.arrivals.clear();
+        self.arrivals.resize(n, None);
+        self.parents.clear();
+        self.parents.resize(n, None);
+        self.first_response = None;
+        self.first_responder = None;
+        self.responders_hit = 0;
+        self.sent_by.clear();
+        self.sent_by.resize(n, 0);
+    }
+
     /// Reverse path from `peer` back to the source (inclusive), following
     /// first-arrival parents; `None` if `peer` was not reached.
     pub fn reverse_path(&self, source: PeerId, peer: PeerId) -> Option<Vec<PeerId>> {
@@ -117,6 +184,26 @@ impl QueryOutcome {
             path.push(cur);
         }
         Some(path)
+    }
+}
+
+/// Heap entry of the propagation simulation:
+/// `(arrival, tie-break seq, to, from, remaining TTL)`.
+type QueryEvent = Reverse<(SimTime, u64, u32, u32, u8)>;
+
+/// Reusable buffers for [`run_query_into`]: the propagation heap and the
+/// per-hop forwarding-target list. One scratch amortizes all transient
+/// allocations across the thousands of queries a measurement sweep runs.
+#[derive(Clone, Debug, Default)]
+pub struct QueryScratch {
+    heap: BinaryHeap<QueryEvent>,
+    targets: Vec<PeerId>,
+}
+
+impl QueryScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -134,32 +221,60 @@ pub fn run_query<P, F>(
     source: PeerId,
     config: &QueryConfig,
     policy: &P,
-    mut is_responder: F,
+    is_responder: F,
 ) -> QueryOutcome
 where
     P: ForwardPolicy + ?Sized,
     F: FnMut(PeerId) -> bool,
 {
-    assert!(overlay.is_alive(source), "query source must be online");
-    let n = overlay.peer_count();
-    let mut out = QueryOutcome {
-        scope: 0,
-        traffic_cost: 0.0,
-        messages: 0,
-        duplicates: 0,
-        arrivals: vec![None; n],
-        parents: vec![None; n],
-        first_response: None,
-        first_responder: None,
-        responders_hit: 0,
-        sent_by: vec![0; n],
-    };
+    let mut scratch = QueryScratch::new();
+    let mut out = QueryOutcome::default();
+    run_query_into(
+        overlay,
+        oracle,
+        source,
+        config,
+        policy,
+        is_responder,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
 
-    // (arrival time, seq, to, from, remaining ttl)
-    let mut heap: BinaryHeap<Reverse<(SimTime, u64, u32, u32, u8)>> = BinaryHeap::new();
+/// Allocation-reusing form of [`run_query`]: writes the measurements into
+/// `out` (reset first) and draws all transient storage from `scratch`.
+///
+/// # Panics
+///
+/// Panics if `source` is offline or out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_into<P, F>(
+    overlay: &Overlay,
+    oracle: &DistanceOracle,
+    source: PeerId,
+    config: &QueryConfig,
+    policy: &P,
+    mut is_responder: F,
+    scratch: &mut QueryScratch,
+    out: &mut QueryOutcome,
+) where
+    P: ForwardPolicy + ?Sized,
+    F: FnMut(PeerId) -> bool,
+{
+    assert!(overlay.is_alive(source), "query source must be online");
+    out.reset(overlay.peer_count());
+    let QueryScratch { heap, targets } = scratch;
+    heap.clear();
     let mut seq = 0u64;
     // Source "receives" its own query at t=0 with the full TTL.
-    heap.push(Reverse((SimTime::ZERO, seq, source.raw(), source.raw(), config.ttl)));
+    heap.push(Reverse((
+        SimTime::ZERO,
+        seq,
+        source.raw(),
+        source.raw(),
+        config.ttl,
+    )));
 
     while let Some(Reverse((t, _, to, from, ttl))) = heap.pop() {
         let peer = PeerId::new(to);
@@ -169,7 +284,11 @@ where
         }
         out.arrivals[peer.index()] = Some(t);
         out.scope += 1;
-        let from_peer = if to == from { None } else { Some(PeerId::new(from)) };
+        let from_peer = if to == from {
+            None
+        } else {
+            Some(PeerId::new(from))
+        };
         out.parents[peer.index()] = from_peer;
 
         let mut stop_here = false;
@@ -177,7 +296,7 @@ where
             out.responders_hit += 1;
             // Hit travels back along the inverse path with symmetric delay.
             let rtt = SimTime::from_ticks(2 * t.as_ticks());
-            if out.first_response.map_or(true, |cur| rtt < cur) {
+            if out.first_response.is_none_or(|cur| rtt < cur) {
                 out.first_response = Some(rtt);
                 out.first_responder = Some(peer);
             }
@@ -186,17 +305,23 @@ where
         if ttl == 0 || stop_here {
             continue;
         }
-        for target in policy.forward_targets(overlay, peer, from_peer) {
+        policy.forward_targets_into(overlay, peer, from_peer, targets);
+        for &target in targets.iter() {
             debug_assert!(overlay.are_neighbors(peer, target));
             let cost = overlay.link_cost(oracle, peer, target);
             out.traffic_cost += f64::from(cost); // query = 1.0 size units
             out.messages += 1;
             out.sent_by[peer.index()] += 1;
             seq += 1;
-            heap.push(Reverse((t + u64::from(cost), seq, target.raw(), peer.raw(), ttl - 1)));
+            heap.push(Reverse((
+                t + u64::from(cost),
+                seq,
+                target.raw(),
+                peer.raw(),
+                ttl - 1,
+            )));
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -222,7 +347,14 @@ mod tests {
     #[test]
     fn line_flood_reaches_all_without_duplicates() {
         let (ov, oracle) = line_env();
-        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| false,
+        );
         assert_eq!(out.scope, 4);
         assert_eq!(out.duplicates, 0);
         assert_eq!(out.messages, 3);
@@ -235,7 +367,10 @@ mod tests {
     #[test]
     fn ttl_limits_scope() {
         let (ov, oracle) = line_env();
-        let cfg = QueryConfig { ttl: 1, stop_at_responder: false };
+        let cfg = QueryConfig {
+            ttl: 1,
+            stop_at_responder: false,
+        };
         let out = run_query(&ov, &oracle, PeerId::new(0), &cfg, &FloodAll, |_| false);
         assert_eq!(out.scope, 2); // source + 1 hop
     }
@@ -243,9 +378,14 @@ mod tests {
     #[test]
     fn response_time_is_round_trip_of_nearest_responder() {
         let (ov, oracle) = line_env();
-        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |p| {
-            p == PeerId::new(2) || p == PeerId::new(3)
-        });
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |p| p == PeerId::new(2) || p == PeerId::new(3),
+        );
         // Nearest responder at distance 20 -> RTT 40.
         assert_eq!(out.first_response, Some(SimTime::from_ticks(40)));
         assert_eq!(out.first_responder, Some(PeerId::new(2)));
@@ -255,8 +395,14 @@ mod tests {
     #[test]
     fn source_is_not_a_responder() {
         let (ov, oracle) = line_env();
-        let out =
-            run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| true);
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| true,
+        );
         assert_eq!(out.responders_hit, 3);
         assert_eq!(out.first_response, Some(SimTime::from_ticks(20)));
     }
@@ -264,8 +410,13 @@ mod tests {
     #[test]
     fn stop_at_responder_prunes_forwarding() {
         let (ov, oracle) = line_env();
-        let cfg = QueryConfig { ttl: 7, stop_at_responder: true };
-        let out = run_query(&ov, &oracle, PeerId::new(0), &cfg, &FloodAll, |p| p == PeerId::new(1));
+        let cfg = QueryConfig {
+            ttl: 7,
+            stop_at_responder: true,
+        };
+        let out = run_query(&ov, &oracle, PeerId::new(0), &cfg, &FloodAll, |p| {
+            p == PeerId::new(1)
+        });
         assert_eq!(out.scope, 2); // responder does not relay onward
         assert_eq!(out.messages, 1);
     }
@@ -282,7 +433,14 @@ mod tests {
         ov.connect(PeerId::new(0), PeerId::new(1)).unwrap();
         ov.connect(PeerId::new(1), PeerId::new(2)).unwrap();
         ov.connect(PeerId::new(0), PeerId::new(2)).unwrap();
-        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| false,
+        );
         assert_eq!(out.scope, 3);
         // 0 sends to 1,2; each of 1,2 forwards to the other -> 4 messages, 2 dups.
         assert_eq!(out.messages, 4);
@@ -293,7 +451,14 @@ mod tests {
     #[test]
     fn per_peer_load_sums_to_messages() {
         let (ov, oracle) = line_env();
-        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| false,
+        );
         let total: u32 = out.sent_by.iter().sum();
         assert_eq!(u64::from(total), out.messages);
         assert_eq!(out.sent_by[0], 1, "line head forwards once");
@@ -303,17 +468,76 @@ mod tests {
     #[test]
     fn reverse_path_walks_parents() {
         let (ov, oracle) = line_env();
-        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| false,
+        );
         let path = out.reverse_path(PeerId::new(0), PeerId::new(3)).unwrap();
-        assert_eq!(path, vec![PeerId::new(3), PeerId::new(2), PeerId::new(1), PeerId::new(0)]);
-        assert_eq!(out.reverse_path(PeerId::new(0), PeerId::new(0)).unwrap(), vec![PeerId::new(0)]);
+        assert_eq!(
+            path,
+            vec![
+                PeerId::new(3),
+                PeerId::new(2),
+                PeerId::new(1),
+                PeerId::new(0)
+            ]
+        );
+        assert_eq!(
+            out.reverse_path(PeerId::new(0), PeerId::new(0)).unwrap(),
+            vec![PeerId::new(0)]
+        );
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        let (ov, oracle) = line_env();
+        let mut scratch = QueryScratch::new();
+        let mut out = QueryOutcome::default();
+        for src in 0..4u32 {
+            let source = PeerId::new(src);
+            let fresh = run_query(
+                &ov,
+                &oracle,
+                source,
+                &QueryConfig::default(),
+                &FloodAll,
+                |_| false,
+            );
+            run_query_into(
+                &ov,
+                &oracle,
+                source,
+                &QueryConfig::default(),
+                &FloodAll,
+                |_| false,
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(out.scope, fresh.scope);
+            assert_eq!(out.messages, fresh.messages);
+            assert_eq!(out.traffic_cost, fresh.traffic_cost);
+            assert_eq!(out.arrivals, fresh.arrivals);
+            assert_eq!(out.parents, fresh.parents);
+            assert_eq!(out.sent_by, fresh.sent_by);
+        }
     }
 
     #[test]
     fn unreached_peers_have_no_arrival() {
         let (mut ov, oracle) = line_env();
         ov.disconnect(PeerId::new(1), PeerId::new(2)).unwrap();
-        let out = run_query(&ov, &oracle, PeerId::new(0), &QueryConfig::default(), &FloodAll, |_| false);
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| false,
+        );
         assert_eq!(out.scope, 2);
         assert_eq!(out.arrivals[2], None);
         assert_eq!(out.reverse_path(PeerId::new(0), PeerId::new(3)), None);

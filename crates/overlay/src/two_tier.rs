@@ -31,7 +31,11 @@ pub struct TwoTierConfig {
 
 impl Default for TwoTierConfig {
     fn default() -> Self {
-        TwoTierConfig { supernode_fraction: 0.1, core_degree: 6, locality_aware_attach: false }
+        TwoTierConfig {
+            supernode_fraction: 0.1,
+            core_degree: 6,
+            locality_aware_attach: false,
+        }
     }
 }
 
@@ -70,8 +74,7 @@ impl TwoTierNetwork {
             is_sn[i] = true;
         }
         let sn_hosts: Vec<NodeId> = sn_picks.iter().map(|&i| hosts[i]).collect();
-        let leaf_hosts: Vec<NodeId> =
-            (0..n).filter(|&i| !is_sn[i]).map(|i| hosts[i]).collect();
+        let leaf_hosts: Vec<NodeId> = (0..n).filter(|&i| !is_sn[i]).map(|i| hosts[i]).collect();
 
         let core = clustered_overlay(sn_hosts, cfg.core_degree, 0.7, None, rng);
 
@@ -88,7 +91,11 @@ impl TwoTierNetwork {
                 }
             })
             .collect();
-        TwoTierNetwork { core, leaf_hosts, assignment }
+        TwoTierNetwork {
+            core,
+            leaf_hosts,
+            assignment,
+        }
     }
 
     /// Number of leaves.
@@ -122,8 +129,9 @@ impl TwoTierNetwork {
         if self.leaf_hosts.is_empty() {
             return 0.0;
         }
-        let total: u64 =
-            (0..self.leaf_count()).map(|l| u64::from(self.access_cost(oracle, l))).sum();
+        let total: u64 = (0..self.leaf_count())
+            .map(|l| u64::from(self.access_cost(oracle, l)))
+            .sum();
         total as f64 / self.leaf_count() as f64
     }
 
@@ -160,7 +168,11 @@ mod tests {
     fn world() -> (DistanceOracle, Vec<NodeId>) {
         let mut rng = StdRng::seed_from_u64(8);
         let topo = two_level(
-            &TwoLevelConfig { as_count: 4, nodes_per_as: 60, ..TwoLevelConfig::default() },
+            &TwoLevelConfig {
+                as_count: 4,
+                nodes_per_as: 60,
+                ..TwoLevelConfig::default()
+            },
             &mut rng,
         );
         let nodes: Vec<NodeId> = topo.graph.nodes().take(120).collect();
@@ -186,14 +198,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let random = TwoTierNetwork::build(
             hosts.clone(),
-            &TwoTierConfig { locality_aware_attach: false, ..TwoTierConfig::default() },
+            &TwoTierConfig {
+                locality_aware_attach: false,
+                ..TwoTierConfig::default()
+            },
             &oracle,
             &mut rng,
         );
         let mut rng = StdRng::seed_from_u64(10);
         let near = TwoTierNetwork::build(
             hosts,
-            &TwoTierConfig { locality_aware_attach: true, ..TwoTierConfig::default() },
+            &TwoTierConfig {
+                locality_aware_attach: true,
+                ..TwoTierConfig::default()
+            },
             &oracle,
             &mut rng,
         );
@@ -210,7 +228,10 @@ mod tests {
         let (oracle, hosts) = world();
         let mut rng = StdRng::seed_from_u64(11);
         let tt = TwoTierNetwork::build(hosts, &TwoTierConfig::default(), &oracle, &mut rng);
-        let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+        let qc = QueryConfig {
+            ttl: 32,
+            stop_at_responder: false,
+        };
         let (outcome, total) = tt.query_from_leaf(&oracle, 0, &qc, &FloodAll, |_| false);
         assert_eq!(outcome.scope, tt.supernode_count(), "core fully covered");
         assert!(total >= outcome.traffic_cost, "access link charged");
@@ -223,7 +244,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         TwoTierNetwork::build(
             hosts,
-            &TwoTierConfig { supernode_fraction: 1.0, ..TwoTierConfig::default() },
+            &TwoTierConfig {
+                supernode_fraction: 1.0,
+                ..TwoTierConfig::default()
+            },
             &oracle,
             &mut rng,
         );

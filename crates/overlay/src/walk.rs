@@ -31,7 +31,11 @@ impl Default for WalkConfig {
     /// 16 walkers × 64 hops, no immediate backtracking — in the range the
     /// random-walk literature recommends for Gnutella-sized overlays.
     fn default() -> Self {
-        WalkConfig { walkers: 16, max_hops: 64, avoid_backtrack: true }
+        WalkConfig {
+            walkers: 16,
+            max_hops: 64,
+            avoid_backtrack: true,
+        }
     }
 }
 
@@ -139,7 +143,7 @@ where
             if at != source && is_responder(at) {
                 // Hit: result travels straight back over the walked delay.
                 let rtt = SimTime::from_ticks(2 * elapsed);
-                if out.first_response.map_or(true, |cur| rtt < cur) {
+                if out.first_response.is_none_or(|cur| rtt < cur) {
                     out.first_response = Some(rtt);
                     out.first_responder = Some(at);
                 }
@@ -160,12 +164,14 @@ mod tests {
     fn ring(n: u32, w: u32) -> (Overlay, DistanceOracle) {
         let mut g = Graph::new(n as usize);
         for i in 0..n {
-            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), w).unwrap();
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), w)
+                .unwrap();
         }
         let oracle = DistanceOracle::new(g);
         let mut ov = Overlay::new((0..n).map(NodeId::new).collect(), None);
         for i in 0..n {
-            ov.connect(PeerId::new(i), PeerId::new((i + 1) % n)).unwrap();
+            ov.connect(PeerId::new(i), PeerId::new((i + 1) % n))
+                .unwrap();
         }
         (ov, oracle)
     }
@@ -193,7 +199,11 @@ mod tests {
     fn hop_budget_limits_messages() {
         let (ov, oracle) = ring(64, 1);
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = WalkConfig { walkers: 3, max_hops: 10, avoid_backtrack: true };
+        let cfg = WalkConfig {
+            walkers: 3,
+            max_hops: 10,
+            avoid_backtrack: true,
+        };
         let out = random_walk_query(&ov, &oracle, PeerId::new(0), &cfg, |_| false, &mut rng);
         assert!(!out.found());
         assert_eq!(out.messages, 30, "3 walkers x 10 hops");
@@ -204,7 +214,11 @@ mod tests {
     fn walker_stops_at_its_first_hit() {
         let (ov, oracle) = ring(8, 1);
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = WalkConfig { walkers: 1, max_hops: 100, avoid_backtrack: true };
+        let cfg = WalkConfig {
+            walkers: 1,
+            max_hops: 100,
+            avoid_backtrack: true,
+        };
         let out = random_walk_query(&ov, &oracle, PeerId::new(0), &cfg, |_| true, &mut rng);
         assert_eq!(out.messages, 1, "first step lands on a responder");
     }
@@ -223,8 +237,19 @@ mod tests {
             ov.connect(PeerId::new(i - 1), PeerId::new(i)).unwrap();
         }
         let mut rng = StdRng::seed_from_u64(6);
-        let cfg = WalkConfig { walkers: 1, max_hops: 10, avoid_backtrack: true };
-        let out = random_walk_query(&ov, &oracle, PeerId::new(0), &cfg, |p| p == PeerId::new(4), &mut rng);
+        let cfg = WalkConfig {
+            walkers: 1,
+            max_hops: 10,
+            avoid_backtrack: true,
+        };
+        let out = random_walk_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &cfg,
+            |p| p == PeerId::new(4),
+            &mut rng,
+        );
         assert!(out.found());
         assert_eq!(out.messages, 4);
     }
@@ -234,7 +259,10 @@ mod tests {
     fn zero_walkers_rejected() {
         let (ov, oracle) = ring(4, 1);
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = WalkConfig { walkers: 0, ..WalkConfig::default() };
+        let cfg = WalkConfig {
+            walkers: 0,
+            ..WalkConfig::default()
+        };
         random_walk_query(&ov, &oracle, PeerId::new(0), &cfg, |_| false, &mut rng);
     }
 }

@@ -23,7 +23,13 @@ pub fn to_dot(g: &Graph, name: &str) -> String {
     let _ = writeln!(out, "graph {name} {{");
     let _ = writeln!(out, "  node [shape=circle fontsize=9];");
     for e in g.edges() {
-        let _ = writeln!(out, "  n{} -- n{} [label={}];", e.a.index(), e.b.index(), e.weight);
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label={}];",
+            e.a.index(),
+            e.b.index(),
+            e.weight
+        );
     }
     out.push_str("}\n");
     out
@@ -115,7 +121,9 @@ mod tests {
     #[test]
     fn edge_list_reports_bad_lines() {
         assert!(from_edge_list("0 1").unwrap_err().contains("line 1"));
-        assert!(from_edge_list("0 x 3").unwrap_err().contains("invalid target"));
+        assert!(from_edge_list("0 x 3")
+            .unwrap_err()
+            .contains("invalid target"));
         assert!(from_edge_list("0 0 3").unwrap_err().contains("self loop"));
     }
 }

@@ -61,7 +61,10 @@ impl Default for BaConfig {
 /// Panics if the configuration is inconsistent (see field docs).
 pub fn ba<R: Rng + ?Sized>(cfg: &BaConfig, rng: &mut R) -> Graph {
     assert!(cfg.seed_nodes >= 2, "seed clique needs at least 2 nodes");
-    assert!(cfg.nodes >= cfg.seed_nodes, "nodes must cover the seed clique");
+    assert!(
+        cfg.nodes >= cfg.seed_nodes,
+        "nodes must cover the seed clique"
+    );
     assert!(
         (1..=cfg.seed_nodes).contains(&cfg.edges_per_node),
         "edges_per_node must be in 1..=seed_nodes"
@@ -139,7 +142,13 @@ mod tests {
     fn rich_get_richer() {
         // Seed nodes should end up with far higher degree than the median.
         let mut rng = StdRng::seed_from_u64(3);
-        let g = ba(&BaConfig { nodes: 2000, ..BaConfig::default() }, &mut rng);
+        let g = ba(
+            &BaConfig {
+                nodes: 2000,
+                ..BaConfig::default()
+            },
+            &mut rng,
+        );
         let mut degs: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
         degs.sort_unstable();
         let median = degs[degs.len() / 2];
@@ -152,7 +161,11 @@ mod tests {
     fn rejects_too_many_edges_per_node() {
         let mut rng = StdRng::seed_from_u64(0);
         ba(
-            &BaConfig { seed_nodes: 2, edges_per_node: 5, ..BaConfig::default() },
+            &BaConfig {
+                seed_nodes: 2,
+                edges_per_node: 5,
+                ..BaConfig::default()
+            },
             &mut rng,
         );
     }

@@ -68,7 +68,10 @@ impl DelayModel {
                 d
             }
             DelayModel::Uniform { lo, hi } => {
-                assert!(lo > 0 && lo <= hi, "invalid uniform delay range {lo}..={hi}");
+                assert!(
+                    lo > 0 && lo <= hi,
+                    "invalid uniform delay range {lo}..={hi}"
+                );
                 rng.gen_range(lo..=hi)
             }
         }

@@ -46,8 +46,7 @@ pub fn gnm<R: Rng + ?Sized>(cfg: &GnmConfig, rng: &mut R) -> Graph {
         if a == b {
             continue;
         }
-        if g
-            .add_edge(NodeId::new(a), NodeId::new(b), cfg.delays.sample(rng))
+        if g.add_edge(NodeId::new(a), NodeId::new(b), cfg.delays.sample(rng))
             .is_ok()
         {
             placed += 1;
@@ -121,7 +120,11 @@ mod tests {
     #[test]
     fn gnm_hits_edge_target_and_connects() {
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = GnmConfig { nodes: 300, edges: 600, delays: DelayModel::Constant(1) };
+        let cfg = GnmConfig {
+            nodes: 300,
+            edges: 600,
+            delays: DelayModel::Constant(1),
+        };
         let g = gnm(&cfg, &mut rng);
         assert_eq!(g.node_count(), 300);
         assert!(g.edge_count() >= 600);
@@ -131,7 +134,11 @@ mod tests {
     #[test]
     fn gnm_caps_at_complete_graph() {
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = GnmConfig { nodes: 5, edges: 1000, delays: DelayModel::Constant(1) };
+        let cfg = GnmConfig {
+            nodes: 5,
+            edges: 1000,
+            delays: DelayModel::Constant(1),
+        };
         let g = gnm(&cfg, &mut rng);
         assert_eq!(g.edge_count(), 10);
     }
@@ -139,7 +146,12 @@ mod tests {
     #[test]
     fn ws_beta_zero_is_ring_lattice() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = WattsStrogatzConfig { nodes: 20, k: 2, beta: 0.0, delays: DelayModel::Constant(1) };
+        let cfg = WattsStrogatzConfig {
+            nodes: 20,
+            k: 2,
+            beta: 0.0,
+            delays: DelayModel::Constant(1),
+        };
         let g = watts_strogatz(&cfg, &mut rng);
         assert_eq!(g.edge_count(), 40);
         assert!(g.nodes().all(|v| g.degree(v) == 4));
@@ -149,7 +161,12 @@ mod tests {
     #[test]
     fn ws_rewiring_changes_structure_but_stays_connected() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = WattsStrogatzConfig { nodes: 200, k: 3, beta: 0.3, delays: DelayModel::Constant(1) };
+        let cfg = WattsStrogatzConfig {
+            nodes: 200,
+            k: 3,
+            beta: 0.3,
+            delays: DelayModel::Constant(1),
+        };
         let g = watts_strogatz(&cfg, &mut rng);
         assert!(g.is_connected());
         // Some long-range shortcut must exist: ring distance > k for some edge.
@@ -165,7 +182,12 @@ mod tests {
     fn ws_rejects_dense_lattice() {
         let mut rng = StdRng::seed_from_u64(0);
         watts_strogatz(
-            &WattsStrogatzConfig { nodes: 6, k: 3, beta: 0.0, delays: DelayModel::Constant(1) },
+            &WattsStrogatzConfig {
+                nodes: 6,
+                k: 3,
+                beta: 0.0,
+                delays: DelayModel::Constant(1),
+            },
             &mut rng,
         );
     }

@@ -73,7 +73,9 @@ impl TransitStubTopology {
 
     /// Iterator over stub routers (where peers typically live).
     pub fn stub_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.graph.nodes().filter(|&n| self.tier_of(n) == RouterTier::Stub)
+        self.graph
+            .nodes()
+            .filter(|&n| self.tier_of(n) == RouterTier::Stub)
     }
 }
 
@@ -89,13 +91,18 @@ impl TransitStubTopology {
 /// Panics if any size parameter is below its documented minimum.
 pub fn transit_stub<R: Rng + ?Sized>(cfg: &TransitStubConfig, rng: &mut R) -> TransitStubTopology {
     assert!(cfg.transit_domains >= 1, "need at least one transit domain");
-    assert!(cfg.transit_size >= 2, "transit domains need at least 2 routers");
-    assert!(cfg.stubs_per_transit_node >= 1, "each transit router anchors a stub");
+    assert!(
+        cfg.transit_size >= 2,
+        "transit domains need at least 2 routers"
+    );
+    assert!(
+        cfg.stubs_per_transit_node >= 1,
+        "each transit router anchors a stub"
+    );
     assert!(cfg.stub_size >= 2, "stub domains need at least 2 routers");
 
     let per_transit_router = 1 + cfg.stubs_per_transit_node * cfg.stub_size;
-    let total =
-        cfg.transit_domains * cfg.transit_size * per_transit_router;
+    let total = cfg.transit_domains * cfg.transit_size * per_transit_router;
     let mut g = Graph::new(total);
     let mut tier = vec![RouterTier::Stub; total];
 
@@ -103,8 +110,9 @@ pub fn transit_stub<R: Rng + ?Sized>(cfg: &TransitStubConfig, rng: &mut R) -> Tr
     let mut transit_ids: Vec<Vec<NodeId>> = Vec::new();
     let mut next = 0usize;
     for _ in 0..cfg.transit_domains {
-        let routers: Vec<NodeId> =
-            (0..cfg.transit_size).map(|i| NodeId::new((next + i) as u32)).collect();
+        let routers: Vec<NodeId> = (0..cfg.transit_size)
+            .map(|i| NodeId::new((next + i) as u32))
+            .collect();
         for &r in &routers {
             tier[r.index()] = RouterTier::Transit;
         }
@@ -181,7 +189,11 @@ mod tests {
         let t = build();
         assert_eq!(t.graph.node_count(), 200);
         assert!(t.graph.is_connected());
-        let transit = t.graph.nodes().filter(|&n| t.tier_of(n) == RouterTier::Transit).count();
+        let transit = t
+            .graph
+            .nodes()
+            .filter(|&n| t.tier_of(n) == RouterTier::Transit)
+            .count();
         assert_eq!(transit, 8);
         assert_eq!(t.stub_nodes().count(), 192);
     }
@@ -212,6 +224,12 @@ mod tests {
     #[should_panic(expected = "at least 2 routers")]
     fn rejects_tiny_transit() {
         let mut rng = StdRng::seed_from_u64(0);
-        transit_stub(&TransitStubConfig { transit_size: 1, ..TransitStubConfig::default() }, &mut rng);
+        transit_stub(
+            &TransitStubConfig {
+                transit_size: 1,
+                ..TransitStubConfig::default()
+            },
+            &mut rng,
+        );
     }
 }

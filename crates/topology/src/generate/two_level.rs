@@ -67,7 +67,11 @@ impl TwoLevelTopology {
 
     /// Number of distinct ASes.
     pub fn as_count(&self) -> usize {
-        self.as_of.iter().copied().max().map_or(0, |m| m as usize + 1)
+        self.as_of
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1)
     }
 }
 
@@ -155,7 +159,11 @@ mod tests {
     fn small() -> TwoLevelTopology {
         let mut rng = StdRng::seed_from_u64(21);
         two_level(
-            &TwoLevelConfig { as_count: 5, nodes_per_as: 40, ..TwoLevelConfig::default() },
+            &TwoLevelConfig {
+                as_count: 5,
+                nodes_per_as: 40,
+                ..TwoLevelConfig::default()
+            },
             &mut rng,
         )
     }
@@ -182,7 +190,10 @@ mod tests {
                 inter_min = inter_min.min(e.weight);
             }
         }
-        assert!(inter_min > intra_max, "inter {inter_min} vs intra {intra_max}");
+        assert!(
+            inter_min > intra_max,
+            "inter {inter_min} vs intra {intra_max}"
+        );
     }
 
     #[test]

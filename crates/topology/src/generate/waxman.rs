@@ -28,7 +28,13 @@ pub struct WaxmanConfig {
 
 impl Default for WaxmanConfig {
     fn default() -> Self {
-        WaxmanConfig { nodes: 500, alpha: 0.15, beta: 0.25, plane: 1000.0, delay_scale: 0.1 }
+        WaxmanConfig {
+            nodes: 500,
+            alpha: 0.15,
+            beta: 0.25,
+            plane: 1000.0,
+            delay_scale: 0.1,
+        }
     }
 }
 
@@ -49,7 +55,10 @@ pub fn waxman<R: Rng + ?Sized>(cfg: &WaxmanConfig, rng: &mut R) -> (Graph, Vec<(
     assert!(cfg.nodes >= 2, "need at least two nodes");
     assert!(cfg.alpha > 0.0 && cfg.alpha <= 1.0, "alpha in (0,1]");
     assert!(cfg.beta > 0.0 && cfg.beta <= 1.0, "beta in (0,1]");
-    assert!(cfg.plane > 0.0 && cfg.delay_scale > 0.0, "plane and delay_scale positive");
+    assert!(
+        cfg.plane > 0.0 && cfg.delay_scale > 0.0,
+        "plane and delay_scale positive"
+    );
 
     let coords: Vec<(f64, f64)> = (0..cfg.nodes)
         .map(|_| (rng.gen_range(0.0..cfg.plane), rng.gen_range(0.0..cfg.plane)))
@@ -81,7 +90,8 @@ pub fn waxman<R: Rng + ?Sized>(cfg: &WaxmanConfig, rng: &mut R) -> (Graph, Vec<(
         let (xa, ya) = coords[a.index()];
         let (xb, yb) = coords[b.index()];
         let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
-        g.add_edge(a, b, delay_of(d)).expect("components are disjoint");
+        g.add_edge(a, b, delay_of(d))
+            .expect("components are disjoint");
     }
     (g, coords)
 }
@@ -95,7 +105,13 @@ mod tests {
     #[test]
     fn connected_with_coords() {
         let mut rng = StdRng::seed_from_u64(11);
-        let (g, coords) = waxman(&WaxmanConfig { nodes: 150, ..WaxmanConfig::default() }, &mut rng);
+        let (g, coords) = waxman(
+            &WaxmanConfig {
+                nodes: 150,
+                ..WaxmanConfig::default()
+            },
+            &mut rng,
+        );
         assert_eq!(g.node_count(), 150);
         assert_eq!(coords.len(), 150);
         assert!(g.is_connected());
@@ -104,7 +120,12 @@ mod tests {
     #[test]
     fn delays_track_distance() {
         let mut rng = StdRng::seed_from_u64(13);
-        let cfg = WaxmanConfig { nodes: 200, alpha: 0.4, beta: 0.4, ..WaxmanConfig::default() };
+        let cfg = WaxmanConfig {
+            nodes: 200,
+            alpha: 0.4,
+            beta: 0.4,
+            ..WaxmanConfig::default()
+        };
         let (g, coords) = waxman(&cfg, &mut rng);
         for e in g.edges() {
             let (xa, ya) = coords[e.a.index()];
@@ -119,7 +140,12 @@ mod tests {
     fn locality_prefers_short_links() {
         let mut rng = StdRng::seed_from_u64(17);
         // Tight beta: edges should be much shorter than the plane diagonal.
-        let cfg = WaxmanConfig { nodes: 300, alpha: 0.9, beta: 0.05, ..WaxmanConfig::default() };
+        let cfg = WaxmanConfig {
+            nodes: 300,
+            alpha: 0.9,
+            beta: 0.05,
+            ..WaxmanConfig::default()
+        };
         let (g, coords) = waxman(&cfg, &mut rng);
         let mut lens: Vec<f64> = g
             .edges()
@@ -138,6 +164,12 @@ mod tests {
     #[should_panic(expected = "alpha in (0,1]")]
     fn rejects_bad_alpha() {
         let mut rng = StdRng::seed_from_u64(0);
-        waxman(&WaxmanConfig { alpha: 1.5, ..WaxmanConfig::default() }, &mut rng);
+        waxman(
+            &WaxmanConfig {
+                alpha: 1.5,
+                ..WaxmanConfig::default()
+            },
+            &mut rng,
+        );
     }
 }

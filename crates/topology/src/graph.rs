@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(n.index(), 3);
 /// assert_eq!(n.to_string(), "n3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -195,7 +197,11 @@ impl Graph {
 
     /// Returns the weight of edge `a-b`, if present.
     pub fn edge_weight(&self, a: NodeId, b: NodeId) -> Option<Delay> {
-        self.adj.get(a.index())?.iter().find(|&&(n, _)| n == b).map(|&(_, w)| w)
+        self.adj
+            .get(a.index())?
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, w)| w)
     }
 
     /// Neighbors of `n` with the connecting edge weights.
@@ -224,7 +230,7 @@ impl Graph {
 
     /// Sum of all edge weights.
     pub fn total_weight(&self) -> u64 {
-        self.edges().map(|e| u64::from(e.weight)) .sum()
+        self.edges().map(|e| u64::from(e.weight)).sum()
     }
 
     /// Returns true if every node is reachable from node 0 (empty and

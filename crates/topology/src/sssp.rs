@@ -146,10 +146,13 @@ pub fn bfs_hops(g: &Graph, src: NodeId) -> Vec<u32> {
 /// [`dijkstra`] there instead.
 pub fn floyd_warshall(g: &Graph) -> Vec<Vec<u64>> {
     let n = g.node_count();
-    debug_assert!(n <= 2048, "Floyd-Warshall is O(n^3); use dijkstra for large graphs");
+    debug_assert!(
+        n <= 2048,
+        "Floyd-Warshall is O(n^3); use dijkstra for large graphs"
+    );
     let mut d = vec![vec![u64::MAX; n]; n];
-    for i in 0..n {
-        d[i][i] = 0;
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
     }
     for e in g.edges() {
         let (a, b, w) = (e.a.index(), e.b.index(), u64::from(e.weight));
@@ -243,7 +246,12 @@ mod tests {
         let p = path_from_parents(&parent, NodeId::new(0), NodeId::new(2)).unwrap();
         assert_eq!(
             p,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(2)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(2)
+            ]
         );
     }
 

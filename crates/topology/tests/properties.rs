@@ -11,7 +11,11 @@ fn arb_connected_graph() -> impl Strategy<Value = Graph> {
     (2usize..=40, 0usize..80, any::<u64>()).prop_map(|(n, extra, seed)| {
         let mut rng = StdRng::seed_from_u64(seed);
         gnm(
-            &GnmConfig { nodes: n, edges: extra, delays: DelayModel::Uniform { lo: 1, hi: 50 } },
+            &GnmConfig {
+                nodes: n,
+                edges: extra,
+                delays: DelayModel::Uniform { lo: 1, hi: 50 },
+            },
             &mut rng,
         )
     })

@@ -16,16 +16,26 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(71);
     let topo = two_level(
-        &TwoLevelConfig { as_count: 6, nodes_per_as: 100, ..TwoLevelConfig::default() },
+        &TwoLevelConfig {
+            as_count: 6,
+            nodes_per_as: 100,
+            ..TwoLevelConfig::default()
+        },
         &mut rng,
     );
     let oracle = DistanceOracle::new(topo.graph);
     let hosts = oracle.graph().nodes().take(200).collect();
     let overlay = clustered_overlay(hosts, 6, 0.7, Some(12), &mut rng);
 
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
     let flood = run_query(&overlay, &oracle, PeerId::new(0), &qc, &FloodAll, |_| false);
-    println!("t=0s        flooding traffic {:8.0}  (scope {})", flood.traffic_cost, flood.scope);
+    println!(
+        "t=0s        flooding traffic {:8.0}  (scope {})",
+        flood.traffic_cost, flood.scope
+    );
 
     let mut sim = AsyncAceSim::new(overlay, ProtoConfig::default(), 72);
     for minute in 1..=6u64 {

@@ -15,7 +15,10 @@ fn main() {
 
     let cfg = DepthSweepConfig {
         scenario: ScenarioConfig {
-            phys: PhysKind::TwoLevel { as_count: 6, nodes_per_as: 100 },
+            phys: PhysKind::TwoLevel {
+                as_count: 6,
+                nodes_per_as: 100,
+            },
             peers: 250,
             avg_degree: 6,
             seed: 31,

@@ -10,7 +10,10 @@ use ace_core::AceConfig;
 
 fn main() {
     let scenario = ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 8, nodes_per_as: 150 },
+        phys: PhysKind::TwoLevel {
+            as_count: 8,
+            nodes_per_as: 150,
+        },
         peers: 400,
         avg_degree: 6,
         objects: 800,
@@ -22,7 +25,7 @@ fn main() {
 
     println!("file-sharing network: 400 peers on 1,200 routers, churn mean lifetime 10 min\n");
 
-    let mut run = |label: &str, ace: Option<AceConfig>, cache: Option<usize>| {
+    let run = |label: &str, ace: Option<AceConfig>, cache: Option<usize>| {
         let mut cfg = DynamicConfig::paper_default(scenario, ace);
         cfg.total_queries = 3_000;
         cfg.window = 300;

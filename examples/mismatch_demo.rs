@@ -49,7 +49,13 @@ fn main() {
     }
     show(&overlay, &oracle, "mismatched overlay (Figure 2a):");
 
-    let mut ace = AceEngine::new(4, AceConfig { min_flooding: 1, ..AceConfig::paper_default() });
+    let mut ace = AceEngine::new(
+        4,
+        AceConfig {
+            min_flooding: 1,
+            ..AceConfig::paper_default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(3);
     for step in 1..=6 {
         // Phase 1: probe neighbors and exchange cost tables.
@@ -70,7 +76,11 @@ fn main() {
                     changed = true;
                 }
                 AdaptOutcome::Added { near } => {
-                    println!("  step {step}: {} keeps both and adds {}", name(p), name(near));
+                    println!(
+                        "  step {step}: {} keeps both and adds {}",
+                        name(p),
+                        name(near)
+                    );
                     changed = true;
                 }
                 AdaptOutcome::KeptAll => {}
@@ -85,8 +95,7 @@ fn main() {
     show(&overlay, &oracle, "after ACE (approaches Figure 2b):");
     println!("\nflooding/non-flooding classification:");
     for p in overlay.peers() {
-        let flooding: Vec<&str> =
-            ace.flooding_neighbors(p).iter().map(|&f| name(f)).collect();
+        let flooding: Vec<&str> = ace.flooding_neighbors(p).iter().map(|&f| name(f)).collect();
         println!("  {} floods to: {}", name(p), flooding.join(", "));
     }
 }

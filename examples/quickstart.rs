@@ -17,7 +17,11 @@ fn main() {
     //    cheaper than inter-AS links (this delay gap is what overlay
     //    mismatch wastes).
     let topo = two_level(
-        &TwoLevelConfig { as_count: 8, nodes_per_as: 100, ..TwoLevelConfig::default() },
+        &TwoLevelConfig {
+            as_count: 8,
+            nodes_per_as: 100,
+            ..TwoLevelConfig::default()
+        },
         &mut rng,
     );
     let oracle = DistanceOracle::new(topo.graph);
@@ -34,7 +38,10 @@ fn main() {
     );
 
     // 3. Baseline: blind flooding from peer 0.
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
     let flood = run_query(&overlay, &oracle, PeerId::new(0), &qc, &FloodAll, |_| false);
     println!(
         "blind flooding : scope {:4}  traffic {:9.0}  duplicates {}",
@@ -56,7 +63,14 @@ fn main() {
     assert!(overlay.is_connected(), "ACE never disconnects the overlay");
 
     // 5. The same query on the optimized overlay, along spanning trees.
-    let opt = run_query(&overlay, &oracle, PeerId::new(0), &qc, &AceForward::new(&ace), |_| false);
+    let opt = run_query(
+        &overlay,
+        &oracle,
+        PeerId::new(0),
+        &qc,
+        &AceForward::new(&ace),
+        |_| false,
+    );
     println!(
         "ACE forwarding : scope {:4}  traffic {:9.0}  duplicates {}",
         opt.scope, opt.traffic_cost, opt.duplicates

@@ -15,7 +15,11 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let mut rng = StdRng::seed_from_u64(44);
     let topo = two_level(
-        &TwoLevelConfig { as_count: 8, nodes_per_as: 120, ..TwoLevelConfig::default() },
+        &TwoLevelConfig {
+            as_count: 8,
+            nodes_per_as: 120,
+            ..TwoLevelConfig::default()
+        },
         &mut rng,
     );
     let oracle = DistanceOracle::new(topo.graph);
@@ -29,8 +33,13 @@ fn main() {
         net.mean_access_cost(&oracle)
     );
 
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
-    let leaves: Vec<usize> = (0..40).map(|_| rng.gen_range(0..net.leaf_count())).collect();
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
+    let leaves: Vec<usize> = (0..40)
+        .map(|_| rng.gen_range(0..net.leaf_count()))
+        .collect();
 
     let avg = |net: &TwoTierNetwork, policy: &dyn ace_overlay::ForwardPolicy, leaves: &[usize]| {
         let total: f64 = leaves
@@ -52,5 +61,8 @@ fn main() {
     let fwd = AceForward::new(&ace);
     let after = avg(&net, &fwd, &leaves);
     println!("query cost, ACE-optimized core  : {after:9.0}");
-    println!("core traffic reduction          : {:.1}%", 100.0 * (1.0 - after / before));
+    println!(
+        "core traffic reduction          : {:.1}%",
+        100.0 * (1.0 - after / before)
+    );
 }

@@ -65,7 +65,9 @@ fn get_num<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid --{key} value '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid --{key} value '{v}'")),
     }
 }
 
@@ -78,15 +80,23 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
         "two-level" => {
             let per_as = (nodes / 10).max(3);
             two_level(
-                &TwoLevelConfig { as_count: 10, nodes_per_as: per_as, ..TwoLevelConfig::default() },
+                &TwoLevelConfig {
+                    as_count: 10,
+                    nodes_per_as: per_as,
+                    ..TwoLevelConfig::default()
+                },
                 &mut rng,
             )
             .graph
         }
-        "ba" => ba(&BaConfig { nodes, ..BaConfig::default() }, &mut rng),
-        "transit-stub" => {
-            transit_stub(&TransitStubConfig::default(), &mut rng).graph
-        }
+        "ba" => ba(
+            &BaConfig {
+                nodes,
+                ..BaConfig::default()
+            },
+            &mut rng,
+        ),
+        "transit-stub" => transit_stub(&TransitStubConfig::default(), &mut rng).graph,
         other => return Err(format!("unknown --kind '{other}'")),
     };
     println!(
@@ -112,9 +122,18 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("edges            : {}", graph.edge_count());
     println!("connected        : {}", graph.is_connected());
     println!("avg degree       : {:.2}", analysis::average_degree(&graph));
-    println!("clustering coeff : {:.4}", analysis::clustering_coefficient(&graph, samples, &mut rng));
-    println!("avg path (hops)  : {:.2}", analysis::average_path_hops(&graph, samples, &mut rng));
-    println!("avg path (delay) : {:.1}", analysis::average_path_delay(&graph, samples, &mut rng));
+    println!(
+        "clustering coeff : {:.4}",
+        analysis::clustering_coefficient(&graph, samples, &mut rng)
+    );
+    println!(
+        "avg path (hops)  : {:.2}",
+        analysis::average_path_hops(&graph, samples, &mut rng)
+    );
+    println!(
+        "avg path (delay) : {:.1}",
+        analysis::average_path_delay(&graph, samples, &mut rng)
+    );
     println!("diameter (est.)  : {}", analysis::diameter_estimate(&graph));
     match analysis::power_law_exponent(&graph) {
         Some(e) => println!("power-law (CCDF) : {e:.2}"),
@@ -160,13 +179,20 @@ fn cmd_optimize(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let cfg = StaticConfig {
         scenario: ScenarioConfig {
-            phys: PhysKind::TwoLevel { as_count: 10, nodes_per_as: (peers * 5 / 10).max(20) },
+            phys: PhysKind::TwoLevel {
+                as_count: 10,
+                nodes_per_as: (peers * 5 / 10).max(20),
+            },
             peers,
             avg_degree: degree,
             seed,
             ..ScenarioConfig::default()
         },
-        ace: AceConfig { depth, policy, ..AceConfig::paper_default() },
+        ace: AceConfig {
+            depth,
+            policy,
+            ..AceConfig::paper_default()
+        },
         steps,
         query_samples: 48,
         ttl: 32,
@@ -200,13 +226,20 @@ fn cmd_dynamic(flags: &HashMap<String, String>) -> Result<(), String> {
     let queries: u64 = get_num(flags, "queries", 2000)?;
     let window: u64 = get_num(flags, "window", 200)?;
     let seed: u64 = get_num(flags, "seed", 1)?;
-    let ace = if flags.contains_key("no-ace") { None } else { Some(AceConfig::paper_default()) };
+    let ace = if flags.contains_key("no-ace") {
+        None
+    } else {
+        Some(AceConfig::paper_default())
+    };
     let cache: Option<usize> = match flags.get("cache") {
         Some(v) => Some(v.parse().map_err(|_| format!("invalid --cache '{v}'"))?),
         None => None,
     };
     let scenario = ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 8, nodes_per_as: (peers / 2).max(20) },
+        phys: PhysKind::TwoLevel {
+            as_count: 8,
+            nodes_per_as: (peers / 2).max(20),
+        },
         peers,
         seed,
         ..ScenarioConfig::default()

@@ -6,7 +6,10 @@ use ace_overlay::{LifetimeModel, QueryRate};
 
 fn base(seed: u64, ace: Option<AceConfig>) -> DynamicConfig {
     let scenario = ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 50 },
+        phys: PhysKind::TwoLevel {
+            as_count: 4,
+            nodes_per_as: 50,
+        },
         peers: 80,
         avg_degree: 6,
         objects: 60,
@@ -15,7 +18,11 @@ fn base(seed: u64, ace: Option<AceConfig>) -> DynamicConfig {
         ..ScenarioConfig::default()
     };
     DynamicConfig {
-        lifetime: LifetimeModel::ClampedNormal { mean_secs: 90.0, std_secs: 45.0, min_secs: 5.0 },
+        lifetime: LifetimeModel::ClampedNormal {
+            mean_secs: 90.0,
+            std_secs: 45.0,
+            min_secs: 5.0,
+        },
         query_rate: QueryRate { per_minute: 5.0 },
         total_queries: 800,
         window: 100,
@@ -87,13 +94,16 @@ fn index_cache_improves_on_plain_ace() {
 fn forwarding_survives_unannounced_crashes() {
     // Peers vanish WITHOUT the engine being told (no reset_peer): stale
     // tree entries and forward requests must be filtered, not followed.
-    use ace_core::{AceConfig, AceEngine, AceForward};
     use ace_core::experiments::Scenario;
+    use ace_core::{AceConfig, AceEngine, AceForward};
     use ace_overlay::{run_query, PeerId, QueryConfig};
     use rand::Rng;
 
     let scenario = ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 50 },
+        phys: PhysKind::TwoLevel {
+            as_count: 4,
+            nodes_per_as: 50,
+        },
         peers: 80,
         avg_degree: 6,
         objects: 40,
@@ -114,13 +124,26 @@ fn forwarding_survives_unannounced_crashes() {
             crashed += 1;
         }
     }
-    let qc = QueryConfig { ttl: 32, stop_at_responder: false };
-    let out = run_query(&s.overlay, &s.oracle, PeerId::new(0), &qc, &AceForward::new(&ace), |_| false);
+    let qc = QueryConfig {
+        ttl: 32,
+        stop_at_responder: false,
+    };
+    let out = run_query(
+        &s.overlay,
+        &s.oracle,
+        PeerId::new(0),
+        &qc,
+        &AceForward::new(&ace),
+        |_| false,
+    );
     // The query must not touch dead peers and must still reach a healthy
     // share of the survivors reachable from the source.
     for p in s.overlay.peers() {
         if !s.overlay.is_alive(p) {
-            assert!(out.arrivals[p.index()].is_none(), "dead {p} received a query");
+            assert!(
+                out.arrivals[p.index()].is_none(),
+                "dead {p} received a query"
+            );
         }
     }
     let reachable = s.overlay.reachable_from(PeerId::new(0));

@@ -40,8 +40,9 @@ fn unknown_command_fails() {
 fn generate_analyze_round_trip() {
     let path = std::env::temp_dir().join("acesim_test_world.json");
     let path_s = path.to_str().unwrap();
-    let (ok, stdout, _) =
-        acesim(&["generate", "--kind", "ba", "--nodes", "300", "--seed", "5", "--out", path_s]);
+    let (ok, stdout, _) = acesim(&[
+        "generate", "--kind", "ba", "--nodes", "300", "--seed", "5", "--out", path_s,
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("300 nodes"));
 
@@ -58,7 +59,14 @@ fn generate_is_seed_deterministic() {
     let p2 = std::env::temp_dir().join("acesim_det_2.json");
     for p in [&p1, &p2] {
         let (ok, _, _) = acesim(&[
-            "generate", "--kind", "two-level", "--nodes", "500", "--seed", "9", "--out",
+            "generate",
+            "--kind",
+            "two-level",
+            "--nodes",
+            "500",
+            "--seed",
+            "9",
+            "--out",
             p.to_str().unwrap(),
         ]);
         assert!(ok);
@@ -90,7 +98,15 @@ fn optimize_rejects_bad_policy() {
 #[test]
 fn dynamic_smoke_run() {
     let (ok, stdout, _) = acesim(&[
-        "dynamic", "--peers", "80", "--queries", "200", "--window", "100", "--seed", "3",
+        "dynamic",
+        "--peers",
+        "80",
+        "--queries",
+        "200",
+        "--window",
+        "100",
+        "--seed",
+        "3",
         "--no-ace",
     ]);
     assert!(ok, "{stdout}");
@@ -101,8 +117,9 @@ fn dynamic_smoke_run() {
 fn export_formats_work() {
     let path = std::env::temp_dir().join("acesim_export_world.json");
     let path_s = path.to_str().unwrap();
-    let (ok, _, _) =
-        acesim(&["generate", "--kind", "ba", "--nodes", "50", "--seed", "4", "--out", path_s]);
+    let (ok, _, _) = acesim(&[
+        "generate", "--kind", "ba", "--nodes", "50", "--seed", "4", "--out", path_s,
+    ]);
     assert!(ok);
     let (ok, dot, _) = acesim(&["export", "--in", path_s, "--format", "dot"]);
     assert!(ok);

@@ -9,9 +9,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
-    (2usize..=5, 30usize..=70, 4usize..=8, any::<u64>(), 0usize..3).prop_map(
-        |(ases, peers, degree, seed, kind)| ScenarioConfig {
-            phys: PhysKind::TwoLevel { as_count: ases, nodes_per_as: 50 },
+    (
+        2usize..=5,
+        30usize..=70,
+        4usize..=8,
+        any::<u64>(),
+        0usize..3,
+    )
+        .prop_map(|(ases, peers, degree, seed, kind)| ScenarioConfig {
+            phys: PhysKind::TwoLevel {
+                as_count: ases,
+                nodes_per_as: 50,
+            },
             peers,
             avg_degree: degree,
             overlay: match kind {
@@ -23,8 +32,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioConfig> {
             replicas: 4,
             zipf: 0.8,
             seed,
-        },
-    )
+        })
 }
 
 proptest! {

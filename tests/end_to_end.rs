@@ -2,15 +2,18 @@
 //! overlay → ACE optimization → measured search behavior.
 
 use ace_core::experiments::{
-    draw_query_pairs, measure_queries, static_run, OverlayKind, PhysKind, Scenario,
-    ScenarioConfig, StaticConfig,
+    draw_query_pairs, measure_queries, static_run, OverlayKind, PhysKind, Scenario, ScenarioConfig,
+    StaticConfig,
 };
 use ace_core::{AceConfig, AceEngine, AceForward, ReplacePolicy};
 use ace_overlay::FloodAll;
 
 fn small_world(seed: u64) -> ScenarioConfig {
     ScenarioConfig {
-        phys: PhysKind::TwoLevel { as_count: 5, nodes_per_as: 60 },
+        phys: PhysKind::TwoLevel {
+            as_count: 5,
+            nodes_per_as: 60,
+        },
         peers: 100,
         avg_degree: 6,
         overlay: OverlayKind::Clustered,
@@ -31,14 +34,29 @@ fn ace_reduces_traffic_and_response_while_keeping_scope() {
         ttl: 32,
     };
     let r = static_run(&cfg);
-    assert!(r.traffic_reduction() > 0.4, "traffic reduction {:.2}", r.traffic_reduction());
-    assert!(r.response_reduction() > 0.2, "response reduction {:.2}", r.response_reduction());
-    assert!(r.min_scope_ratio() > 0.97, "scope ratio {:.3}", r.min_scope_ratio());
+    assert!(
+        r.traffic_reduction() > 0.4,
+        "traffic reduction {:.2}",
+        r.traffic_reduction()
+    );
+    assert!(
+        r.response_reduction() > 0.2,
+        "response reduction {:.2}",
+        r.response_reduction()
+    );
+    assert!(
+        r.min_scope_ratio() > 0.97,
+        "scope ratio {:.3}",
+        r.min_scope_ratio()
+    );
     // Traffic at the end must be below the first optimized step too — the
     // curve keeps improving, not just the initial tree drop.
     let first_opt = r.steps[1].ace.traffic;
     let last = r.steps.last().unwrap().ace.traffic;
-    assert!(last <= first_opt * 1.05, "no late regression: {first_opt} -> {last}");
+    assert!(
+        last <= first_opt * 1.05,
+        "no late regression: {first_opt} -> {last}"
+    );
 }
 
 #[test]
@@ -70,10 +88,17 @@ fn optimization_preserves_connectivity_and_invariants() {
 
 #[test]
 fn all_policies_improve_over_flooding() {
-    for policy in [ReplacePolicy::Random, ReplacePolicy::Naive, ReplacePolicy::Closest] {
+    for policy in [
+        ReplacePolicy::Random,
+        ReplacePolicy::Naive,
+        ReplacePolicy::Closest,
+    ] {
         let cfg = StaticConfig {
             scenario: small_world(31),
-            ace: AceConfig { policy, ..AceConfig::paper_default() },
+            ace: AceConfig {
+                policy,
+                ..AceConfig::paper_default()
+            },
             steps: 8,
             query_samples: 16,
             ttl: 32,
@@ -92,13 +117,20 @@ fn deeper_closures_cost_more_but_never_lose_scope() {
     for depth in 1..=3u8 {
         let cfg = StaticConfig {
             scenario: small_world(41),
-            ace: AceConfig { depth, ..AceConfig::paper_default() },
+            ace: AceConfig {
+                depth,
+                ..AceConfig::paper_default()
+            },
             steps: 6,
             query_samples: 16,
             ttl: 32,
         };
         let r = static_run(&cfg);
-        assert!(r.min_scope_ratio() > 0.95, "h={depth} scope {:.3}", r.min_scope_ratio());
+        assert!(
+            r.min_scope_ratio() > 0.95,
+            "h={depth} scope {:.3}",
+            r.min_scope_ratio()
+        );
     }
 }
 
@@ -134,7 +166,14 @@ fn fresh_peers_fall_back_to_flooding() {
     let ace = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
     // No rounds run: AceForward must behave exactly like FloodAll.
     let pairs = draw_query_pairs(&s.overlay, &s.catalog, 10, &mut s.rng);
-    let a = measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, 32, &AceForward::new(&ace));
+    let a = measure_queries(
+        &s.overlay,
+        &s.oracle,
+        &s.placement,
+        &pairs,
+        32,
+        &AceForward::new(&ace),
+    );
     let f = measure_queries(&s.overlay, &s.oracle, &s.placement, &pairs, 32, &FloodAll);
     assert_eq!(a.traffic, f.traffic);
     assert_eq!(a.scope, f.scope);

@@ -1,0 +1,190 @@
+//! Vendored stand-in for `criterion`. The offline build cannot ship the
+//! real statistical harness, so this shim keeps the API shape and turns
+//! every benchmark into a timed smoke run: each routine executes once and
+//! its wall time is printed. That keeps `cargo bench` compiling and
+//! useful as a coarse regression signal; real statistics come from the
+//! workspace's own experiment binaries.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value (forwarded to
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; accepted and ignored by the shim.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per batch of the given size.
+    NumBatches(u64),
+}
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Runs benchmark routines (once each, in the shim).
+pub struct Bencher {
+    elapsed: std::time::Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times one execution of `routine` on a freshly set-up input.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always runs one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` once and prints the measured wall time.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: std::time::Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{}: {:?} (1 smoke sample)",
+            self.name, id, b.elapsed
+        );
+        self
+    }
+
+    /// Runs `f` once with `input` and prints the measured wall time.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: std::time::Duration::ZERO,
+        };
+        f(&mut b, input);
+        println!(
+            "bench {}/{}: {:?} (1 smoke sample)",
+            self.name, id.id, b.elapsed
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility with generated mains.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: "default".to_string(),
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_routines() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("plain", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+                b.iter_batched(|| x, |v| ran += v, BatchSize::LargeInput)
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 8);
+    }
+}

@@ -1,0 +1,312 @@
+//! Vendored derive macros for the workspace's `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no syn/quote — the build
+//! environment is offline), which is enough for the shapes this workspace
+//! derives: named structs, newtype/tuple structs, and enums with unit,
+//! newtype, and struct variants. Generated impls follow serde's external
+//! enum tagging so the JSON matches what upstream would emit.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Splits `tokens` at commas that sit outside any `<...>` type nesting.
+/// (Group tokens hide their own commas, so only angle brackets need depth
+/// tracking — e.g. `BTreeMap<String, String>` in a field type.)
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strips leading `#[...]` attributes and a `pub`/`pub(...)` visibility
+/// prefix, returning the index of the first remaining token.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> usize {
+    let mut i = 0;
+    loop {
+        match (tokens.get(i), tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(_))) if p.as_char() == '#' => {
+                i += 2;
+            }
+            (Some(TokenTree::Ident(id)), next) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = next {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Pulls the field names out of a named-field body `{ a: T, b: U }`.
+fn named_field_names(body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .iter()
+        .filter_map(|chunk| {
+            let start = skip_attrs_and_vis(chunk);
+            match chunk.get(start) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(body)
+        .iter()
+        .filter_map(|chunk| {
+            let start = skip_attrs_and_vis(chunk);
+            let name = match chunk.get(start) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let kind = match chunk.get(start + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Tuple(split_top_level(&inner).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Named(named_field_names(&inner))
+                }
+                _ => VariantKind::Unit,
+            };
+            Some(Variant { name, kind })
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive");
+        }
+    }
+    let body = match (kw.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Named(named_field_names(&inner))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Tuple(split_top_level(&inner).len())
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Enum(parse_variants(&inner))
+        }
+        (kw, other) => panic!("serde_derive: unsupported item shape `{kw}` / {other:?}"),
+    };
+    (name, body)
+}
+
+/// Derives `serde::Serialize` (vendored `Value`-based model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let to_value = match &body {
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {to_value} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (vendored `Value`-based model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let from_value = match &body {
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(v, \"{name}\", \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\"{name}: expected array\"))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::DeError::new(\"{name}: wrong tuple arity\")); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!("\"{vn}\" => Ok({name}::{vn})"),
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vn}\" => {{\n\
+                                 let p = payload.ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: missing payload\"))?;\n\
+                                 Ok({name}::{vn}(::serde::Deserialize::from_value(p)?))\n\
+                             }}"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let p = payload.ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: missing payload\"))?;\n\
+                                     let items = p.as_array().ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: expected array\"))?;\n\
+                                     if items.len() != {n} {{ return Err(::serde::DeError::new(\"{name}::{vn}: wrong arity\")); }}\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::__private::field(p, \"{name}::{vn}\", \"{f}\")?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let p = payload.ok_or_else(|| ::serde::DeError::new(\"{name}::{vn}: missing payload\"))?;\n\
+                                     Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (variant, payload) = ::serde::__private::variant(v, \"{name}\")?;\n\
+                 match variant {{\n\
+                     {},\n\
+                     other => Err(::serde::DeError::new(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {from_value}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -25,11 +25,12 @@ use std::sync::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ace_overlay::{Message, Overlay, OverlayError, PeerId};
+use ace_overlay::{DepartureKind, Message, Overlay, OverlayError, PeerId};
 use ace_topology::{Delay, DistanceOracle};
 
 use crate::closure::Closure;
 use crate::cost_table::CostTable;
+use crate::fault::FaultConfig;
 use crate::mst::{prim_heap, ClosureEdge};
 use crate::overhead::{OverheadKind, OverheadLedger};
 use crate::probe::ProbeModel;
@@ -73,6 +74,11 @@ pub struct AceConfig {
     /// Worker threads for the parallel pipeline; `0` means one per
     /// available core. Has no effect on results — only on wall time.
     pub workers: usize,
+    /// Deterministic fault injection (probe loss, crashes, mid-round
+    /// departures); `None` disables all faults. Fault decisions are pure
+    /// hashes, so they preserve the parallel pipeline's bit-identical
+    /// worker-count guarantee.
+    pub faults: Option<FaultConfig>,
 }
 
 impl AceConfig {
@@ -86,6 +92,7 @@ impl AceConfig {
             min_flooding: 2,
             parallel: false,
             workers: 0,
+            faults: None,
         }
     }
 }
@@ -118,6 +125,12 @@ pub struct RoundStats {
     pub added: usize,
     /// Number of spanning trees (re)built.
     pub trees_built: usize,
+    /// Peers that crashed mid-round (injected faults; no goodbye).
+    pub crashed: usize,
+    /// Peers that left gracefully mid-round (injected faults).
+    pub left: usize,
+    /// Dead peers that rejoined mid-round (injected faults).
+    pub rejoined: usize,
     /// Control-traffic overhead incurred during the round.
     pub overhead: OverheadLedger,
 }
@@ -192,7 +205,11 @@ pub struct AceEngine {
     /// the steady-state optimization overhead at the paper's level.
     core_cache: HashMap<(PeerId, PeerId), Delay>,
     ledger: OverheadLedger,
+    /// Completed optimization rounds; indexes the fault hash streams so
+    /// every round draws fresh (but reproducible) fault decisions.
+    rounds_run: u64,
     probe_units: f64,
+    probe_req_units: f64,
     connect_units: f64,
     disconnect_units: f64,
     notify_units: f64,
@@ -201,10 +218,20 @@ pub struct AceEngine {
 impl AceEngine {
     /// Creates engine state for `peer_count` peers. A `depth` of 0 is
     /// normalized to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AceConfig::faults`] is set to an invalid
+    /// [`FaultConfig`] (see [`FaultConfig::validate`]).
     pub fn new(peer_count: usize, cfg: AceConfig) -> Self {
         let mut cfg = cfg;
         if cfg.depth == 0 {
             cfg.depth = 1;
+        }
+        if let Some(f) = cfg.faults {
+            if let Err(e) = f.validate() {
+                panic!("invalid fault config: {e}");
+            }
         }
         let states = (0..peer_count)
             .map(|i| PeerState::new(PeerId::new(i as u32)))
@@ -214,8 +241,10 @@ impl AceEngine {
             states,
             core_cache: HashMap::new(),
             ledger: OverheadLedger::new(),
+            rounds_run: 0,
             probe_units: Message::Probe { nonce: 0 }.size_units()
                 + Message::ProbeReply { nonce: 0 }.size_units(),
+            probe_req_units: Message::Probe { nonce: 0 }.size_units(),
             connect_units: Message::Connect.size_units() + Message::ConnectOk.size_units(),
             disconnect_units: Message::Disconnect.size_units(),
             notify_units: Message::Ping.size_units(),
@@ -277,39 +306,133 @@ impl AceEngine {
         self.states[peer.index()].table.get(neighbor)
     }
 
-    /// Clears all ACE state of `peer` — call when it leaves or (re)joins;
-    /// a fresh peer starts as a plain flooding Gnutella node.
+    /// Clears all ACE state of `peer` — equivalent to a graceful leave
+    /// ([`AceEngine::on_leave`]); kept as the historical entry point.
     pub fn reset_peer(&mut self, peer: PeerId) {
-        // Withdraw our forward requests (a clean leave would send these;
-        // a crash leaves them stale until filtered by liveness checks).
-        let old: Vec<PeerId> = std::mem::take(&mut self.states[peer.index()].own_tree);
-        for f in old {
-            self.states[f.index()].requested.retain(|&p| p != peer);
+        self.on_leave(peer);
+    }
+
+    /// Graceful leave: `peer`'s goodbye reaches every partner, so both
+    /// its own state and every reference other peers hold to it (tree
+    /// membership, forward requests, watches, cost rows, cached core
+    /// probes) are invalidated immediately.
+    pub fn on_leave(&mut self, peer: PeerId) {
+        self.purge_peer_refs(peer);
+        self.clear_own_state(peer);
+    }
+
+    /// Silent crash: no goodbye is sent, so partners keep their (now
+    /// stale) references until phase 1 prunes them; only the crashed
+    /// process's own state disappears. [`AceEngine::check_invariants`]
+    /// tolerates references to dead peers for exactly this reason.
+    pub fn on_crash(&mut self, peer: PeerId) {
+        self.clear_own_state(peer);
+    }
+
+    /// (Re)join: the joiner starts as a plain flooding Gnutella node, and
+    /// any references surviving from a previous incarnation (e.g. after a
+    /// crash) are purged — an alive peer must never be shadowed by stale
+    /// state recorded about its predecessor.
+    pub fn on_join(&mut self, peer: PeerId) {
+        self.purge_peer_refs(peer);
+        self.clear_own_state(peer);
+    }
+
+    /// Removes every reference other peers hold to `peer`, plus cached
+    /// core probes with `peer` as an endpoint.
+    fn purge_peer_refs(&mut self, peer: PeerId) {
+        for s in &mut self.states {
+            s.own_tree.retain(|&p| p != peer);
+            s.requested.retain(|&p| p != peer);
+            s.watches.retain(|&(far, near)| far != peer && near != peer);
+            s.table.remove(peer);
         }
+        self.core_cache.retain(|&(a, b), _| a != peer && b != peer);
+    }
+
+    /// Resets `peer`'s own protocol state to the fresh-node default.
+    fn clear_own_state(&mut self, peer: PeerId) {
         let s = &mut self.states[peer.index()];
         s.table = CostTable::new(peer);
+        s.own_tree.clear();
         s.requested.clear();
         s.watches.clear();
         s.tree_built = false;
     }
 
+    /// Both endpoints of a just-cut link forget it: tree membership,
+    /// forward requests and cached cost rows for the partner. Keeps the
+    /// tree⊆neighbors and request-symmetry invariants true after
+    /// engine-initiated cuts (phase-3 replaces, watch cuts). Watches are
+    /// left to expire on their own (§3.3).
+    fn note_link_down(&mut self, a: PeerId, b: PeerId) {
+        let sa = &mut self.states[a.index()];
+        sa.own_tree.retain(|&p| p != b);
+        sa.requested.retain(|&p| p != b);
+        sa.table.remove(b);
+        let sb = &mut self.states[b.index()];
+        sb.own_tree.retain(|&p| p != a);
+        sb.requested.retain(|&p| p != a);
+        sb.table.remove(a);
+    }
+
+    /// Measures `a`↔`b`, charging `ledger`. Under fault injection each
+    /// attempt can be lost (decided by a pure hash, so both endpoints and
+    /// every worker schedule agree): a lost attempt wastes the request
+    /// leg — charged as [`OverheadKind::ProbeRetry`], scaled by the
+    /// backoff factor to model the lengthening timeout — and the prober
+    /// retries up to [`FaultConfig::max_retries`] times before giving up
+    /// with `None`. The successful attempt is charged as a normal probe.
+    fn probe_with_faults(
+        &self,
+        ov: &Overlay,
+        oracle: &DistanceOracle,
+        ledger: &mut OverheadLedger,
+        a: PeerId,
+        b: PeerId,
+    ) -> Option<Delay> {
+        let true_cost = ov.link_cost(oracle, a, b);
+        if let Some(f) = self.cfg.faults {
+            let mut attempt = 0u8;
+            while f.probe_lost(self.rounds_run, a, b, attempt) {
+                ledger.charge(
+                    OverheadKind::ProbeRetry,
+                    f64::from(true_cost)
+                        * self.probe_req_units
+                        * f.backoff.powi(i32::from(attempt)),
+                );
+                if attempt >= f.max_retries {
+                    return None;
+                }
+                attempt += 1;
+            }
+        }
+        ledger.charge(OverheadKind::Probe, f64::from(true_cost) * self.probe_units);
+        Some(self.cfg.probe.perturb(a, b, true_cost))
+    }
+
     /// Measures `a`↔`b` with the probe model and charges probe overhead
-    /// (request + reply, each crossing the physical path).
+    /// (request + reply, each crossing the physical path). `None` when
+    /// fault injection lost every attempt.
     fn probe_and_charge(
         &mut self,
         ov: &Overlay,
         oracle: &DistanceOracle,
         a: PeerId,
         b: PeerId,
-    ) -> Delay {
-        let true_cost = ov.link_cost(oracle, a, b);
-        self.ledger
-            .charge(OverheadKind::Probe, f64::from(true_cost) * self.probe_units);
-        self.cfg.probe.perturb(a, b, true_cost)
+    ) -> Option<Delay> {
+        let mut ledger = self.ledger;
+        let out = self.probe_with_faults(ov, oracle, &mut ledger, a, b);
+        self.ledger = ledger;
+        out
     }
 
     /// Phase 1: probe all current neighbors of `peer` and refresh its
-    /// neighbor cost table. Stale entries (ex-neighbors) are dropped.
+    /// neighbor cost table. Stale entries (ex-neighbors) are dropped —
+    /// from the cost table and from the forward-request list, which is
+    /// where references to crashed partners go to die. A neighbor whose
+    /// probe is lost to fault injection on every retry gets no table
+    /// entry this round.
     ///
     /// # Panics
     ///
@@ -317,18 +440,27 @@ impl AceEngine {
     pub fn phase1_probe(&mut self, ov: &Overlay, oracle: &DistanceOracle, peer: PeerId) {
         assert!(ov.is_alive(peer), "cannot probe from an offline peer");
         let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
-        self.states[peer.index()].table.retain_neighbors(&nbrs);
+        {
+            let s = &mut self.states[peer.index()];
+            s.table.retain_neighbors(&nbrs);
+            s.requested.retain(|r| nbrs.contains(r));
+        }
         for n in nbrs {
             // Only the lower-id endpoint pays for the shared probe; both
             // ends learn the (symmetric) RTT from the same exchange.
             let measured = if peer < n || self.states[n.index()].table.get(peer).is_none() {
                 self.probe_and_charge(ov, oracle, peer, n)
             } else {
-                self.cfg
-                    .probe
-                    .perturb(peer, n, ov.link_cost(oracle, peer, n))
+                Some(
+                    self.cfg
+                        .probe
+                        .perturb(peer, n, ov.link_cost(oracle, peer, n)),
+                )
             };
-            self.states[peer.index()].table.set(n, measured);
+            match measured {
+                Some(m) => self.states[peer.index()].table.set(n, m),
+                None => self.states[peer.index()].table.remove(n),
+            }
         }
     }
 
@@ -372,6 +504,8 @@ impl AceEngine {
 
     /// Cost of closure edge `a-b` as seen from collected tables, falling
     /// back to a charged probe when neither endpoint has reported it yet.
+    /// `None` when the fallback probe was lost to fault injection — the
+    /// edge is simply unknown this round and the MST routes around it.
     fn edge_cost(
         &mut self,
         ov: &Overlay,
@@ -379,12 +513,12 @@ impl AceEngine {
         known: &HashMap<PeerId, CostTable>,
         a: PeerId,
         b: PeerId,
-    ) -> Delay {
+    ) -> Option<Delay> {
         if let Some(c) = known.get(&a).and_then(|t| t.get(b)) {
-            return c;
+            return Some(c);
         }
         if let Some(c) = known.get(&b).and_then(|t| t.get(a)) {
-            return c;
+            return Some(c);
         }
         self.probe_and_charge(ov, oracle, a, b)
     }
@@ -441,8 +575,9 @@ impl AceEngine {
         // link.
         let mut edges: Vec<ClosureEdge> = Vec::new();
         for (a, b) in closure.internal_edges(ov) {
-            let cost = self.edge_cost(ov, oracle, &known, a, b);
-            edges.push(ClosureEdge { a, b, cost });
+            if let Some(cost) = self.edge_cost(ov, oracle, &known, a, b) {
+                edges.push(ClosureEdge { a, b, cost });
+            }
         }
         let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
         for i in 0..nbrs.len() {
@@ -453,14 +588,18 @@ impl AceEngine {
                 }
                 let key = if a <= b { (a, b) } else { (b, a) };
                 let cost = match self.core_cache.get(&key) {
-                    Some(&c) => c, // stable measurement, refreshed via tables
+                    Some(&c) => Some(c), // stable measurement, refreshed via tables
                     None => {
                         let c = self.probe_and_charge(ov, oracle, a, b);
-                        self.core_cache.insert(key, c);
+                        if let Some(c) = c {
+                            self.core_cache.insert(key, c);
+                        }
                         c
                     }
                 };
-                edges.push(ClosureEdge { a, b, cost });
+                if let Some(cost) = cost {
+                    edges.push(ClosureEdge { a, b, cost });
+                }
             }
         }
         let tree = prim_heap(peer, closure.members(), &edges);
@@ -564,7 +703,7 @@ impl AceEngine {
             }
             if ov.disconnect(peer, far).is_ok() {
                 self.charge_disconnect(ov, oracle, peer, far);
-                self.states[peer.index()].table.remove(far);
+                self.note_link_down(peer, far);
             }
         }
         self.states[peer.index()].watches = keep;
@@ -623,22 +762,28 @@ impl AceEngine {
             return AdaptOutcome::KeptAll;
         }
 
-        // Probe the candidate(s): CH.
+        // Probe the candidate(s): CH. Lost probes drop the candidate.
         let (near, near_cost, far_near_cost) = match self.cfg.policy {
             ReplacePolicy::Closest => {
                 let mut best: Option<(Delay, PeerId, Delay)> = None;
                 for &(h, bh) in &candidates {
-                    let ch = self.probe_and_charge(ov, oracle, peer, h);
+                    let Some(ch) = self.probe_and_charge(ov, oracle, peer, h) else {
+                        continue;
+                    };
                     if best.is_none_or(|(bc, bp, _)| (ch, h) < (bc, bp)) {
                         best = Some((ch, h, bh));
                     }
                 }
-                let (ch, h, bh) = best.expect("candidates is non-empty");
+                let Some((ch, h, bh)) = best else {
+                    return AdaptOutcome::KeptAll;
+                };
                 (h, ch, bh)
             }
             _ => {
                 let (h, bh) = candidates[rng.gen_range(0..candidates.len())];
-                let ch = self.probe_and_charge(ov, oracle, peer, h);
+                let Some(ch) = self.probe_and_charge(ov, oracle, peer, h) else {
+                    return AdaptOutcome::KeptAll;
+                };
                 (h, ch, bh)
             }
         };
@@ -657,9 +802,8 @@ impl AceEngine {
             }
             match self.replace_link(ov, oracle, peer, far, near) {
                 Ok(()) => {
-                    let s = &mut self.states[peer.index()];
-                    s.table.remove(far);
-                    s.table.set(near, near_cost);
+                    self.note_link_down(peer, far);
+                    self.states[peer.index()].table.set(near, near_cost);
                     AdaptOutcome::Replaced { far, near }
                 }
                 Err(_) => AdaptOutcome::KeptAll,
@@ -763,7 +907,17 @@ impl AceEngine {
         for i in (1..alive.len()).rev() {
             alive.swap(i, rng.gen_range(0..=i));
         }
-        for p in alive {
+        // Injected departures/rejoins strike once halfway through the
+        // optimization sweep — peers that already optimized saw the old
+        // population, the rest see the new one, like real churn would.
+        let fault_point = alive.len() / 2;
+        for (i, p) in alive.into_iter().enumerate() {
+            if i == fault_point {
+                self.apply_mid_round_faults(ov, &mut stats);
+            }
+            if !ov.is_alive(p) {
+                continue; // departed mid-round
+            }
             match self.optimize_peer(ov, oracle, p, rng) {
                 AdaptOutcome::Replaced { .. } => stats.replaced += 1,
                 AdaptOutcome::Added { .. } => stats.added += 1,
@@ -772,7 +926,9 @@ impl AceEngine {
             stats.trees_built += 1;
         }
         stats.overhead = self.ledger.since(&before);
+        self.rounds_run += 1;
         debug_assert!(ov.check_invariants().is_ok());
+        debug_assert_eq!(self.check_invariants(ov), Ok(()));
         stats
     }
 
@@ -792,6 +948,7 @@ impl AceEngine {
             stats.trees_built += 1;
         }
         stats.overhead = self.ledger.since(&before);
+        self.rounds_run += 1;
         stats
     }
 
@@ -816,8 +973,9 @@ impl AceEngine {
     }
 
     /// Pure probe: charges `ledger` (a plan-local ledger, merged at commit
-    /// in peer-id order) and returns the perturbed measurement. Safe to
-    /// run concurrently — [`ProbeModel::perturb`] is pair-deterministic.
+    /// in peer-id order) and returns the perturbed measurement, or `None`
+    /// when fault injection lost every attempt. Safe to run concurrently —
+    /// [`ProbeModel::perturb`] and the fault hashes are pair-deterministic.
     fn plan_probe(
         &self,
         ov: &Overlay,
@@ -825,10 +983,8 @@ impl AceEngine {
         ledger: &mut OverheadLedger,
         a: PeerId,
         b: PeerId,
-    ) -> Delay {
-        let true_cost = ov.link_cost(oracle, a, b);
-        ledger.charge(OverheadKind::Probe, f64::from(true_cost) * self.probe_units);
-        self.cfg.probe.perturb(a, b, true_cost)
+    ) -> Option<Delay> {
+        self.probe_with_faults(ov, oracle, ledger, a, b)
     }
 
     /// Stage A: plan one peer's phase 2 against the round-start snapshot.
@@ -861,8 +1017,10 @@ impl AceEngine {
                 .get(&a)
                 .and_then(|t| t.get(b))
                 .or_else(|| known.get(&b).and_then(|t| t.get(a)))
-                .unwrap_or_else(|| self.plan_probe(ov, oracle, &mut ledger, a, b));
-            edges.push(ClosureEdge { a, b, cost });
+                .or_else(|| self.plan_probe(ov, oracle, &mut ledger, a, b));
+            if let Some(cost) = cost {
+                edges.push(ClosureEdge { a, b, cost });
+            }
         }
         let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
         for i in 0..nbrs.len() {
@@ -873,18 +1031,22 @@ impl AceEngine {
                 }
                 let key = if a <= b { (a, b) } else { (b, a) };
                 let cost = match self.core_cache.get(&key) {
-                    Some(&c) => c,
+                    Some(&c) => Some(c),
                     None => {
                         // Concurrent planners may both pay for the same
                         // missing pair (as real concurrent peers would);
                         // commit keeps the first value so the cache stays
                         // deterministic.
                         let c = self.plan_probe(ov, oracle, &mut ledger, a, b);
-                        core_probes.push((key, c));
+                        if let Some(c) = c {
+                            core_probes.push((key, c));
+                        }
                         c
                     }
                 };
-                edges.push(ClosureEdge { a, b, cost });
+                if let Some(cost) = cost {
+                    edges.push(ClosureEdge { a, b, cost });
+                }
             }
         }
         let tree = prim_heap(peer, closure.members(), &edges);
@@ -1073,17 +1235,23 @@ impl AceEngine {
             ReplacePolicy::Closest => {
                 let mut best: Option<(Delay, PeerId, Delay)> = None;
                 for &(h, bh) in &candidates {
-                    let ch = self.plan_probe(ov, oracle, ledger, peer, h);
+                    let Some(ch) = self.plan_probe(ov, oracle, ledger, peer, h) else {
+                        continue;
+                    };
                     if best.is_none_or(|(bc, bp, _)| (ch, h) < (bc, bp)) {
                         best = Some((ch, h, bh));
                     }
                 }
-                let (ch, h, bh) = best.expect("candidates is non-empty");
+                let Some((ch, h, bh)) = best else {
+                    return Proposal::Keep;
+                };
                 (h, ch, bh)
             }
             _ => {
                 let (h, bh) = candidates[rng.gen_range(0..candidates.len())];
-                let ch = self.plan_probe(ov, oracle, ledger, peer, h);
+                let Some(ch) = self.plan_probe(ov, oracle, ledger, peer, h) else {
+                    return Proposal::Keep;
+                };
                 (h, ch, bh)
             }
         };
@@ -1146,7 +1314,7 @@ impl AceEngine {
                 }
                 if ov.disconnect(peer, far).is_ok() {
                     self.charge_disconnect(ov, oracle, peer, far);
-                    self.states[peer.index()].table.remove(far);
+                    self.note_link_down(peer, far);
                 }
             }
             self.states[peer.index()].watches = keep;
@@ -1162,9 +1330,8 @@ impl AceEngine {
                         && !ov.are_neighbors(peer, near)
                         && ov.are_neighbors(far, near);
                     if valid && self.replace_link(ov, oracle, peer, far, near).is_ok() {
-                        let s = &mut self.states[peer.index()];
-                        s.table.remove(far);
-                        s.table.set(near, near_cost);
+                        self.note_link_down(peer, far);
+                        self.states[peer.index()].table.set(near, near_cost);
                         stats.replaced += 1;
                     }
                 }
@@ -1213,10 +1380,21 @@ impl AceEngine {
         };
         self.commit_trees(ov, oracle, &tree_plans, &mut stats);
 
+        // Injected departures/rejoins strike between the tree commit and
+        // the adaptation stage: stage B plans only the survivors, against
+        // the post-churn overlay — the pipeline's analogue of the serial
+        // round's halfway fault point. Decisions are pure hashes of
+        // (fault seed, round, peer), so worker count stays irrelevant.
+        self.apply_mid_round_faults(ov, &mut stats);
+        let survivors: Vec<usize> = (0..alive.len())
+            .filter(|&i| ov.is_alive(alive[i]))
+            .collect();
+
         let adapt_plans: Vec<AdaptPlan> = {
             let this = &*self;
             let ov_ref = &*ov;
-            plan_parallel(alive.len(), workers, |i| {
+            plan_parallel(survivors.len(), workers, |k| {
+                let i = survivors[k];
                 let peer = alive[i];
                 let mut rng = StdRng::seed_from_u64(Self::peer_stream_seed(round_seed, peer));
                 this.plan_adapt(ov_ref, oracle, peer, &tree_plans[i].known, &mut rng)
@@ -1226,8 +1404,169 @@ impl AceEngine {
         self.commit_adaptations(ov, oracle, adapt_plans, &mut stats);
 
         stats.overhead = self.ledger.since(&before);
+        self.rounds_run += 1;
         debug_assert!(ov.check_invariants().is_ok());
+        debug_assert_eq!(self.check_invariants(ov), Ok(()));
         stats
+    }
+
+    /// Applies the configured mid-round departures and rejoins, in
+    /// peer-id order. Crashes clear only the crasher's state (no
+    /// goodbye); graceful leaves purge both sides; rejoins bootstrap from
+    /// the overlay's address cache with a per-`(round, peer)` seeded RNG,
+    /// so no shared RNG stream is consumed and the parallel pipeline's
+    /// determinism guarantee holds.
+    fn apply_mid_round_faults(&mut self, ov: &mut Overlay, stats: &mut RoundStats) {
+        let Some(f) = self.cfg.faults else { return };
+        let round = self.rounds_run;
+        let peers: Vec<PeerId> = ov.peers().collect();
+        for p in peers {
+            if ov.is_alive(p) {
+                if ov.alive_count() <= 1 {
+                    continue; // never empty the population
+                }
+                match f.departure(round, p) {
+                    Some(DepartureKind::Crash) => {
+                        ov.leave(p).expect("alive peer can leave");
+                        self.on_crash(p);
+                        stats.crashed += 1;
+                    }
+                    Some(DepartureKind::Graceful) => {
+                        ov.leave(p).expect("alive peer can leave");
+                        self.on_leave(p);
+                        stats.left += 1;
+                    }
+                    None => {}
+                }
+            } else if f.rejoins(round, p) {
+                let mut rng = StdRng::seed_from_u64(f.rejoin_seed(round, p));
+                if ov.join(p, f.rejoin_attach, &mut rng).is_ok() {
+                    self.on_join(p);
+                    stats.rejoined += 1;
+                }
+            }
+        }
+    }
+
+    /// Live forward targets for `peer`: its flooding set filtered to
+    /// current neighbors. When the peer has a tree but *every* tree entry
+    /// is stale (churn cut them all since the tree was built), it falls
+    /// back to blind flooding over its current neighbors — an empty
+    /// target set would silently black-hole every query routed through
+    /// it. The query's sender is excluded only after that fallback
+    /// decision: a tree leaf whose one live link is the sender is a
+    /// legitimate endpoint, not a black hole, and must not start
+    /// flooding.
+    pub fn forward_targets_into(
+        &self,
+        ov: &Overlay,
+        peer: PeerId,
+        from: Option<PeerId>,
+        out: &mut Vec<PeerId>,
+    ) {
+        if self.tree_built(peer) {
+            self.flooding_neighbors_into(peer, out);
+            out.retain(|&n| ov.are_neighbors(peer, n));
+            if out.is_empty() {
+                out.extend_from_slice(ov.neighbors(peer));
+            }
+        } else {
+            out.clear();
+            out.extend_from_slice(ov.neighbors(peer));
+        }
+        if let Some(f) = from {
+            out.retain(|&n| n != f);
+        }
+    }
+
+    /// Audits the engine's cross-peer state against the overlay; rounds
+    /// run it under `debug_assert` and the churn tests call it directly.
+    ///
+    /// 1. **Forwarding liveness** — every alive peer with ≥ 1 neighbor
+    ///    has ≥ 1 forward target (no query black holes).
+    /// 2. **Tree ⊆ neighbors** — an *alive* tree or forward-request
+    ///    partner must be a current neighbor. References to dead peers
+    ///    are tolerated: a crash sends no goodbye, and phase 1 prunes
+    ///    them on the holder's next probe sweep.
+    /// 3. **Request symmetry** — `f ∈ own_tree(p)` ⟺ `p ∈ requested(f)`
+    ///    for alive pairs, so both ends of a tree edge agree to relay.
+    /// 4. **Cost-table symmetry** — when two alive peers both hold an
+    ///    entry for each other, it is the same measurement (probes share
+    ///    one symmetric exchange).
+    /// 5. **Ledger consistency** — every cost finite and non-negative,
+    ///    and any charged cost backed by a nonzero message count.
+    pub fn check_invariants(&self, ov: &Overlay) -> Result<(), String> {
+        let mut targets = Vec::new();
+        for p in ov.peers() {
+            if !ov.is_alive(p) {
+                continue;
+            }
+            let s = &self.states[p.index()];
+            if !ov.neighbors(p).is_empty() {
+                self.forward_targets_into(ov, p, None, &mut targets);
+                if targets.is_empty() {
+                    return Err(format!("peer {p} has neighbors but no forward targets"));
+                }
+            }
+            for (name, list) in [("tree", &s.own_tree), ("request", &s.requested)] {
+                for (i, &e) in list.iter().enumerate() {
+                    if e == p {
+                        return Err(format!("peer {p} {name} list contains itself"));
+                    }
+                    if list[..i].contains(&e) {
+                        return Err(format!("peer {p} {name} list has duplicate {e}"));
+                    }
+                }
+            }
+            for &f in &s.own_tree {
+                if !ov.is_alive(f) {
+                    continue;
+                }
+                if !ov.are_neighbors(p, f) {
+                    return Err(format!("peer {p} tree entry {f}: alive but not a neighbor"));
+                }
+                if !self.states[f.index()].requested.contains(&p) {
+                    return Err(format!(
+                        "tree edge {p}->{f} not mirrored in {f}'s forward requests"
+                    ));
+                }
+            }
+            for &r in &s.requested {
+                if !ov.is_alive(r) {
+                    continue;
+                }
+                if !ov.are_neighbors(p, r) {
+                    return Err(format!(
+                        "peer {p} forward request from {r}: alive but not a neighbor"
+                    ));
+                }
+                if !self.states[r.index()].own_tree.contains(&p) {
+                    return Err(format!(
+                        "forward request {r}->{p} has no matching tree entry at {r}"
+                    ));
+                }
+            }
+            for (n, c) in s.table.iter() {
+                if !ov.is_alive(n) {
+                    continue;
+                }
+                if let Some(c2) = self.states[n.index()].table.get(p) {
+                    if c != c2 {
+                        return Err(format!("asymmetric cost {p}<->{n}: {c} vs {c2}"));
+                    }
+                }
+            }
+        }
+        for kind in OverheadKind::ALL {
+            let cost = self.ledger.cost_of(kind);
+            if !cost.is_finite() || cost < 0.0 {
+                return Err(format!("ledger {kind:?} cost invalid: {cost}"));
+            }
+            if cost > 0.0 && self.ledger.count_of(kind) == 0 {
+                return Err(format!("ledger {kind:?} charged {cost} over zero messages"));
+            }
+        }
+        Ok(())
     }
 
     /// Order-independent digest of all per-peer ACE state plus the ledger
@@ -1490,13 +1829,14 @@ mod tests {
 
     /// The determinism contract: a parallel round's outcome (engine state,
     /// overlay wiring, and exact ledger bits) must not depend on how many
-    /// worker threads planned it.
+    /// worker threads planned it — with or without fault injection, since
+    /// every fault decision is a pure hash, never a thread-dependent draw.
     #[test]
     fn parallel_round_is_bit_identical_across_worker_counts() {
         use ace_overlay::random_overlay;
         use ace_topology::generate::{ba, BaConfig};
 
-        let run = |workers: usize| {
+        let run = |workers: usize, faults: Option<FaultConfig>| {
             let mut rng = StdRng::seed_from_u64(9);
             let phys = ba(
                 &BaConfig {
@@ -1511,23 +1851,27 @@ mod tests {
             let cfg = AceConfig {
                 parallel: true,
                 workers,
+                faults,
                 ..AceConfig::paper_default()
             };
             let mut ace = AceEngine::new(ov.peer_count(), cfg);
             for _ in 0..3 {
                 ace.round(&mut ov, &oracle, &mut rng);
             }
+            ace.check_invariants(&ov).unwrap();
             (
                 ace.state_digest(),
                 overlay_adjacency(&ov),
                 ace.ledger().total_cost().to_bits(),
             )
         };
-        let one = run(1);
-        let four = run(4);
-        let three = run(3);
-        assert_eq!(one, four, "workers=4 diverged from workers=1");
-        assert_eq!(one, three, "workers=3 diverged from workers=1");
+        for faults in [None, Some(faulty(77))] {
+            let one = run(1, faults);
+            let four = run(4, faults);
+            let three = run(3, faults);
+            assert_eq!(one, four, "workers=4 diverged from workers=1");
+            assert_eq!(one, three, "workers=3 diverged from workers=1");
+        }
     }
 
     #[test]
@@ -1583,5 +1927,174 @@ mod tests {
         };
         // Closest probes every candidate, so it can't probe fewer times.
         assert!(probes_with(ReplacePolicy::Closest) >= probes_with(ReplacePolicy::Random));
+    }
+
+    /// A moderately hostile fault mix used by the churn/fault tests.
+    fn faulty(seed: u64) -> FaultConfig {
+        FaultConfig {
+            probe_loss: 0.15,
+            max_retries: 2,
+            backoff: 1.5,
+            crash: 0.03,
+            leave: 0.03,
+            rejoin: 0.5,
+            rejoin_attach: 3,
+            seed,
+        }
+    }
+
+    /// A 40-peer overlay on a BA physical network, as in the parallel
+    /// determinism test.
+    fn ba_env(seed: u64) -> (Overlay, DistanceOracle, StdRng) {
+        use ace_overlay::random_overlay;
+        use ace_topology::generate::{ba, BaConfig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phys = ba(
+            &BaConfig {
+                nodes: 120,
+                ..BaConfig::default()
+            },
+            &mut rng,
+        );
+        let oracle = DistanceOracle::new(phys);
+        let hosts = oracle.graph().nodes().take(40).collect();
+        let ov = random_overlay(hosts, 4, None, &mut rng);
+        (ov, oracle, rng)
+    }
+
+    #[test]
+    fn lost_probes_charge_retries_and_can_give_up() {
+        let (ov, oracle) = mismatch_env();
+        let cfg = AceConfig {
+            faults: Some(FaultConfig {
+                probe_loss: 0.9,
+                max_retries: 1,
+                seed: 8,
+                ..FaultConfig::default()
+            }),
+            ..AceConfig::paper_default()
+        };
+        let mut ace = AceEngine::new(4, cfg);
+        for p in ov.alive_peers() {
+            ace.phase1_probe(&ov, &oracle, p);
+        }
+        assert!(
+            ace.ledger().count_of(OverheadKind::ProbeRetry) > 0,
+            "90% loss must charge wasted attempts"
+        );
+        let missing = ov
+            .alive_peers()
+            .flat_map(|p| ov.neighbors(p).iter().map(move |&n| (p, n)))
+            .filter(|&(p, n)| ace.probed_cost(p, n).is_none())
+            .count();
+        assert!(missing > 0, "with one retry at 90% loss, some probes fail");
+        ace.check_invariants(&ov).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault config")]
+    fn invalid_fault_config_is_rejected_at_construction() {
+        AceEngine::new(
+            2,
+            AceConfig {
+                faults: Some(FaultConfig {
+                    probe_loss: 2.0,
+                    ..FaultConfig::default()
+                }),
+                ..AceConfig::paper_default()
+            },
+        );
+    }
+
+    #[test]
+    fn serial_rounds_with_faults_hold_invariants() {
+        let (mut ov, oracle, mut rng) = ba_env(13);
+        let cfg = AceConfig {
+            faults: Some(faulty(13)),
+            ..AceConfig::paper_default()
+        };
+        let mut ace = AceEngine::new(ov.peer_count(), cfg);
+        let (mut departures, mut rejoins) = (0, 0);
+        for _ in 0..8 {
+            let stats = ace.round(&mut ov, &oracle, &mut rng);
+            departures += stats.crashed + stats.left;
+            rejoins += stats.rejoined;
+            ov.check_invariants().unwrap();
+            ace.check_invariants(&ov).unwrap();
+        }
+        assert!(departures > 0, "fault rates should produce departures");
+        assert!(rejoins > 0, "dead peers should rejoin at 50%/round");
+        assert!(ace.ledger().cost_of(OverheadKind::ProbeRetry) > 0.0);
+    }
+
+    #[test]
+    fn auditor_detects_externally_cut_tree_link() {
+        let (mut ov, oracle, mut rng) = ba_env(21);
+        let mut ace = AceEngine::new(ov.peer_count(), AceConfig::paper_default());
+        ace.round(&mut ov, &oracle, &mut rng);
+        ace.check_invariants(&ov).unwrap();
+        let (p, f) = ov
+            .alive_peers()
+            .find_map(|p| {
+                ace.tree_neighbors_of(p)
+                    .iter()
+                    .copied()
+                    .find(|&f| ov.are_neighbors(p, f))
+                    .map(|f| (p, f))
+            })
+            .expect("some live tree edge exists");
+        // A cut the engine never hears about corrupts tree⊆neighbors.
+        ov.disconnect(p, f).unwrap();
+        assert!(ace.check_invariants(&ov).is_err());
+    }
+
+    #[test]
+    fn crash_keeps_stale_refs_and_rejoin_purges_them() {
+        let (mut ov, oracle, mut rng) = ba_env(31);
+        let mut ace = AceEngine::new(ov.peer_count(), AceConfig::paper_default());
+        ace.round(&mut ov, &oracle, &mut rng);
+        let victim = ov
+            .alive_peers()
+            .find(|&v| {
+                ov.alive_peers()
+                    .any(|p| p != v && ace.tree_neighbors_of(p).contains(&v))
+            })
+            .expect("someone is on another peer's tree");
+        ov.leave(victim).unwrap();
+        ace.on_crash(victim);
+        // Survivors still reference the crashed peer — tolerated because
+        // it is dead — and the auditor accepts the state as-is.
+        assert!(ov
+            .alive_peers()
+            .any(|p| ace.tree_neighbors_of(p).contains(&victim)));
+        ace.check_invariants(&ov).unwrap();
+        // The rejoin purges every leftover of the previous incarnation;
+        // without it, stale tree entries would point at an alive
+        // non-neighbor and the audit would fail.
+        let mut join_rng = StdRng::seed_from_u64(5);
+        ov.join(victim, 2, &mut join_rng).unwrap();
+        ace.on_join(victim);
+        ace.check_invariants(&ov).unwrap();
+        assert!(!ace.tree_built(victim));
+        assert!(ov
+            .alive_peers()
+            .all(|p| !ace.tree_neighbors_of(p).contains(&victim)));
+    }
+
+    #[test]
+    fn graceful_leave_purges_both_sides_immediately() {
+        let (mut ov, oracle, mut rng) = ba_env(37);
+        let mut ace = AceEngine::new(ov.peer_count(), AceConfig::paper_default());
+        ace.round(&mut ov, &oracle, &mut rng);
+        let victim = ov.alive_peers().next().unwrap();
+        ov.leave(victim).unwrap();
+        ace.on_leave(victim);
+        assert!(!ace.tree_built(victim));
+        for p in ov.alive_peers() {
+            assert!(!ace.tree_neighbors_of(p).contains(&victim));
+            assert!(!ace.flooding_neighbors(p).contains(&victim));
+            assert_eq!(ace.probed_cost(p, victim), None);
+        }
+        ace.check_invariants(&ov).unwrap();
     }
 }

@@ -10,8 +10,8 @@
 use ace_engine::{EventQueue, SimTime};
 use ace_metrics::LogHistogram;
 use ace_overlay::{
-    run_query, FloodAll, ForwardPolicy, IndexCache, LifetimeModel, Overlay, PeerId, Placement,
-    QueryConfig, QueryRate,
+    run_query, DepartureKind, DepartureModel, FloodAll, ForwardPolicy, IndexCache, LifetimeModel,
+    Overlay, PeerId, Placement, QueryConfig, QueryRate,
 };
 use ace_topology::DistanceOracle;
 use rand::Rng;
@@ -30,6 +30,10 @@ pub struct DynamicConfig {
     pub ace: Option<AceConfig>,
     /// Peer lifetime distribution.
     pub lifetime: LifetimeModel,
+    /// How departures split between graceful leaves (engine state purged
+    /// everywhere at once) and silent crashes (survivors keep stale
+    /// references until the next probe sweep prunes them).
+    pub departures: DepartureModel,
     /// Per-peer query arrival rate.
     pub query_rate: QueryRate,
     /// Seconds between ACE optimization rounds (paper: peers optimize
@@ -54,6 +58,7 @@ impl DynamicConfig {
             scenario,
             ace,
             lifetime: LifetimeModel::paper_default(),
+            departures: DepartureModel::paper_default(),
             query_rate: QueryRate::paper_default(),
             ace_period_secs: 30,
             total_queries: 2_000,
@@ -283,7 +288,10 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                 epoch[p.index()] += 1;
                 churn_events += 1;
                 if let Some(eng) = &mut ace {
-                    eng.reset_peer(p);
+                    match cfg.departures.sample(&mut s.rng) {
+                        DepartureKind::Graceful => eng.on_leave(p),
+                        DepartureKind::Crash => eng.on_crash(p),
+                    }
                 }
                 if let Some(c) = &mut cache {
                     c.purge_holder(p);
@@ -309,7 +317,9 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                 epoch[p.index()] += 1;
                 churn_events += 1;
                 if let Some(eng) = &mut ace {
-                    eng.reset_peer(p);
+                    // A rejoin must purge any references left over from a
+                    // crashed previous incarnation of the same peer id.
+                    eng.on_join(p);
                 }
                 let e = epoch[p.index()];
                 queue.push(
@@ -410,6 +420,23 @@ mod tests {
             ace.steady_traffic(),
             base.steady_traffic()
         );
+    }
+
+    #[test]
+    fn crash_heavy_churn_stays_healthy() {
+        // Every departure is a silent crash: survivors keep stale trees
+        // and forward requests until phase 1 prunes them. The engine's
+        // debug_assert auditor runs every ACE round, so this test fails
+        // loudly if crashes ever corrupt cross-peer state — and the scope
+        // check fails if stale trees black-hole queries.
+        let mut cfg = tiny(Some(AceConfig::paper_default()));
+        cfg.departures = DepartureModel::with_crash_fraction(1.0);
+        let r = dynamic_run(&cfg);
+        assert_eq!(r.windows.last().unwrap().queries_done, 600);
+        assert!(r.churn_events > 10, "churn events {}", r.churn_events);
+        for w in &r.windows {
+            assert!(w.scope_frac > 0.5, "scope fraction {}", w.scope_frac);
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@ use crate::engine::AceEngine;
 /// Peers without a tree yet (fresh joiners, or before the first ACE round)
 /// fall back to blind flooding, exactly like an unmodified Gnutella node.
 /// Stale tree entries (links cut since the tree was built) are filtered
-/// against the current neighbor set.
+/// against the current neighbor set — and when churn has cut *every* tree
+/// entry, the peer floods its current neighbors instead of silently
+/// black-holing the query (see [`AceEngine::forward_targets_into`]).
 ///
 /// # Examples
 ///
@@ -70,19 +72,7 @@ impl ForwardPolicy for AceForward<'_> {
         from: Option<PeerId>,
         out: &mut Vec<PeerId>,
     ) {
-        if self.engine.tree_built(peer) {
-            self.engine.flooding_neighbors_into(peer, out);
-            out.retain(|&n| Some(n) != from && overlay.are_neighbors(peer, n));
-        } else {
-            out.clear();
-            out.extend(
-                overlay
-                    .neighbors(peer)
-                    .iter()
-                    .copied()
-                    .filter(|&n| Some(n) != from),
-            );
-        }
+        self.engine.forward_targets_into(overlay, peer, from, out);
     }
 }
 
@@ -158,6 +148,99 @@ mod tests {
         assert_eq!(out.scope, 3, "scope retained");
         assert!(out.traffic_cost <= flood.traffic_cost);
         assert!(out.duplicates <= flood.duplicates);
+    }
+
+    /// A 30-peer overlay where, after one ACE round, some peer keeps at
+    /// least one live non-flooding link next to its flooding set.
+    fn churn_env() -> (Overlay, DistanceOracle, AceEngine, PeerId) {
+        use ace_overlay::random_overlay;
+        use ace_topology::generate::{ba, BaConfig};
+        let mut rng = StdRng::seed_from_u64(12);
+        let phys = ba(
+            &BaConfig {
+                nodes: 80,
+                ..BaConfig::default()
+            },
+            &mut rng,
+        );
+        let oracle = DistanceOracle::new(phys);
+        let hosts = oracle.graph().nodes().take(30).collect();
+        let mut ov = random_overlay(hosts, 5, None, &mut rng);
+        let mut ace = AceEngine::new(
+            ov.peer_count(),
+            AceConfig {
+                min_flooding: 1,
+                ..AceConfig::paper_default()
+            },
+        );
+        ace.round(&mut ov, &oracle, &mut rng);
+        let peer = ov
+            .alive_peers()
+            .find(|&p| {
+                let fl = ace.flooding_neighbors(p);
+                !fl.is_empty() && ov.neighbors(p).iter().any(|n| !fl.contains(n))
+            })
+            .expect("some peer keeps a non-flooding link");
+        (ov, oracle, ace, peer)
+    }
+
+    #[test]
+    fn all_tree_links_cut_falls_back_to_blind_flooding() {
+        let (mut ov, oracle, ace, peer) = churn_env();
+        // Churn cuts every one of the peer's flooding links behind the
+        // engine's back; only non-flooding links survive.
+        for f in ace.flooding_neighbors(peer) {
+            if ov.are_neighbors(peer, f) {
+                ov.disconnect(peer, f).unwrap();
+            }
+        }
+        assert!(!ov.neighbors(peer).is_empty(), "non-flooding links remain");
+        // Regression: this used to return an empty set — a query black
+        // hole. Now the peer floods its current neighbors instead.
+        let mut targets = AceForward::new(&ace).forward_targets(&ov, peer, None);
+        targets.sort_unstable();
+        let mut expect = ov.neighbors(peer).to_vec();
+        expect.sort_unstable();
+        assert_eq!(targets, expect, "stale tree must fall back to flooding");
+        // And a query from that peer escapes: without the fallback its
+        // scope would collapse to 1 (the black hole); with it, the query
+        // retains nearly the blind-flooding scope (other peers' trees
+        // also lost links to the same churn, so exact equality is not
+        // guaranteed until their next rebuild).
+        let qc = QueryConfig::default();
+        let tree = run_query(&ov, &oracle, peer, &qc, &AceForward::new(&ace), |_| false);
+        let flood = run_query(&ov, &oracle, peer, &qc, &FloodAll, |_| false);
+        assert!(tree.scope > 1, "query must escape the damaged peer");
+        assert!(
+            tree.scope * 10 >= flood.scope * 9,
+            "scope {} vs flooding {}",
+            tree.scope,
+            flood.scope
+        );
+    }
+
+    #[test]
+    fn sender_exclusion_applies_after_fallback_decision() {
+        let (mut ov, _oracle, ace, peer) = churn_env();
+        // Keep exactly one live flooding link: the peer becomes a tree
+        // leaf whose only tree partner is the query's sender.
+        let live: Vec<PeerId> = ace
+            .flooding_neighbors(peer)
+            .into_iter()
+            .filter(|&f| ov.are_neighbors(peer, f))
+            .collect();
+        for &f in &live[1..] {
+            ov.disconnect(peer, f).unwrap();
+        }
+        let sender = live[0];
+        // A live tree target exists, so the fallback must NOT trigger:
+        // excluding the sender leaves the (correctly) empty target set of
+        // a tree leaf, not a blind flood over non-flooding links.
+        let targets = AceForward::new(&ace).forward_targets(&ov, peer, Some(sender));
+        assert!(
+            targets.is_empty(),
+            "leaf must not flood back past its sender: {targets:?}"
+        );
     }
 
     #[test]

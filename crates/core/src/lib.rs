@@ -62,6 +62,7 @@ mod closure;
 mod cost_table;
 mod engine;
 pub mod experiments;
+mod fault;
 mod forwarding;
 pub mod ltm;
 pub mod mst;
@@ -73,6 +74,7 @@ pub mod protocol;
 pub use closure::Closure;
 pub use cost_table::CostTable;
 pub use engine::{AceConfig, AceEngine, AdaptOutcome, ReplacePolicy, RoundStats};
+pub use fault::FaultConfig;
 pub use forwarding::AceForward;
 pub use optrate::{min_effective_depth, optimization_rate};
 pub use overhead::{OverheadKind, OverheadLedger};

@@ -75,11 +75,23 @@ pub fn optimization_rate(
 /// assert_eq!(min_effective_depth(&[0.8, 1.2, 1.5]), Some(2));
 /// assert_eq!(min_effective_depth(&[0.2, 0.4]), None);
 /// ```
+///
+/// # Panics
+///
+/// Panics if the schedule has more than [`u8::MAX`] entries — depths are
+/// `u8` throughout ([`crate::AceConfig::depth`]), so a longer schedule
+/// could silently wrap to a wrong depth instead.
 pub fn min_effective_depth(rates_by_depth: &[f64]) -> Option<u8> {
+    assert!(
+        rates_by_depth.len() <= u8::MAX as usize,
+        "depth schedule has {} entries; depths are u8 (max {})",
+        rates_by_depth.len(),
+        u8::MAX
+    );
     rates_by_depth
         .iter()
         .position(|&r| r > 1.0)
-        .map(|i| (i + 1) as u8)
+        .map(|i| u8::try_from(i + 1).expect("schedule length checked against u8::MAX"))
 }
 
 #[cfg(test)]
@@ -117,5 +129,18 @@ mod tests {
     #[should_panic(expected = "must be non-negative")]
     fn rejects_negative_inputs() {
         optimization_rate(-1.0, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn longest_valid_schedule_is_accepted() {
+        let mut rates = vec![0.0; 255];
+        rates[254] = 2.0;
+        assert_eq!(min_effective_depth(&rates), Some(255));
+    }
+
+    #[test]
+    #[should_panic(expected = "depths are u8")]
+    fn overlong_schedule_is_rejected() {
+        min_effective_depth(&vec![0.0; 256]);
     }
 }

@@ -18,15 +18,20 @@ pub enum OverheadKind {
     ClosureRelay,
     /// Connect / connect-ok / disconnect messages of phase 3.
     Reconnect,
+    /// Probe attempts lost to injected faults and retried (or given up
+    /// on); the wasted request traffic is charged here, the eventual
+    /// successful attempt under [`OverheadKind::Probe`].
+    ProbeRetry,
 }
 
 impl OverheadKind {
     /// All categories, for iteration/reporting.
-    pub const ALL: [OverheadKind; 4] = [
+    pub const ALL: [OverheadKind; 5] = [
         OverheadKind::Probe,
         OverheadKind::TableExchange,
         OverheadKind::ClosureRelay,
         OverheadKind::Reconnect,
+        OverheadKind::ProbeRetry,
     ];
 
     fn index(self) -> usize {
@@ -35,6 +40,7 @@ impl OverheadKind {
             OverheadKind::TableExchange => 1,
             OverheadKind::ClosureRelay => 2,
             OverheadKind::Reconnect => 3,
+            OverheadKind::ProbeRetry => 4,
         }
     }
 }
@@ -54,8 +60,8 @@ impl OverheadKind {
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct OverheadLedger {
-    cost: [f64; 4],
-    count: [u64; 4],
+    cost: [f64; 5],
+    count: [u64; 5],
 }
 
 impl OverheadLedger {
@@ -100,7 +106,7 @@ impl OverheadLedger {
 
     /// Adds another ledger's contents into this one.
     pub fn merge(&mut self, other: &OverheadLedger) {
-        for i in 0..4 {
+        for i in 0..5 {
             self.cost[i] += other.cost[i];
             self.count[i] += other.count[i];
         }
@@ -114,7 +120,7 @@ impl OverheadLedger {
     /// history (i.e. any component would go negative).
     pub fn since(&self, earlier: &OverheadLedger) -> OverheadLedger {
         let mut out = OverheadLedger::new();
-        for i in 0..4 {
+        for i in 0..5 {
             debug_assert!(self.cost[i] >= earlier.cost[i] - 1e-9);
             debug_assert!(self.count[i] >= earlier.count[i]);
             out.cost[i] = (self.cost[i] - earlier.cost[i]).max(0.0);
@@ -135,8 +141,9 @@ mod tests {
         l.charge(OverheadKind::TableExchange, 2.0);
         l.charge(OverheadKind::ClosureRelay, 3.0);
         l.charge(OverheadKind::Reconnect, 4.0);
-        assert_eq!(l.total_cost(), 10.0);
-        assert_eq!(l.total_count(), 4);
+        l.charge(OverheadKind::ProbeRetry, 5.0);
+        assert_eq!(l.total_cost(), 15.0);
+        assert_eq!(l.total_count(), 5);
         for k in OverheadKind::ALL {
             assert_eq!(l.count_of(k), 1);
         }

@@ -68,6 +68,67 @@ impl LifetimeModel {
     }
 }
 
+/// How a departing peer exits the overlay.
+///
+/// The distinction matters for protocol state, not for the overlay graph
+/// itself ([`crate::Overlay::leave`] cuts the links either way): a
+/// graceful leave lets partners invalidate their cached trees, cost-table
+/// entries and forward requests immediately, while a crash leaves that
+/// state to rot until the survivors' next probe round notices the links
+/// are gone.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DepartureKind {
+    /// Clean shutdown: goodbye/disconnect messages reach every partner.
+    Graceful,
+    /// Silent crash: no goodbye, partners discover the loss lazily.
+    Crash,
+}
+
+/// Mix of graceful leaves and silent crashes among peer departures.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DepartureModel {
+    /// Fraction of departures that are crashes, in `[0, 1]`.
+    pub crash_fraction: f64,
+}
+
+impl Default for DepartureModel {
+    /// All departures graceful (the paper's implicit model).
+    fn default() -> Self {
+        DepartureModel::paper_default()
+    }
+}
+
+impl DepartureModel {
+    /// The paper's implicit model: every departure is a graceful leave.
+    pub fn paper_default() -> Self {
+        DepartureModel {
+            crash_fraction: 0.0,
+        }
+    }
+
+    /// A model where the given fraction of departures are crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crash_fraction` is outside `[0, 1]`.
+    pub fn with_crash_fraction(crash_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&crash_fraction),
+            "crash fraction must be in [0, 1], got {crash_fraction}"
+        );
+        DepartureModel { crash_fraction }
+    }
+
+    /// Draws how one departure happens.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DepartureKind {
+        if self.crash_fraction > 0.0 && rng.gen_bool(self.crash_fraction.min(1.0)) {
+            DepartureKind::Crash
+        } else {
+            DepartureKind::Graceful
+        }
+    }
+}
+
 /// Poisson query arrivals at a fixed per-peer rate.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct QueryRate {

@@ -56,7 +56,7 @@ mod two_tier;
 mod walk;
 
 pub use capacity::{assign_capacities, GiaAdaptation, GiaConfig, GNUTELLA_CAPACITY_MIX};
-pub use churn::{LifetimeModel, QueryRate};
+pub use churn::{DepartureKind, DepartureModel, LifetimeModel, QueryRate};
 pub use content::{Catalog, ObjectId, Placement};
 pub use discovery::{ping_pong_round, DiscoveryConfig, DiscoveryStats};
 pub use hpf::{HpfWeight, PartialFlood};

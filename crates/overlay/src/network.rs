@@ -55,6 +55,8 @@ pub enum OverlayError {
     SelfConnection(PeerId),
     /// The connection already exists.
     AlreadyConnected(PeerId, PeerId),
+    /// [`Overlay::join`] was called on a peer that is already online.
+    PeerOnline(PeerId),
     /// The peers are not connected.
     NotConnected(PeerId, PeerId),
     /// Connecting would exceed the degree cap for the given peer.
@@ -68,6 +70,7 @@ impl std::fmt::Display for OverlayError {
             OverlayError::PeerOffline(p) => write!(f, "peer {p} is offline"),
             OverlayError::SelfConnection(p) => write!(f, "peer {p} cannot connect to itself"),
             OverlayError::AlreadyConnected(a, b) => write!(f, "{a} and {b} already connected"),
+            OverlayError::PeerOnline(p) => write!(f, "peer {p} is already online"),
             OverlayError::NotConnected(a, b) => write!(f, "{a} and {b} not connected"),
             OverlayError::DegreeCapReached(p) => write!(f, "degree cap reached at {p}"),
         }
@@ -278,7 +281,10 @@ impl Overlay {
     ///
     /// # Errors
     ///
-    /// Fails when the peer is unknown or already online.
+    /// Fails with [`OverlayError::UnknownPeer`] for an out-of-range id and
+    /// with [`OverlayError::PeerOnline`] when the peer is already online
+    /// (distinct from [`OverlayError::AlreadyConnected`], which is about a
+    /// duplicate *link*).
     pub fn join<R: Rng + ?Sized>(
         &mut self,
         peer: PeerId,
@@ -289,7 +295,7 @@ impl Overlay {
             return Err(OverlayError::UnknownPeer(peer));
         }
         if self.alive[peer.index()] {
-            return Err(OverlayError::AlreadyConnected(peer, peer));
+            return Err(OverlayError::PeerOnline(peer));
         }
         self.alive[peer.index()] = true;
 
@@ -633,6 +639,20 @@ mod tests {
         assert!(ov.is_alive(center));
         assert!(made.iter().all(|&m| former.contains(&m)));
         ov.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn join_online_peer_reports_peer_online() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ov = Overlay::new(hosts(3), None);
+        let p = PeerId::new(1);
+        assert_eq!(ov.join(p, 2, &mut rng), Err(OverlayError::PeerOnline(p)));
+        // A real duplicate-link error is still reported as such.
+        ov.connect(p, PeerId::new(0)).unwrap();
+        assert_eq!(
+            ov.connect(p, PeerId::new(0)),
+            Err(OverlayError::AlreadyConnected(p, PeerId::new(0)))
+        );
     }
 
     #[test]

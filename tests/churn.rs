@@ -1,8 +1,8 @@
 //! Integration tests for the dynamic (churning) environment.
 
 use ace_core::experiments::{dynamic_run, DynamicConfig, PhysKind, ScenarioConfig};
-use ace_core::AceConfig;
-use ace_overlay::{LifetimeModel, QueryRate};
+use ace_core::{AceConfig, FaultConfig, OverheadKind};
+use ace_overlay::{DepartureModel, LifetimeModel, QueryRate};
 
 fn base(seed: u64, ace: Option<AceConfig>) -> DynamicConfig {
     let scenario = ScenarioConfig {
@@ -154,4 +154,85 @@ fn forwarding_survives_unannounced_crashes() {
         reachable
     );
     s.overlay.check_invariants().unwrap();
+}
+
+#[test]
+fn crash_heavy_dynamic_run_keeps_answering() {
+    // Every departure is a silent crash (no goodbye): the engine only
+    // learns about dead peers when forwarding filters them or a rejoin
+    // purges the stale incarnation. Queries must keep succeeding anyway.
+    let mut cfg = base(5, Some(AceConfig::paper_default()));
+    cfg.departures = DepartureModel::with_crash_fraction(1.0);
+    let r = dynamic_run(&cfg);
+    assert_eq!(r.windows.last().unwrap().queries_done, 800);
+    assert!(r.churn_events > 40, "churn events {}", r.churn_events);
+    for w in &r.windows {
+        assert!(w.success > 0.6, "success {:.2}", w.success);
+        assert!(w.scope_frac > 0.5, "scope fraction {:.2}", w.scope_frac);
+    }
+}
+
+#[test]
+fn departure_mix_is_deterministic() {
+    let mut a_cfg = base(6, Some(AceConfig::paper_default()));
+    a_cfg.departures = DepartureModel::with_crash_fraction(0.5);
+    let a = dynamic_run(&a_cfg);
+    let b = dynamic_run(&a_cfg);
+    assert_eq!(a.churn_events, b.churn_events);
+    let ta: Vec<u64> = a.windows.iter().map(|w| w.traffic as u64).collect();
+    let tb: Vec<u64> = b.windows.iter().map(|w| w.traffic as u64).collect();
+    assert_eq!(ta, tb);
+}
+
+/// Explicit (release-mode) auditor runs: the `debug_assert` checks inside
+/// `round` vanish under `--release`, so the integration suite calls the
+/// auditor directly after every faulty round.
+#[test]
+fn faulty_rounds_hold_invariants_explicitly() {
+    use ace_core::experiments::Scenario;
+    use ace_core::AceEngine;
+
+    for workers in [1usize, 4] {
+        let scenario = ScenarioConfig {
+            phys: PhysKind::TwoLevel {
+                as_count: 4,
+                nodes_per_as: 50,
+            },
+            peers: 80,
+            avg_degree: 6,
+            objects: 40,
+            replicas: 5,
+            seed: 91,
+            ..ScenarioConfig::default()
+        };
+        let mut s = Scenario::build(&scenario);
+        let cfg = AceConfig {
+            parallel: true,
+            workers,
+            faults: Some(FaultConfig {
+                probe_loss: 0.2,
+                max_retries: 2,
+                backoff: 1.5,
+                crash: 0.02,
+                leave: 0.02,
+                rejoin: 0.4,
+                rejoin_attach: 3,
+                seed: 91,
+            }),
+            ..AceConfig::paper_default()
+        };
+        let mut ace = AceEngine::new(s.overlay.peer_count(), cfg);
+        let mut departures = 0;
+        for _ in 0..8 {
+            let stats = ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+            departures += stats.crashed + stats.left;
+            s.overlay.check_invariants().unwrap();
+            ace.check_invariants(&s.overlay).unwrap();
+        }
+        assert!(departures > 0, "faults should fire over 8 rounds");
+        assert!(
+            ace.ledger().cost_of(OverheadKind::ProbeRetry) > 0.0,
+            "lost probes must charge retries"
+        );
+    }
 }

@@ -2,7 +2,7 @@
 
 use ace_core::experiments::{OverlayKind, PhysKind, Scenario, ScenarioConfig};
 use ace_core::mst::{kruskal, prim, prim_heap, ClosureEdge};
-use ace_core::{AceConfig, AceEngine, AceForward, Closure};
+use ace_core::{AceConfig, AceEngine, AceForward, Closure, FaultConfig};
 use ace_overlay::{run_query, FloodAll, PeerId, QueryConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -199,5 +199,130 @@ proptest! {
         let (outcome, total) = tt.query_from_leaf(&s.oracle, 0, &qc, &FloodAll, |_| false);
         prop_assert_eq!(outcome.scope, tt.supernode_count());
         prop_assert!(total >= outcome.traffic_cost);
+    }
+}
+
+/// One churn op in a randomized interleaving: which lifecycle edge to
+/// exercise and a selector for the affected peer.
+#[derive(Clone, Copy, Debug)]
+enum ChurnOp {
+    Round,
+    GracefulLeave(usize),
+    Crash(usize),
+    Rejoin(usize),
+}
+
+fn arb_churn_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
+    let op = (0u8..4, 0usize..64).prop_map(|(kind, sel)| match kind {
+        0 => ChurnOp::Round,
+        1 => ChurnOp::GracefulLeave(sel),
+        2 => ChurnOp::Crash(sel),
+        _ => ChurnOp::Rejoin(sel),
+    });
+    proptest::collection::vec(op, 4..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any interleaving of graceful leaves, silent crashes, rejoins and
+    /// optimization rounds keeps BOTH the overlay's structural invariants
+    /// and the engine's post-round auditor green.
+    #[test]
+    fn churn_interleavings_preserve_invariants(cfg in arb_scenario(), ops in arb_churn_ops()) {
+        let mut s = Scenario::build(&cfg);
+        let mut ace = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
+        ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+        for op in ops {
+            match op {
+                ChurnOp::Round => {
+                    ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+                }
+                ChurnOp::GracefulLeave(sel) => {
+                    let alive: Vec<PeerId> = s.overlay.alive_peers().collect();
+                    if alive.len() > 2 {
+                        let p = alive[sel % alive.len()];
+                        s.overlay.leave(p).unwrap();
+                        ace.on_leave(p);
+                    }
+                }
+                ChurnOp::Crash(sel) => {
+                    let alive: Vec<PeerId> = s.overlay.alive_peers().collect();
+                    if alive.len() > 2 {
+                        let p = alive[sel % alive.len()];
+                        s.overlay.leave(p).unwrap();
+                        ace.on_crash(p); // no goodbye: partners keep stale refs
+                    }
+                }
+                ChurnOp::Rejoin(sel) => {
+                    let dead: Vec<PeerId> =
+                        s.overlay.peers().filter(|&p| !s.overlay.is_alive(p)).collect();
+                    if !dead.is_empty() {
+                        let p = dead[sel % dead.len()];
+                        if s.overlay.join(p, 3, &mut s.rng).is_ok() {
+                            ace.on_join(p);
+                        }
+                    }
+                }
+            }
+            prop_assert!(s.overlay.check_invariants().is_ok());
+            if let Err(e) = ace.check_invariants(&s.overlay) {
+                prop_assert!(false, "engine auditor failed: {}", e);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel pipeline's bit-identical worker-count guarantee
+    /// survives fault injection: fault decisions are pure hashes, so any
+    /// worker count produces the same digest, stats and ledger.
+    #[test]
+    fn faulty_parallel_rounds_are_worker_count_invariant(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let scenario = ScenarioConfig {
+            phys: PhysKind::TwoLevel { as_count: 3, nodes_per_as: 40 },
+            peers: 50,
+            avg_degree: 5,
+            objects: 20,
+            replicas: 4,
+            seed,
+            ..ScenarioConfig::default()
+        };
+        let faults = FaultConfig {
+            probe_loss: 0.15,
+            max_retries: 2,
+            backoff: 1.5,
+            crash: 0.03,
+            leave: 0.03,
+            rejoin: 0.5,
+            rejoin_attach: 3,
+            seed: fault_seed,
+        };
+        let run = |workers: usize| {
+            let mut s = Scenario::build(&scenario);
+            let cfg = AceConfig {
+                parallel: true,
+                workers,
+                faults: Some(faults),
+                ..AceConfig::paper_default()
+            };
+            let mut ace = AceEngine::new(s.overlay.peer_count(), cfg);
+            let mut digests = Vec::new();
+            for _ in 0..3 {
+                ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+                digests.push(ace.state_digest());
+            }
+            ace.check_invariants(&s.overlay).unwrap();
+            s.overlay.check_invariants().unwrap();
+            (digests, ace.ledger().total_cost(), ace.ledger().total_count())
+        };
+        let one = run(1);
+        let four = run(4);
+        prop_assert_eq!(one, four);
     }
 }

@@ -94,6 +94,36 @@ impl_tuple_strategy! {
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }
 
+/// Strategies over collections (the `vec` subset of real proptest's
+/// `collection` module).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy generating `Vec`s; see [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn independently from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// Runner configuration (only the case count is honored).
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {

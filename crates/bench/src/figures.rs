@@ -1181,7 +1181,7 @@ pub fn ext_async_churn(scale: Scale) -> (ExperimentRecord, Vec<Table>) {
             for _ in 0..churn {
                 let victim = PeerId::new(crng.gen_range(0..scale.peers() as u32));
                 if sim.overlay().is_alive(victim) && sim.overlay().alive_count() > 2 {
-                    sim.peer_leave(victim);
+                    sim.peer_leave(oracle, victim);
                 }
                 let dead: Vec<PeerId> = sim
                     .overlay()

@@ -31,8 +31,9 @@ use ace_topology::{Delay, DistanceOracle};
 use crate::closure::Closure;
 use crate::cost_table::CostTable;
 use crate::fault::FaultConfig;
-use crate::mst::{prim_heap, ClosureEdge};
+use crate::mst::ClosureEdge;
 use crate::overhead::{OverheadKind, OverheadLedger};
+use crate::policy::{self, Figure4Action, LifecycleEvent, WatchVerdict};
 use crate::probe::ProbeModel;
 
 /// How phase 3 picks the non-flooding neighbor to improve and the
@@ -317,8 +318,7 @@ impl AceEngine {
     /// membership, forward requests, watches, cost rows, cached core
     /// probes) are invalidated immediately.
     pub fn on_leave(&mut self, peer: PeerId) {
-        self.purge_peer_refs(peer);
-        self.clear_own_state(peer);
+        self.apply_lifecycle(peer, LifecycleEvent::GracefulLeave);
     }
 
     /// Silent crash: no goodbye is sent, so partners keep their (now
@@ -326,7 +326,7 @@ impl AceEngine {
     /// process's own state disappears. [`AceEngine::check_invariants`]
     /// tolerates references to dead peers for exactly this reason.
     pub fn on_crash(&mut self, peer: PeerId) {
-        self.clear_own_state(peer);
+        self.apply_lifecycle(peer, LifecycleEvent::Crash);
     }
 
     /// (Re)join: the joiner starts as a plain flooding Gnutella node, and
@@ -334,8 +334,17 @@ impl AceEngine {
     /// crash) are purged — an alive peer must never be shadowed by stale
     /// state recorded about its predecessor.
     pub fn on_join(&mut self, peer: PeerId) {
-        self.purge_peer_refs(peer);
-        self.clear_own_state(peer);
+        self.apply_lifecycle(peer, LifecycleEvent::Rejoin);
+    }
+
+    /// Applies the shared purge taxonomy ([`LifecycleEvent`]) to `peer`.
+    fn apply_lifecycle(&mut self, peer: PeerId, event: LifecycleEvent) {
+        if event.purges_survivor_refs() {
+            self.purge_peer_refs(peer);
+        }
+        if event.clears_own_state() {
+            self.clear_own_state(peer);
+        }
     }
 
     /// Removes every reference other peers hold to `peer`, plus cached
@@ -602,31 +611,20 @@ impl AceEngine {
                 }
             }
         }
-        let tree = prim_heap(peer, closure.members(), &edges);
-        let mut new_tree = tree.tree_neighbors(peer);
-        // Scope guard: keep at least `min_flooding` flooding links (the
-        // cheapest non-tree neighbors fill the gap).
-        if new_tree.len() < self.cfg.min_flooding {
-            let mut extras: Vec<(Delay, PeerId)> = nbrs
-                .iter()
-                .filter(|n| !new_tree.contains(n))
-                .map(|&n| {
-                    let c = self.states[peer.index()].table.get(n).unwrap_or_else(|| {
-                        self.cfg
-                            .probe
-                            .perturb(peer, n, ov.link_cost(oracle, peer, n))
-                    });
-                    (c, n)
-                })
-                .collect();
-            extras.sort_unstable();
-            for (_, n) in extras {
-                if new_tree.len() >= self.cfg.min_flooding {
-                    break;
-                }
-                new_tree.push(n);
-            }
-        }
+        let new_tree = policy::tree_with_scope_guard(
+            peer,
+            closure.members(),
+            &edges,
+            &nbrs,
+            self.cfg.min_flooding,
+            |n| {
+                Some(self.states[peer.index()].table.get(n).unwrap_or_else(|| {
+                    self.cfg
+                        .probe
+                        .perturb(peer, n, ov.link_cost(oracle, peer, n))
+                }))
+            },
+        );
         // Diff against the previous tree and (un)subscribe forwarding with
         // the affected partners; each notification is one tiny control
         // message on that logical link.
@@ -670,40 +668,17 @@ impl AceEngine {
         let own_tree = self.states[peer.index()].own_tree.clone();
         let mut keep = Vec::new();
         for (far, near) in watches {
-            // Watch expires if either link is already gone.
-            if !ov.are_neighbors(peer, far) || !ov.are_neighbors(peer, near) {
-                continue;
-            }
-            // Only cut links our own fresh tree does not rely on.
-            if own_tree.contains(&far) {
-                keep.push((far, near));
-                continue;
-            }
-            // Connectivity guard: the spanning tree may route around the
-            // link via *virtual* pairwise-core edges that are not real
-            // logical links, so require an actual two-hop detour (a shared
-            // neighbor) before cutting.
-            let has_detour = ov
-                .neighbors(peer)
-                .iter()
-                .any(|&n| n != far && ov.are_neighbors(n, far));
-            if !has_detour {
-                keep.push((far, near));
-                continue;
-            }
-            // We only see `far`'s table when it is in our closure; keep
-            // watching until fresh information arrives.
-            let Some(far_table) = known.get(&far) else {
-                keep.push((far, near));
-                continue;
-            };
-            if far_table.get(near).is_some() {
-                keep.push((far, near)); // B still keeps B–H; keep waiting.
-                continue;
-            }
-            if ov.disconnect(peer, far).is_ok() {
-                self.charge_disconnect(ov, oracle, peer, far);
-                self.note_link_down(peer, far);
+            // We only see `far`'s table when it is in our closure; the
+            // triage keeps watching until fresh information arrives.
+            match policy::triage_watch(ov, peer, far, near, &own_tree, known.get(&far)) {
+                WatchVerdict::Expire => {}
+                WatchVerdict::Keep => keep.push((far, near)),
+                WatchVerdict::Cut => {
+                    if ov.disconnect(peer, far).is_ok() {
+                        self.charge_disconnect(ov, oracle, peer, far);
+                        self.note_link_down(peer, far);
+                    }
+                }
             }
         }
         self.states[peer.index()].watches = keep;
@@ -754,10 +729,7 @@ impl AceEngine {
         let Some(far_table) = known.get(&far) else {
             return AdaptOutcome::KeptAll;
         };
-        let candidates: Vec<(PeerId, Delay)> = far_table
-            .iter()
-            .filter(|&(h, _)| h != peer && ov.is_alive(h) && !ov.are_neighbors(peer, h))
-            .collect();
+        let candidates = policy::phase3_candidates(ov, peer, far_table);
         if candidates.is_empty() {
             return AdaptOutcome::KeptAll;
         }
@@ -794,24 +766,21 @@ impl AceEngine {
                 .perturb(peer, far, ov.link_cost(oracle, peer, far))
         });
 
-        if near_cost < far_cost {
-            // Figure 4(b): CH < CB — replace B by H. Only safe while the
-            // B–H link still exists (the cut C–B is then covered by C–H–B).
-            if !ov.are_neighbors(far, near) {
-                return AdaptOutcome::KeptAll;
-            }
-            match self.replace_link(ov, oracle, peer, far, near) {
+        match policy::figure4_decide(
+            near_cost,
+            far_cost,
+            far_near_cost,
+            ov.are_neighbors(far, near),
+        ) {
+            Figure4Action::Replace => match self.replace_link(ov, oracle, peer, far, near) {
                 Ok(()) => {
                     self.note_link_down(peer, far);
                     self.states[peer.index()].table.set(near, near_cost);
                     AdaptOutcome::Replaced { far, near }
                 }
                 Err(_) => AdaptOutcome::KeptAll,
-            }
-        } else if near_cost < far_near_cost {
-            // Figure 4(c): CH >= CB but CH < BH — keep H as an extra
-            // neighbor; B is expected to drop B–H later on its own.
-            match ov.connect(peer, near) {
+            },
+            Figure4Action::Add => match ov.connect(peer, near) {
                 Ok(()) => {
                     self.charge_connect(ov, oracle, peer, near);
                     let st = &mut self.states[peer.index()];
@@ -820,10 +789,8 @@ impl AceEngine {
                     AdaptOutcome::Added { near }
                 }
                 Err(_) => AdaptOutcome::KeptAll,
-            }
-        } else {
-            // Figure 4(d): candidate is worse on both counts.
-            AdaptOutcome::KeptAll
+            },
+            Figure4Action::Keep => AdaptOutcome::KeptAll,
         }
     }
 
@@ -1049,29 +1016,20 @@ impl AceEngine {
                 }
             }
         }
-        let tree = prim_heap(peer, closure.members(), &edges);
-        let mut new_tree = tree.tree_neighbors(peer);
-        if new_tree.len() < self.cfg.min_flooding {
-            let mut extras: Vec<(Delay, PeerId)> = nbrs
-                .iter()
-                .filter(|n| !new_tree.contains(n))
-                .map(|&n| {
-                    let c = self.states[peer.index()].table.get(n).unwrap_or_else(|| {
-                        self.cfg
-                            .probe
-                            .perturb(peer, n, ov.link_cost(oracle, peer, n))
-                    });
-                    (c, n)
-                })
-                .collect();
-            extras.sort_unstable();
-            for (_, n) in extras {
-                if new_tree.len() >= self.cfg.min_flooding {
-                    break;
-                }
-                new_tree.push(n);
-            }
-        }
+        let new_tree = policy::tree_with_scope_guard(
+            peer,
+            closure.members(),
+            &edges,
+            &nbrs,
+            self.cfg.min_flooding,
+            |n| {
+                Some(self.states[peer.index()].table.get(n).unwrap_or_else(|| {
+                    self.cfg
+                        .probe
+                        .perturb(peer, n, ov.link_cost(oracle, peer, n))
+                }))
+            },
+        );
         TreePlan {
             peer,
             known,
@@ -1143,30 +1101,11 @@ impl AceEngine {
         let mut watch_cuts = Vec::new();
         let mut watch_keeps = Vec::new();
         for &(far, near) in &state.watches {
-            if !ov.are_neighbors(peer, far) || !ov.are_neighbors(peer, near) {
-                continue; // expired
+            match policy::triage_watch(ov, peer, far, near, &state.own_tree, known.get(&far)) {
+                WatchVerdict::Expire => {}
+                WatchVerdict::Keep => watch_keeps.push((far, near)),
+                WatchVerdict::Cut => watch_cuts.push((far, near)),
             }
-            if state.own_tree.contains(&far) {
-                watch_keeps.push((far, near));
-                continue;
-            }
-            let has_detour = ov
-                .neighbors(peer)
-                .iter()
-                .any(|&n| n != far && ov.are_neighbors(n, far));
-            if !has_detour {
-                watch_keeps.push((far, near));
-                continue;
-            }
-            let Some(far_table) = known.get(&far) else {
-                watch_keeps.push((far, near));
-                continue;
-            };
-            if far_table.get(near).is_some() {
-                watch_keeps.push((far, near));
-                continue;
-            }
-            watch_cuts.push((far, near));
         }
 
         let proposal = self.plan_phase3(ov, oracle, peer, known, &mut ledger, rng);
@@ -1223,10 +1162,7 @@ impl AceEngine {
         let Some(far_table) = known.get(&far) else {
             return Proposal::Keep;
         };
-        let candidates: Vec<(PeerId, Delay)> = far_table
-            .iter()
-            .filter(|&(h, _)| h != peer && ov.is_alive(h) && !ov.are_neighbors(peer, h))
-            .collect();
+        let candidates = policy::phase3_candidates(ov, peer, far_table);
         if candidates.is_empty() {
             return Proposal::Keep;
         }
@@ -1262,23 +1198,23 @@ impl AceEngine {
                 .perturb(peer, far, ov.link_cost(oracle, peer, far))
         });
 
-        if near_cost < far_cost {
-            if !ov.are_neighbors(far, near) {
-                return Proposal::Keep;
-            }
-            Proposal::Replace {
+        match policy::figure4_decide(
+            near_cost,
+            far_cost,
+            far_near_cost,
+            ov.are_neighbors(far, near),
+        ) {
+            Figure4Action::Replace => Proposal::Replace {
                 far,
                 near,
                 near_cost,
-            }
-        } else if near_cost < far_near_cost {
-            Proposal::Add {
+            },
+            Figure4Action::Add => Proposal::Add {
                 far,
                 near,
                 near_cost,
-            }
-        } else {
-            Proposal::Keep
+            },
+            Figure4Action::Keep => Proposal::Keep,
         }
     }
 
@@ -1464,19 +1400,14 @@ impl AceEngine {
         from: Option<PeerId>,
         out: &mut Vec<PeerId>,
     ) {
-        if self.tree_built(peer) {
-            self.flooding_neighbors_into(peer, out);
-            out.retain(|&n| ov.are_neighbors(peer, n));
-            if out.is_empty() {
-                out.extend_from_slice(ov.neighbors(peer));
-            }
-        } else {
-            out.clear();
-            out.extend_from_slice(ov.neighbors(peer));
-        }
-        if let Some(f) = from {
-            out.retain(|&n| n != f);
-        }
+        policy::select_forward_targets(
+            ov,
+            peer,
+            from,
+            self.tree_built(peer),
+            |buf| self.flooding_neighbors_into(peer, buf),
+            out,
+        );
     }
 
     /// Audits the engine's cross-peer state against the overlay; rounds

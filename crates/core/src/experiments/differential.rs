@@ -1,0 +1,276 @@
+//! Sync↔async differential runner: the same seeded world, optimized once
+//! by the round-based [`AceEngine`] and once by the message-level
+//! [`AsyncAceSim`], then compared for convergence-equivalence.
+//!
+//! Both drivers consume the shared decision core
+//! ([`policy`](crate::policy)), so they cannot disagree on *rules* —
+//! what this harness guards is everything around the rules: state
+//! machines, message handling, churn purges. The equivalence claim is
+//! deliberately statistical, not bitwise: the async path measures with
+//! jittered timers and in-flight staleness, so the two sides converge to
+//! different overlays of equivalent *quality*:
+//!
+//! 1. **Direction** — both reduce flooding traffic below
+//!    [`REDUCTION_CEILING`] of the unoptimized overlay's;
+//! 2. **Band** — their traffic-reduction ratios agree within
+//!    [`DEFAULT_BAND`];
+//! 3. **Scope** — both retain ≥ [`SCOPE_FLOOR`] of their own flooding
+//!    search scope;
+//! 4. **Auditors** — [`AceEngine::check_invariants`] and
+//!    [`AsyncAceSim::check_invariants`] (plus the overlay's structural
+//!    auditor) stay green on every step, churn included.
+//!
+//! One sync *round* is equated with one async *optimize period*: churn
+//! scheduled at step `k` lands after round `k` on the sync side and at
+//! `k × optimize_period` on the async side. Victim selection is
+//! positional over the alive set, which evolves identically on both
+//! sides, so the same schedule hits the same peers.
+
+use ace_engine::SimTime;
+use ace_overlay::{run_query, FloodAll, PeerId, QueryConfig};
+
+use super::{Scenario, ScenarioConfig};
+use crate::forwarding::AceForward;
+use crate::protocol::{AsyncAceSim, AsyncForward, ProtoConfig};
+use crate::{AceConfig, AceEngine};
+
+/// Default tolerance between the two sides' traffic-reduction ratios.
+pub const DEFAULT_BAND: f64 = 0.35;
+/// Both sides must push traffic below this fraction of flooding.
+pub const REDUCTION_CEILING: f64 = 0.9;
+/// Both sides must retain at least this fraction of their flooding scope.
+pub const SCOPE_FLOOR: f64 = 0.9;
+
+/// Which lifecycle edge a [`ChurnStep`] exercises.
+#[derive(Clone, Copy, Debug)]
+pub enum ChurnKind {
+    /// A graceful departure of an alive peer.
+    Leave,
+    /// A rejoin of a currently-dead peer (no-op while none are dead).
+    Join,
+}
+
+/// One scheduled churn event, applied equivalently to both sides.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnStep {
+    /// Sync: applied after round `step`; async: at `step × period`.
+    /// Steps outside `1..=rounds` never fire.
+    pub step: u64,
+    /// Lifecycle edge to exercise.
+    pub kind: ChurnKind,
+    /// Positional selector into the alive (or dead) peer list; reduced
+    /// modulo the list length, so any value is valid.
+    pub sel: usize,
+}
+
+/// Full description of one differential run.
+#[derive(Clone, Debug)]
+pub struct DifferentialConfig {
+    /// The shared world (both sides build it from the same seed).
+    pub scenario: ScenarioConfig,
+    /// Sync rounds; the async horizon is `(rounds + 1)` optimize periods
+    /// (one extra to absorb the start jitter).
+    pub rounds: u64,
+    /// Churn schedule applied to both sides.
+    pub churn: Vec<ChurnStep>,
+    /// Attachment degree for rejoins.
+    pub attach: usize,
+}
+
+impl DifferentialConfig {
+    /// Churn-free run of `rounds` rounds over `scenario`.
+    pub fn quiet(scenario: ScenarioConfig, rounds: u64) -> Self {
+        DifferentialConfig {
+            scenario,
+            rounds,
+            churn: Vec::new(),
+            attach: 3,
+        }
+    }
+}
+
+/// What one side achieved, relative to flooding.
+#[derive(Clone, Copy, Debug)]
+pub struct SideOutcome {
+    /// Optimized traffic ÷ the *initial* overlay's flooding traffic.
+    pub reduction: f64,
+    /// Optimized scope ÷ the *final* overlay's flooding scope (final,
+    /// because churn legitimately changes the reachable population).
+    pub scope_frac: f64,
+    /// Alive peers at the end (must match across sides by construction).
+    pub alive: usize,
+}
+
+/// Both sides of one differential run.
+#[derive(Clone, Copy, Debug)]
+pub struct DifferentialOutcome {
+    /// Round-based `AceEngine` result.
+    pub sync_side: SideOutcome,
+    /// Message-level `AsyncAceSim` result.
+    pub async_side: SideOutcome,
+}
+
+impl DifferentialOutcome {
+    /// Checks the convergence-equivalence contract (see module docs)
+    /// with the given reduction band. `Err` carries a human-readable
+    /// description of the first violated clause.
+    pub fn check_equivalence(&self, band: f64) -> Result<(), String> {
+        let (s, a) = (&self.sync_side, &self.async_side);
+        if s.alive != a.alive {
+            return Err(format!(
+                "alive populations diverged: sync {} vs async {}",
+                s.alive, a.alive
+            ));
+        }
+        if s.reduction >= REDUCTION_CEILING {
+            return Err(format!("sync side failed to optimize: {:.3}", s.reduction));
+        }
+        if a.reduction >= REDUCTION_CEILING {
+            return Err(format!("async side failed to optimize: {:.3}", a.reduction));
+        }
+        let gap = (s.reduction - a.reduction).abs();
+        if gap > band {
+            return Err(format!(
+                "reduction gap {gap:.3} exceeds band {band:.3} (sync {:.3}, async {:.3})",
+                s.reduction, a.reduction
+            ));
+        }
+        if s.scope_frac < SCOPE_FLOOR {
+            return Err(format!("sync scope collapsed: {:.3}", s.scope_frac));
+        }
+        if a.scope_frac < SCOPE_FLOOR {
+            return Err(format!("async scope collapsed: {:.3}", a.scope_frac));
+        }
+        Ok(())
+    }
+}
+
+const QC: QueryConfig = QueryConfig {
+    ttl: 32,
+    stop_at_responder: false,
+};
+
+/// Positional victim pick for a churn step; `None` when the step cannot
+/// fire (population too small, nobody dead). Depends only on the alive
+/// set, which both sides evolve identically.
+fn pick_leave(overlay: &ace_overlay::Overlay, sel: usize) -> Option<PeerId> {
+    // Peer 0 is the measurement source on both sides; never churn it.
+    let alive: Vec<PeerId> = overlay.alive_peers().filter(|p| p.index() != 0).collect();
+    (alive.len() > 8).then(|| alive[sel % alive.len()])
+}
+
+fn pick_join(overlay: &ace_overlay::Overlay, sel: usize) -> Option<PeerId> {
+    let dead: Vec<PeerId> = overlay.peers().filter(|&p| !overlay.is_alive(p)).collect();
+    (!dead.is_empty()).then(|| dead[sel % dead.len()])
+}
+
+fn run_sync(cfg: &DifferentialConfig) -> Result<SideOutcome, String> {
+    let mut s = Scenario::build(&cfg.scenario);
+    let src = PeerId::new(0);
+    let before = run_query(&s.overlay, &s.oracle, src, &QC, &FloodAll, |_| false);
+    let mut ace = AceEngine::new(s.overlay.peer_count(), AceConfig::paper_default());
+    for round in 1..=cfg.rounds {
+        ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+        for ev in cfg.churn.iter().filter(|ev| ev.step == round) {
+            match ev.kind {
+                ChurnKind::Leave => {
+                    if let Some(p) = pick_leave(&s.overlay, ev.sel) {
+                        s.overlay
+                            .leave(p)
+                            .map_err(|e| format!("sync leave: {e:?}"))?;
+                        ace.on_leave(p);
+                    }
+                }
+                ChurnKind::Join => {
+                    if let Some(p) = pick_join(&s.overlay, ev.sel) {
+                        if s.overlay.join(p, cfg.attach, &mut s.rng).is_ok() {
+                            ace.on_join(p);
+                        }
+                    }
+                }
+            }
+        }
+        s.overlay
+            .check_invariants()
+            .map_err(|e| format!("sync round {round}: overlay auditor: {e}"))?;
+        ace.check_invariants(&s.overlay)
+            .map_err(|e| format!("sync round {round}: engine auditor: {e}"))?;
+    }
+    let flood_now = run_query(&s.overlay, &s.oracle, src, &QC, &FloodAll, |_| false);
+    let after = run_query(
+        &s.overlay,
+        &s.oracle,
+        src,
+        &QC,
+        &AceForward::new(&ace),
+        |_| false,
+    );
+    Ok(SideOutcome {
+        reduction: after.traffic_cost / before.traffic_cost,
+        scope_frac: after.scope as f64 / flood_now.scope.max(1) as f64,
+        alive: s.overlay.alive_count(),
+    })
+}
+
+fn run_async(cfg: &DifferentialConfig) -> Result<SideOutcome, String> {
+    let s = Scenario::build(&cfg.scenario);
+    let (oracle, overlay) = (s.oracle, s.overlay);
+    let src = PeerId::new(0);
+    let before = run_query(&overlay, &oracle, src, &QC, &FloodAll, |_| false);
+    let proto = ProtoConfig::default();
+    let period = proto.optimize_period;
+    // Different stream than the world seed, same for both shapes of run.
+    let mut sim = AsyncAceSim::new(overlay, proto, cfg.scenario.seed ^ 0xace0_5eed);
+    for step in 1..=cfg.rounds {
+        sim.run_until(&oracle, SimTime::from_ticks(step * period));
+        for ev in cfg.churn.iter().filter(|ev| ev.step == step) {
+            match ev.kind {
+                ChurnKind::Leave => {
+                    if let Some(p) = pick_leave(sim.overlay(), ev.sel) {
+                        sim.peer_leave(&oracle, p);
+                    }
+                }
+                ChurnKind::Join => {
+                    if let Some(p) = pick_join(sim.overlay(), ev.sel) {
+                        sim.peer_join(p, cfg.attach);
+                    }
+                }
+            }
+        }
+        sim.overlay()
+            .check_invariants()
+            .map_err(|e| format!("async step {step}: overlay auditor: {e}"))?;
+        sim.check_invariants()
+            .map_err(|e| format!("async step {step}: sim auditor: {e}"))?;
+    }
+    // One extra period absorbs the start jitter so every node has had
+    // `rounds` full cycles.
+    sim.run_until(&oracle, SimTime::from_ticks((cfg.rounds + 1) * period));
+    sim.check_invariants()
+        .map_err(|e| format!("async final: sim auditor: {e}"))?;
+    let flood_now = run_query(sim.overlay(), &oracle, src, &QC, &FloodAll, |_| false);
+    let after = run_query(
+        sim.overlay(),
+        &oracle,
+        src,
+        &QC,
+        &AsyncForward::new(&sim),
+        |_| false,
+    );
+    Ok(SideOutcome {
+        reduction: after.traffic_cost / before.traffic_cost,
+        scope_frac: after.scope as f64 / flood_now.scope.max(1) as f64,
+        alive: sim.overlay().alive_count(),
+    })
+}
+
+/// Runs both sides over the shared world. `Err` means an *auditor*
+/// failed mid-run (always a bug); equivalence itself is judged
+/// separately via [`DifferentialOutcome::check_equivalence`] so callers
+/// can choose their band.
+pub fn differential_run(cfg: &DifferentialConfig) -> Result<DifferentialOutcome, String> {
+    Ok(DifferentialOutcome {
+        sync_side: run_sync(cfg)?,
+        async_side: run_async(cfg)?,
+    })
+}

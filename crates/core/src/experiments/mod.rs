@@ -5,10 +5,14 @@
 //! and by the figure harness at paper scale.
 
 mod depth;
+pub mod differential;
 mod dynamic_env;
 mod static_env;
 
 pub use depth::{depth_sweep, DepthPoint, DepthSweepConfig};
+pub use differential::{
+    differential_run, ChurnKind, ChurnStep, DifferentialConfig, DifferentialOutcome, SideOutcome,
+};
 pub use dynamic_env::{dynamic_run, DynamicConfig, DynamicResult, DynamicWindow};
 pub use static_env::{static_run, StaticConfig, StaticResult, StepStats};
 

@@ -68,6 +68,7 @@ pub mod ltm;
 pub mod mst;
 mod optrate;
 mod overhead;
+pub mod policy;
 mod probe;
 pub mod protocol;
 
@@ -78,4 +79,5 @@ pub use fault::FaultConfig;
 pub use forwarding::AceForward;
 pub use optrate::{min_effective_depth, optimization_rate};
 pub use overhead::{OverheadKind, OverheadLedger};
+pub use policy::{Figure4Action, LifecycleEvent, WatchVerdict};
 pub use probe::ProbeModel;

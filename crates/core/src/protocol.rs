@@ -7,9 +7,14 @@
 //! is a real [`Message`] scheduled on an [`EventQueue`] and delivered
 //! after its physical in-flight delay. Peers are independent state
 //! machines woken by their own jittered timers; information is stale
-//! exactly as long as the network makes it. The `ext_async` experiment
-//! checks that this implementation converges to the same traffic savings
-//! as the round-based engine.
+//! exactly as long as the network makes it. The *decisions* — Figure-4,
+//! tree construction, watch triage, forwarding-target selection, the
+//! churn purge taxonomy — are not re-implemented here: they come from
+//! the shared [`policy`](crate::policy) core, the same code the
+//! round-based engine runs, so the two execution models cannot diverge.
+//! The differential harness (`tests/differential.rs`) holds them to
+//! that: same seeded world, N sync rounds vs. an equivalent async
+//! horizon, equivalent convergence.
 //!
 //! One optimization cycle of a node `C` (depth `h = 1`, the paper's base):
 //!
@@ -21,6 +26,19 @@
 //! 4. phase 3: probe one candidate from a non-flooding neighbor's table
 //!    and apply the Figure-4 rules via `Connect` / `ConnectOk` /
 //!    `Disconnect`.
+//!
+//! # Churn
+//!
+//! [`AsyncAceSim::peer_leave`] is a *graceful* departure in the shared
+//! taxonomy ([`LifecycleEvent::GracefulLeave`]): survivors purge every
+//! reference to the leaver immediately — including mid-cycle state
+//! (`awaiting_reports`, `serving`, outstanding probes), whose removal
+//! may *complete* a blocked step: the last awaited report gone closes
+//! the cycle, the last outstanding on-behalf probe gone flushes the
+//! report to its requester. [`AsyncAceSim::peer_join`] purges any
+//! leftovers of the previous incarnation ([`LifecycleEvent::Rejoin`])
+//! and every event is incarnation-tagged, so a message or timer from a
+//! dead incarnation can never act on its successor's state.
 
 use std::collections::HashMap;
 
@@ -32,8 +50,9 @@ use ace_overlay::{ForwardPolicy, Message, Overlay, PeerId};
 use ace_topology::{Delay, DistanceOracle};
 
 use crate::cost_table::CostTable;
-use crate::mst::{prim_heap, ClosureEdge};
+use crate::mst::ClosureEdge;
 use crate::overhead::{OverheadKind, OverheadLedger};
+use crate::policy::{self, Figure4Action, LifecycleEvent, WatchVerdict};
 use crate::probe::ProbeModel;
 
 /// Configuration of the asynchronous protocol.
@@ -112,17 +131,84 @@ impl NodeState {
             cycles_done: 0,
         }
     }
+
+    /// Forgets a partner after a link cut: tree membership, forward
+    /// requests and the cached cost row (the async twin of the engine's
+    /// `note_link_down`, applied per endpoint — the cutter at send time,
+    /// the partner when the `Disconnect` arrives). Watches are left to
+    /// expire on their own (§3.3).
+    fn forget_link(&mut self, partner: PeerId) {
+        self.own_tree.retain(|&p| p != partner);
+        self.requested.retain(|&p| p != partner);
+        self.table.remove(partner);
+    }
+}
+
+/// Message classes tracked while in flight, giving the auditor its
+/// tolerance windows: a cut or forward-set change is *in progress* —
+/// not an invariant violation — exactly while the notifying message has
+/// left the sender but not reached the receiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum InFlightKind {
+    Disconnect,
+    ForwardRequest,
+    ForwardCancel,
+}
+
+impl InFlightKind {
+    fn of(msg: &Message) -> Option<Self> {
+        match msg {
+            Message::Disconnect => Some(InFlightKind::Disconnect),
+            Message::ForwardRequest => Some(InFlightKind::ForwardRequest),
+            Message::ForwardCancel => Some(InFlightKind::ForwardCancel),
+            _ => None,
+        }
+    }
 }
 
 enum NetEvent {
     Deliver {
         from: PeerId,
         to: PeerId,
+        /// Sender/receiver incarnations at send time; a mismatch at
+        /// delivery means one endpoint died (and possibly rejoined)
+        /// while the message was in flight — it is dropped.
+        from_inc: u32,
+        to_inc: u32,
         msg: Message,
     },
     OptimizeTimer {
         peer: PeerId,
+        /// Incarnation that scheduled this chain; a stale chain dies at
+        /// its next fire instead of doubling up with the rejoin's chain.
+        inc: u32,
     },
+}
+
+/// A completed on-behalf report: `(server, requester, measured entries)`.
+type ServingReply = (PeerId, PeerId, Vec<(PeerId, Delay)>);
+
+/// Cycle steps unblocked by a churn purge, applied after the pure state
+/// sweep (borrow-wise the sweep cannot send).
+#[derive(Default)]
+struct DrainEffects {
+    /// Peers whose last outstanding phase-1 probe targeted the leaver:
+    /// their probe sweep is now complete → exchange tables.
+    phase1_complete: Vec<PeerId>,
+    /// Peers whose last awaited report came from the leaver: their
+    /// cycle closes now instead of stalling until the next timer.
+    finished_cycles: Vec<PeerId>,
+    /// Completed `serving` reports whose last outstanding on-behalf
+    /// probe targeted the leaver.
+    serving_replies: Vec<ServingReply>,
+}
+
+impl DrainEffects {
+    fn is_empty(&self) -> bool {
+        self.phase1_complete.is_empty()
+            && self.finished_cycles.is_empty()
+            && self.serving_replies.is_empty()
+    }
 }
 
 /// The asynchronous simulator: overlay + per-node protocol state + the
@@ -149,10 +235,15 @@ enum NetEvent {
 /// sim.run_until(&oracle, SimTime::from_secs(90));
 /// assert!(sim.messages_delivered() > 0);
 /// assert!(sim.overlay().is_connected());
+/// sim.check_invariants().unwrap();
 /// ```
 pub struct AsyncAceSim {
     overlay: Overlay,
     nodes: Vec<NodeState>,
+    /// Monotonic per-peer incarnation counters, bumped on every rejoin;
+    /// deliveries and timers carry the incarnations they were created
+    /// under and are dropped on mismatch.
+    incarnations: Vec<u32>,
     queue: EventQueue<NetEvent>,
     cfg: ProtoConfig,
     rng: StdRng,
@@ -160,18 +251,24 @@ pub struct AsyncAceSim {
     ledger: OverheadLedger,
     nonce: u64,
     messages_delivered: u64,
+    /// Outstanding `(from, to, kind)` message counts for the tracked
+    /// [`InFlightKind`]s (incremented at send, decremented at delivery
+    /// *or* drop — the counter follows the wire, not the handler).
+    in_flight: HashMap<(PeerId, PeerId, InFlightKind), usize>,
 }
 
 impl AsyncAceSim {
     /// Wraps an overlay and schedules every alive node's first cycle with
     /// uniform jitter.
     pub fn new(overlay: Overlay, cfg: ProtoConfig, seed: u64) -> Self {
-        let nodes = (0..overlay.peer_count())
+        let nodes: Vec<NodeState> = (0..overlay.peer_count())
             .map(|i| NodeState::new(PeerId::new(i as u32)))
             .collect();
+        let incarnations = vec![0; nodes.len()];
         let mut sim = AsyncAceSim {
             overlay,
             nodes,
+            incarnations,
             queue: EventQueue::new(),
             cfg,
             rng: StdRng::seed_from_u64(seed),
@@ -179,13 +276,14 @@ impl AsyncAceSim {
             ledger: OverheadLedger::new(),
             nonce: 0,
             messages_delivered: 0,
+            in_flight: HashMap::new(),
         };
         let peers: Vec<PeerId> = sim.overlay.alive_peers().collect();
         for p in peers {
             let jitter = sim.rng.gen_range(0..=sim.cfg.start_jitter.max(1));
             sim.queue.push(
                 SimTime::from_ticks(jitter),
-                NetEvent::OptimizeTimer { peer: p },
+                NetEvent::OptimizeTimer { peer: p, inc: 0 },
             );
         }
         sim
@@ -206,7 +304,8 @@ impl AsyncAceSim {
         &self.ledger
     }
 
-    /// Total messages delivered so far.
+    /// Total messages delivered so far (messages to/from peers that died
+    /// or rejoined mid-flight are dropped, not delivered).
     pub fn messages_delivered(&self) -> u64 {
         self.messages_delivered
     }
@@ -222,14 +321,21 @@ impl AsyncAceSim {
 
     /// A node's current flooding set (own tree ∪ forward requests).
     pub fn flooding_neighbors(&self, peer: PeerId) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        self.flooding_neighbors_into(peer, &mut out);
+        out
+    }
+
+    /// Like [`AsyncAceSim::flooding_neighbors`], but appends into a
+    /// caller buffer (the query hot path reuses one allocation).
+    fn flooding_neighbors_into(&self, peer: PeerId, out: &mut Vec<PeerId>) {
         let n = &self.nodes[peer.index()];
-        let mut out = n.own_tree.clone();
+        out.extend_from_slice(&n.own_tree);
         for &r in &n.requested {
             if !out.contains(&r) {
                 out.push(r);
             }
         }
-        out
     }
 
     /// True once `peer` has completed at least one tree build.
@@ -237,21 +343,37 @@ impl AsyncAceSim {
         self.nodes[peer.index()].cycles_done > 0
     }
 
-    /// Takes `peer` offline (clean leave or crash): drops its links and
-    /// local protocol state. In-flight messages to it will be discarded at
-    /// delivery time; other peers' stale references wash out on their next
-    /// cycles. Returns false if the peer was already offline.
-    pub fn peer_leave(&mut self, peer: PeerId) -> bool {
+    /// Takes `peer` offline (graceful leave in the shared taxonomy —
+    /// [`LifecycleEvent::GracefulLeave`]): drops its links and local
+    /// protocol state, and purges every reference survivors hold to it,
+    /// *draining* mid-cycle dependencies instead of stalling on them —
+    /// a cycle whose last awaited report was the leaver's closes now, a
+    /// `serving` report whose last outstanding probe targeted the leaver
+    /// is flushed to its requester now. Needs the `oracle` because those
+    /// completions send real messages. In-flight messages from or to
+    /// the leaver are discarded at delivery time. Returns false if the
+    /// peer was already offline.
+    pub fn peer_leave(&mut self, oracle: &DistanceOracle, peer: PeerId) -> bool {
         if self.overlay.leave(peer).is_err() {
             return false;
         }
-        self.nodes[peer.index()] = NodeState::new(peer);
+        let event = LifecycleEvent::GracefulLeave;
+        if event.clears_own_state() {
+            self.nodes[peer.index()] = NodeState::new(peer);
+        }
+        if event.purges_survivor_refs() {
+            let fx = self.purge_refs_to(peer);
+            self.apply_drain(oracle, fx);
+        }
         true
     }
 
-    /// Brings `peer` back online, attaching to up to `attach` peers
-    /// (cached addresses first, then random) and scheduling its first
-    /// optimization cycle. Returns false if it was already online.
+    /// Brings `peer` back online under a fresh incarnation, attaching to
+    /// up to `attach` peers (cached addresses first, then random) and
+    /// scheduling its first optimization cycle. Any stale references to
+    /// the previous incarnation are purged ([`LifecycleEvent::Rejoin`]),
+    /// and messages or timers from it are dropped by the incarnation
+    /// check at delivery. Returns false if it was already online.
     pub fn peer_join(&mut self, peer: PeerId, attach: usize) -> bool {
         let joined = {
             let rng = &mut self.rng;
@@ -260,11 +382,138 @@ impl AsyncAceSim {
         if !joined {
             return false;
         }
-        self.nodes[peer.index()] = NodeState::new(peer);
+        let event = LifecycleEvent::Rejoin;
+        self.incarnations[peer.index()] = self.incarnations[peer.index()].wrapping_add(1);
+        if event.clears_own_state() {
+            self.nodes[peer.index()] = NodeState::new(peer);
+        }
+        if event.purges_survivor_refs() {
+            // A leave already drained everything, so the purge can have
+            // no cycle completions left to apply — it is pure hygiene
+            // against a dead incarnation shadowing the new one.
+            let fx = self.purge_refs_to(peer);
+            debug_assert!(
+                fx.is_empty(),
+                "rejoin purge found undrained references to a dead incarnation"
+            );
+        }
         let jitter = self.rng.gen_range(0..=self.cfg.start_jitter.max(1));
+        let inc = self.incarnations[peer.index()];
         self.queue
-            .push(self.now + jitter, NetEvent::OptimizeTimer { peer });
+            .push(self.now + jitter, NetEvent::OptimizeTimer { peer, inc });
         true
+    }
+
+    /// Removes every reference survivors hold to `dead` — tree slots,
+    /// forward requests, watches, cost rows, received tables (as key and
+    /// inside entries), pair caches, serving ledgers, awaited reports
+    /// and outstanding probes — and collects the cycle steps those
+    /// removals unblocked. Deterministic: nodes are swept in peer-id
+    /// order and dropped probes in nonce order.
+    fn purge_refs_to(&mut self, dead: PeerId) -> DrainEffects {
+        let mut fx = DrainEffects::default();
+        for i in 0..self.nodes.len() {
+            if i == dead.index() {
+                continue;
+            }
+            let owner = PeerId::new(i as u32);
+            let node = &mut self.nodes[i];
+            node.own_tree.retain(|&p| p != dead);
+            node.requested.retain(|&p| p != dead);
+            node.watches
+                .retain(|&(far, near)| far != dead && near != dead);
+            node.table.remove(dead);
+            node.neighbor_tables.remove(&dead);
+            for t in node.neighbor_tables.values_mut() {
+                t.remove(dead);
+            }
+            node.pair_cache.remove(&dead);
+            node.serving.remove(&dead);
+            for (entries, _) in node.serving.values_mut() {
+                entries.retain(|&(t, _)| t != dead);
+            }
+            if let Some(pos) = node.awaiting_reports.iter().position(|&r| r == dead) {
+                node.awaiting_reports.remove(pos);
+                if node.awaiting_reports.is_empty() && node.cycle_open {
+                    fx.finished_cycles.push(owner);
+                }
+            }
+            // Outstanding probes that touch the leaver: as target, as the
+            // far end of a candidate probe, or as an on-behalf requester.
+            let mut dropped: Vec<(u64, PeerId, ProbePurpose)> = node
+                .pending_probes
+                .iter()
+                .filter(|&(_, &(target, purpose))| {
+                    target == dead
+                        || matches!(purpose, ProbePurpose::Candidate { far, .. } if far == dead)
+                        || matches!(purpose, ProbePurpose::OnBehalf { requester } if requester == dead)
+                })
+                .map(|(&nonce, &(target, purpose))| (nonce, target, purpose))
+                .collect();
+            dropped.sort_unstable_by_key(|&(nonce, ..)| nonce);
+            let mut neighbor_dropped = false;
+            for (nonce, target, purpose) in dropped {
+                node.pending_probes.remove(&nonce);
+                match purpose {
+                    ProbePurpose::Neighbor => neighbor_dropped = true,
+                    ProbePurpose::Candidate { .. } => {}
+                    ProbePurpose::OnBehalf { requester } => {
+                        // The probe that will never be answered still
+                        // counts down its serving entry; at zero the
+                        // report is complete (without the dead pair) and
+                        // must be flushed — this is the leak the PR
+                        // fixes: `serving` entries used to wait forever.
+                        if requester != dead && target == dead {
+                            if let Some((_, left)) = node.serving.get_mut(&requester) {
+                                *left -= 1;
+                                if *left == 0 {
+                                    let (entries, _) =
+                                        node.serving.remove(&requester).expect("just seen");
+                                    fx.serving_replies.push((owner, requester, entries));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if neighbor_dropped
+                && node.cycle_open
+                && !node
+                    .pending_probes
+                    .values()
+                    .any(|&(_, p)| matches!(p, ProbePurpose::Neighbor))
+            {
+                fx.phase1_complete.push(owner);
+            }
+        }
+        fx
+    }
+
+    /// Applies the cycle completions a purge unblocked.
+    fn apply_drain(&mut self, oracle: &DistanceOracle, fx: DrainEffects) {
+        for (server, requester, entries) in fx.serving_replies {
+            if self.overlay.is_alive(server) && self.overlay.is_alive(requester) {
+                self.send(
+                    oracle,
+                    server,
+                    requester,
+                    Message::CostTable {
+                        owner: server,
+                        entries,
+                    },
+                );
+            }
+        }
+        for p in fx.phase1_complete {
+            if self.overlay.is_alive(p) {
+                self.exchange_tables(oracle, p);
+            }
+        }
+        for p in fx.finished_cycles {
+            if self.overlay.is_alive(p) {
+                self.finish_cycle(oracle, p);
+            }
+        }
     }
 
     fn fresh_nonce(&mut self) -> u64 {
@@ -273,22 +522,42 @@ impl AsyncAceSim {
     }
 
     /// Sends `msg`, charging its size over the physical path and
-    /// scheduling delivery after the one-way delay.
+    /// scheduling delivery after the one-way delay. Classification comes
+    /// from the shared taxonomy ([`policy::control_overhead_kind`]);
+    /// search-plane messages have no business on the control plane.
     fn send(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, msg: Message) {
         let dist = self.overlay.link_cost(oracle, from, to);
-        let kind = match &msg {
-            Message::Probe { .. } | Message::ProbeReply { .. } | Message::ProbeRequest { .. } => {
-                OverheadKind::Probe
-            }
-            Message::CostTable { .. } => OverheadKind::TableExchange,
-            Message::Connect | Message::ConnectOk | Message::Disconnect => OverheadKind::Reconnect,
-            _ => OverheadKind::TableExchange,
+        let Some(kind) = policy::control_overhead_kind(&msg) else {
+            unreachable!("search-plane message {msg:?} routed into the control plane")
         };
         self.ledger.charge(kind, f64::from(dist) * msg.size_units());
+        if let Some(k) = InFlightKind::of(&msg) {
+            *self.in_flight.entry((from, to, k)).or_insert(0) += 1;
+        }
         self.queue.push(
             self.now + u64::from(dist),
-            NetEvent::Deliver { from, to, msg },
+            NetEvent::Deliver {
+                from,
+                to,
+                from_inc: self.incarnations[from.index()],
+                to_inc: self.incarnations[to.index()],
+                msg,
+            },
         );
+    }
+
+    /// True while a tracked message is on the wire from `from` to `to`.
+    fn in_flight(&self, from: PeerId, to: PeerId, kind: InFlightKind) -> bool {
+        self.in_flight
+            .get(&(from, to, kind))
+            .is_some_and(|&c| c > 0)
+    }
+
+    /// True while a `Disconnect` travels between `a` and `b` (either
+    /// direction): the endpoints legitimately disagree about the link.
+    fn cut_in_flight(&self, a: PeerId, b: PeerId) -> bool {
+        self.in_flight(a, b, InFlightKind::Disconnect)
+            || self.in_flight(b, a, InFlightKind::Disconnect)
     }
 
     /// Runs the protocol until `until` (absolute simulation time).
@@ -300,9 +569,37 @@ impl AsyncAceSim {
             let (t, ev) = self.queue.pop().expect("peeked event");
             self.now = t;
             match ev {
-                NetEvent::OptimizeTimer { peer } => self.on_timer(oracle, peer),
-                NetEvent::Deliver { from, to, msg } => {
-                    if self.overlay.is_alive(to) {
+                NetEvent::OptimizeTimer { peer, inc } => {
+                    // A chain scheduled by a dead incarnation dies here;
+                    // the rejoin scheduled its own (single) successor.
+                    if inc == self.incarnations[peer.index()] {
+                        self.on_timer(oracle, peer, inc);
+                    }
+                }
+                NetEvent::Deliver {
+                    from,
+                    to,
+                    from_inc,
+                    to_inc,
+                    msg,
+                } => {
+                    if let Some(k) = InFlightKind::of(&msg) {
+                        if let Some(c) = self.in_flight.get_mut(&(from, to, k)) {
+                            *c -= 1;
+                            if *c == 0 {
+                                self.in_flight.remove(&(from, to, k));
+                            }
+                        }
+                    }
+                    // Both endpoints must still be the incarnations the
+                    // message was addressed between; otherwise it is lost
+                    // on the floor, as a closed TCP connection would
+                    // lose it.
+                    let fresh = self.overlay.is_alive(to)
+                        && self.overlay.is_alive(from)
+                        && from_inc == self.incarnations[from.index()]
+                        && to_inc == self.incarnations[to.index()];
+                    if fresh {
                         self.messages_delivered += 1;
                         self.on_message(oracle, from, to, msg);
                     }
@@ -312,12 +609,16 @@ impl AsyncAceSim {
         self.now = until;
     }
 
-    fn on_timer(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+    fn on_timer(&mut self, oracle: &DistanceOracle, peer: PeerId, inc: u32) {
         if self.overlay.is_alive(peer) {
-            // Abandon any stalled cycle and start fresh.
+            // Abandon any stalled cycle and start fresh — but keep
+            // on-behalf probes: they serve *other* peers' cycles, and
+            // dropping them would strand the matching `serving` entries
+            // (their replies still count down via `on_probe_reply`).
             {
                 let node = &mut self.nodes[peer.index()];
-                node.pending_probes.clear();
+                node.pending_probes
+                    .retain(|_, &mut (_, p)| matches!(p, ProbePurpose::OnBehalf { .. }));
                 node.awaiting_reports.clear();
                 node.cycle_open = true;
             }
@@ -334,7 +635,7 @@ impl AsyncAceSim {
                 }
             }
             let next = self.now + self.cfg.optimize_period;
-            self.queue.push(next, NetEvent::OptimizeTimer { peer });
+            self.queue.push(next, NetEvent::OptimizeTimer { peer, inc });
         }
     }
 
@@ -351,7 +652,10 @@ impl AsyncAceSim {
                     .entry(owner)
                     .or_insert_with(|| CostTable::new(owner));
                 for (p, c) in entries {
-                    if p != owner {
+                    // Entries about peers that died while the table was
+                    // in flight are stale on arrival; recording them
+                    // would resurrect a purged incarnation.
+                    if p != owner && self.overlay.is_alive(p) {
                         table.set(p, c);
                     }
                 }
@@ -365,9 +669,19 @@ impl AsyncAceSim {
             }
             Message::ProbeRequest { targets } => self.on_probe_request(oracle, from, to, targets),
             Message::ForwardRequest => {
-                let node = &mut self.nodes[to.index()];
-                if !node.requested.contains(&from) {
-                    node.requested.push(from);
+                // Only honor a request the sender still stands behind and
+                // that travels a live link — the simulator peeks at the
+                // sender's current tree as a stand-in for the sequence
+                // number a real implementation would carry, so a request
+                // overtaken by a cut-and-reconnect cannot install a
+                // forward slot nobody wants anymore.
+                if self.overlay.are_neighbors(to, from)
+                    && self.nodes[from.index()].own_tree.contains(&to)
+                {
+                    let node = &mut self.nodes[to.index()];
+                    if !node.requested.contains(&from) {
+                        node.requested.push(from);
+                    }
                 }
             }
             Message::ForwardCancel => {
@@ -385,7 +699,7 @@ impl AsyncAceSim {
             Message::ConnectOk => {}
             Message::Disconnect => {
                 let _ = self.overlay.disconnect(to, from);
-                self.nodes[to.index()].table.remove(from);
+                self.nodes[to.index()].forget_link(from);
             }
             // Search-plane messages are not simulated here.
             Message::Ping
@@ -474,7 +788,10 @@ impl AsyncAceSim {
         let mut known: Vec<(PeerId, Delay)> = Vec::new();
         let mut unknown: Vec<PeerId> = Vec::new();
         for t in targets {
-            if t == to {
+            // A target that died while the request was in flight is
+            // dropped from the report: probing it would hang forever (a
+            // real stack gets a connection refusal here).
+            if t == to || !self.overlay.is_alive(t) {
                 continue;
             }
             let node = &self.nodes[to.index()];
@@ -511,7 +828,9 @@ impl AsyncAceSim {
     }
 
     /// Step 3: Prim over {peer} ∪ N(peer) with everything learned, then
-    /// forward-set diffs and one phase-3 attempt.
+    /// forward-set diffs and one phase-3 attempt. Tree construction and
+    /// the `min_flooding` scope guard come from the shared core
+    /// ([`policy::tree_with_scope_guard`]) — identical to the engine's.
     fn finish_cycle(&mut self, oracle: &DistanceOracle, peer: PeerId) {
         self.nodes[peer.index()].cycle_open = false;
         let nbrs: Vec<PeerId> = self.overlay.neighbors(peer).to_vec();
@@ -537,61 +856,53 @@ impl AsyncAceSim {
                 }
             }
         }
-        let tree = prim_heap(peer, &members, &edges);
-        let mut new_tree = tree.tree_neighbors(peer);
-        if new_tree.len() < self.cfg.min_flooding {
-            let mut extras: Vec<(Delay, PeerId)> = nbrs
-                .iter()
-                .filter(|n| !new_tree.contains(n))
-                .filter_map(|&n| self.nodes[peer.index()].table.get(n).map(|c| (c, n)))
-                .collect();
-            extras.sort_unstable();
-            for (_, n) in extras {
-                if new_tree.len() >= self.cfg.min_flooding {
-                    break;
-                }
-                new_tree.push(n);
-            }
-        }
+        let new_tree = policy::tree_with_scope_guard(
+            peer,
+            &members,
+            &edges,
+            &nbrs,
+            self.cfg.min_flooding,
+            |n| self.nodes[peer.index()].table.get(n),
+        );
         let old_tree = std::mem::take(&mut self.nodes[peer.index()].own_tree);
+        self.nodes[peer.index()].own_tree = new_tree.clone();
         for &f in new_tree.iter().filter(|f| !old_tree.contains(f)) {
             self.send(oracle, peer, f, Message::ForwardRequest);
         }
         for &f in old_tree.iter().filter(|f| !new_tree.contains(f)) {
             self.send(oracle, peer, f, Message::ForwardCancel);
         }
-        self.nodes[peer.index()].own_tree = new_tree;
         self.nodes[peer.index()].cycles_done += 1;
 
         self.process_watches(oracle, peer);
         self.start_phase3(oracle, peer);
     }
 
+    /// §3.3 keep-both follow-up, decided by the shared
+    /// [`policy::triage_watch`] over the freshest table received from
+    /// each watched far neighbor.
     fn process_watches(&mut self, oracle: &DistanceOracle, peer: PeerId) {
         let watches = std::mem::take(&mut self.nodes[peer.index()].watches);
+        let own_tree = self.nodes[peer.index()].own_tree.clone();
         let mut keep = Vec::new();
         for (far, near) in watches {
-            if !self.overlay.are_neighbors(peer, far) || !self.overlay.are_neighbors(peer, near) {
-                continue;
-            }
-            if self.nodes[peer.index()].own_tree.contains(&far) {
-                keep.push((far, near));
-                continue;
-            }
-            let dropped = self.nodes[peer.index()]
-                .neighbor_tables
-                .get(&far)
-                .is_some_and(|t| t.get(near).is_none() && !t.is_empty());
-            let has_detour = self
-                .overlay
-                .neighbors(peer)
-                .iter()
-                .any(|&n| n != far && self.overlay.are_neighbors(n, far));
-            if dropped && has_detour && self.overlay.disconnect(peer, far).is_ok() {
-                self.nodes[peer.index()].table.remove(far);
-                self.send(oracle, peer, far, Message::Disconnect);
-            } else {
-                keep.push((far, near));
+            let verdict = policy::triage_watch(
+                &self.overlay,
+                peer,
+                far,
+                near,
+                &own_tree,
+                self.nodes[peer.index()].neighbor_tables.get(&far),
+            );
+            match verdict {
+                WatchVerdict::Expire => {}
+                WatchVerdict::Keep => keep.push((far, near)),
+                WatchVerdict::Cut => {
+                    if self.overlay.disconnect(peer, far).is_ok() {
+                        self.nodes[peer.index()].forget_link(far);
+                        self.send(oracle, peer, far, Message::Disconnect);
+                    }
+                }
             }
         }
         self.nodes[peer.index()].watches = keep;
@@ -610,16 +921,8 @@ impl AsyncAceSim {
             return;
         }
         let far = non_flooding[self.rng.gen_range(0..non_flooding.len())];
-        let candidates: Vec<(PeerId, Delay)> = match self.nodes[peer.index()]
-            .neighbor_tables
-            .get(&far)
-        {
-            Some(t) => t
-                .iter()
-                .filter(|&(h, _)| {
-                    h != peer && self.overlay.is_alive(h) && !self.overlay.are_neighbors(peer, h)
-                })
-                .collect(),
+        let candidates = match self.nodes[peer.index()].neighbor_tables.get(&far) {
+            Some(t) => policy::phase3_candidates(&self.overlay, peer, t),
             None => return,
         };
         if candidates.is_empty() {
@@ -633,6 +936,8 @@ impl AsyncAceSim {
         self.send(oracle, peer, near, Message::Probe { nonce });
     }
 
+    /// Applies the shared Figure-4 rule ([`policy::figure4_decide`]) to
+    /// a probed candidate, translating the verdict into wire traffic.
     fn apply_figure4(
         &mut self,
         oracle: &DistanceOracle,
@@ -648,28 +953,233 @@ impl AsyncAceSim {
         let Some(far_cost) = self.nodes[peer.index()].table.get(far) else {
             return;
         };
-        if near_cost < far_cost {
-            // Replace — guarded by the B–H detour as in the engine.
-            if !self.overlay.are_neighbors(far, near) {
-                return;
-            }
-            if self.overlay.connect(peer, near).is_ok() {
-                self.send(oracle, peer, near, Message::Connect);
-                self.nodes[peer.index()].table.set(near, near_cost);
-                if self.overlay.disconnect(peer, far).is_ok() {
-                    self.nodes[peer.index()].table.remove(far);
-                    self.send(oracle, peer, far, Message::Disconnect);
+        match policy::figure4_decide(
+            near_cost,
+            far_cost,
+            far_near,
+            self.overlay.are_neighbors(far, near),
+        ) {
+            Figure4Action::Replace => {
+                if self.overlay.connect(peer, near).is_ok() {
+                    self.send(oracle, peer, near, Message::Connect);
+                    self.nodes[peer.index()].table.set(near, near_cost);
+                    if self.overlay.disconnect(peer, far).is_ok() {
+                        self.nodes[peer.index()].forget_link(far);
+                        self.send(oracle, peer, far, Message::Disconnect);
+                    }
                 }
             }
-        } else if near_cost < far_near && self.overlay.connect(peer, near).is_ok() {
-            self.send(oracle, peer, near, Message::Connect);
-            self.nodes[peer.index()].table.set(near, near_cost);
-            self.nodes[peer.index()].watches.push((far, near));
+            Figure4Action::Add => {
+                if self.overlay.connect(peer, near).is_ok() {
+                    self.send(oracle, peer, near, Message::Connect);
+                    self.nodes[peer.index()].table.set(near, near_cost);
+                    self.nodes[peer.index()].watches.push((far, near));
+                }
+            }
+            Figure4Action::Keep => {}
         }
+    }
+
+    /// Audits the simulator's cross-peer state against the overlay — the
+    /// async mirror of [`AceEngine::check_invariants`]
+    /// (`crate::AceEngine::check_invariants`), adapted to message
+    /// asynchrony: where the engine demands exact agreement, the
+    /// simulator tolerates disagreement exactly while the notifying
+    /// message is still on the wire (tracked per [`InFlightKind`]).
+    ///
+    /// 1. **Forwarding liveness** — every alive peer with ≥ 1 neighbor
+    ///    has ≥ 1 forward target (no query black holes).
+    /// 2. **No offline references** — graceful leaves drain eagerly, so
+    ///    *no* surviving state may reference an offline peer: trees,
+    ///    requests, watches, tables (own and received), pair caches,
+    ///    pending probes, awaited reports or serving ledgers.
+    /// 3. **Tree ⊆ neighbors + mirroring** — a tree slot must be a
+    ///    current neighbor (unless a `Disconnect` is in flight) and be
+    ///    mirrored by the partner's forward request (unless the
+    ///    `ForwardRequest`/`ForwardCancel` is in flight).
+    /// 4. **Cost-table symmetry** — when two alive peers both hold an
+    ///    entry for each other it is the same measurement (probes share
+    ///    one symmetric exchange).
+    /// 5. **Serving consistency** — every `serving` countdown equals its
+    ///    outstanding on-behalf probes (a zero countdown would be a
+    ///    report that was never flushed — the leak this PR fixes).
+    /// 6. **Cycle bookkeeping** — awaited reports imply an open cycle.
+    /// 7. **Ledger consistency** — every cost finite and non-negative,
+    ///    and any charged cost backed by a nonzero message count.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let ov = &self.overlay;
+        let mut targets = Vec::new();
+        for p in ov.peers() {
+            if !ov.is_alive(p) {
+                continue;
+            }
+            let n = &self.nodes[p.index()];
+            if !ov.neighbors(p).is_empty() {
+                AsyncForward::new(self).forward_targets_into(ov, p, None, &mut targets);
+                if targets.is_empty() {
+                    return Err(format!("peer {p} has neighbors but no forward targets"));
+                }
+            }
+            for (name, list) in [("tree", &n.own_tree), ("request", &n.requested)] {
+                for (i, &e) in list.iter().enumerate() {
+                    if e == p {
+                        return Err(format!("peer {p} {name} list contains itself"));
+                    }
+                    if list[..i].contains(&e) {
+                        return Err(format!("peer {p} {name} list has duplicate {e}"));
+                    }
+                    if !ov.is_alive(e) {
+                        return Err(format!("peer {p} {name} list references offline {e}"));
+                    }
+                }
+            }
+            for &(far, near) in &n.watches {
+                if !ov.is_alive(far) || !ov.is_alive(near) {
+                    return Err(format!(
+                        "peer {p} watch ({far},{near}) references offline peer"
+                    ));
+                }
+            }
+            for (q, _) in n.table.iter() {
+                if !ov.is_alive(q) {
+                    return Err(format!("peer {p} cost table references offline {q}"));
+                }
+            }
+            for (&owner, t) in &n.neighbor_tables {
+                if !ov.is_alive(owner) {
+                    return Err(format!("peer {p} keeps a table of offline {owner}"));
+                }
+                for (q, _) in t.iter() {
+                    if !ov.is_alive(q) {
+                        return Err(format!("peer {p} table of {owner} references offline {q}"));
+                    }
+                }
+            }
+            for &q in n.pair_cache.keys() {
+                if !ov.is_alive(q) {
+                    return Err(format!("peer {p} pair cache references offline {q}"));
+                }
+            }
+            for &(target, purpose) in n.pending_probes.values() {
+                if !ov.is_alive(target) {
+                    return Err(format!("peer {p} pending probe targets offline {target}"));
+                }
+                match purpose {
+                    ProbePurpose::Neighbor => {}
+                    ProbePurpose::Candidate { far, .. } => {
+                        if !ov.is_alive(far) {
+                            return Err(format!(
+                                "peer {p} candidate probe references offline far {far}"
+                            ));
+                        }
+                    }
+                    ProbePurpose::OnBehalf { requester } => {
+                        if !ov.is_alive(requester) {
+                            return Err(format!(
+                                "peer {p} serves probe for offline requester {requester}"
+                            ));
+                        }
+                    }
+                }
+            }
+            for &r in &n.awaiting_reports {
+                if !ov.is_alive(r) {
+                    return Err(format!("peer {p} awaits a report from offline {r}"));
+                }
+            }
+            if !n.awaiting_reports.is_empty() && !n.cycle_open {
+                return Err(format!("peer {p} awaits reports outside an open cycle"));
+            }
+            for (&req, &(ref entries, left)) in &n.serving {
+                if !ov.is_alive(req) {
+                    return Err(format!("peer {p} serving ledger for offline {req}"));
+                }
+                for &(t, _) in entries {
+                    if !ov.is_alive(t) {
+                        return Err(format!(
+                            "peer {p} serving entry for {req} references offline {t}"
+                        ));
+                    }
+                }
+                let outstanding = n
+                    .pending_probes
+                    .values()
+                    .filter(
+                        |&&(_, pu)| matches!(pu, ProbePurpose::OnBehalf { requester } if requester == req),
+                    )
+                    .count();
+                if left != outstanding {
+                    return Err(format!(
+                        "peer {p} serving {req}: countdown {left} vs {outstanding} outstanding probes"
+                    ));
+                }
+                if left == 0 {
+                    return Err(format!(
+                        "peer {p} serving {req}: completed report never flushed"
+                    ));
+                }
+            }
+            for &f in &n.own_tree {
+                if !ov.are_neighbors(p, f) {
+                    if !self.cut_in_flight(p, f) {
+                        return Err(format!(
+                            "peer {p} tree entry {f}: not a neighbor and no cut in flight"
+                        ));
+                    }
+                    continue;
+                }
+                if !self.nodes[f.index()].requested.contains(&p)
+                    && !self.in_flight(p, f, InFlightKind::ForwardRequest)
+                {
+                    return Err(format!(
+                        "tree edge {p}->{f} not mirrored in {f}'s forward requests"
+                    ));
+                }
+            }
+            for &r in &n.requested {
+                if !ov.are_neighbors(p, r) {
+                    if !self.cut_in_flight(p, r) {
+                        return Err(format!(
+                            "peer {p} forward request from {r}: not a neighbor and no cut in flight"
+                        ));
+                    }
+                    continue;
+                }
+                if !self.nodes[r.index()].own_tree.contains(&p)
+                    && !self.in_flight(r, p, InFlightKind::ForwardCancel)
+                    && !self.cut_in_flight(p, r)
+                {
+                    return Err(format!(
+                        "forward request {r}->{p} has no matching tree entry at {r}"
+                    ));
+                }
+            }
+            for (q, c) in n.table.iter() {
+                if let Some(c2) = self.nodes[q.index()].table.get(p) {
+                    if c != c2 {
+                        return Err(format!("asymmetric cost {p}<->{q}: {c} vs {c2}"));
+                    }
+                }
+            }
+        }
+        for kind in OverheadKind::ALL {
+            let cost = self.ledger.cost_of(kind);
+            if !cost.is_finite() || cost < 0.0 {
+                return Err(format!("ledger {kind:?} cost invalid: {cost}"));
+            }
+            if cost > 0.0 && self.ledger.count_of(kind) == 0 {
+                return Err(format!("ledger {kind:?} charged {cost} over zero messages"));
+            }
+        }
+        Ok(())
     }
 }
 
-/// [`ForwardPolicy`] over the asynchronous simulator's current state.
+/// [`ForwardPolicy`] over the asynchronous simulator's current state,
+/// built on the shared [`policy::select_forward_targets`] — including
+/// the stale-tree blind-flooding fallback with sender exclusion applied
+/// *after* the fallback decision, exactly like the engine's
+/// [`AceForward`](crate::AceForward).
 #[derive(Clone, Copy)]
 pub struct AsyncForward<'a> {
     sim: &'a AsyncAceSim,
@@ -689,20 +1199,26 @@ impl ForwardPolicy for AsyncForward<'_> {
         peer: PeerId,
         from: Option<PeerId>,
     ) -> Vec<PeerId> {
-        if self.sim.tree_built(peer) {
-            self.sim
-                .flooding_neighbors(peer)
-                .into_iter()
-                .filter(|&n| Some(n) != from && overlay.are_neighbors(peer, n))
-                .collect()
-        } else {
-            overlay
-                .neighbors(peer)
-                .iter()
-                .copied()
-                .filter(|&n| Some(n) != from)
-                .collect()
-        }
+        let mut out = Vec::new();
+        self.forward_targets_into(overlay, peer, from, &mut out);
+        out
+    }
+
+    fn forward_targets_into(
+        &self,
+        overlay: &Overlay,
+        peer: PeerId,
+        from: Option<PeerId>,
+        out: &mut Vec<PeerId>,
+    ) {
+        policy::select_forward_targets(
+            overlay,
+            peer,
+            from,
+            self.sim.tree_built(peer),
+            |buf| self.sim.flooding_neighbors_into(peer, buf),
+            out,
+        );
     }
 }
 
@@ -744,6 +1260,7 @@ mod tests {
         for p in sim.overlay().alive_peers() {
             assert!(sim.tree_built(p), "{p} never built a tree");
         }
+        sim.check_invariants().unwrap();
     }
 
     #[test]
@@ -790,15 +1307,17 @@ mod tests {
             // Alternate leaves and rejoins of random peers mid-protocol.
             let victim = PeerId::new(lrng.gen_range(0..60));
             if sim.overlay().is_alive(victim) {
-                assert!(sim.peer_leave(victim));
-                assert!(!sim.peer_leave(victim), "double leave rejected");
+                assert!(sim.peer_leave(&oracle, victim));
+                assert!(!sim.peer_leave(&oracle, victim), "double leave rejected");
             } else {
                 sim.peer_join(victim, 3);
             }
             sim.overlay().check_invariants().unwrap();
+            sim.check_invariants().unwrap();
         }
         // Protocol keeps making progress for the survivors.
         sim.run_until(&oracle, SimTime::from_secs(400));
+        sim.check_invariants().unwrap();
         let alive_with_trees = sim
             .overlay()
             .alive_peers()
@@ -828,13 +1347,266 @@ mod tests {
     }
 
     #[test]
+    fn churny_runs_are_deterministic() {
+        let run = || {
+            let (oracle, ov) = world(50, 5);
+            let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 6);
+            let mut lrng = StdRng::seed_from_u64(7);
+            for step in 1..=8u64 {
+                sim.run_until(&oracle, SimTime::from_secs(step * 20));
+                let victim = PeerId::new(lrng.gen_range(0..50));
+                if sim.overlay().is_alive(victim) {
+                    sim.peer_leave(&oracle, victim);
+                } else {
+                    sim.peer_join(victim, 3);
+                }
+            }
+            sim.run_until(&oracle, SimTime::from_secs(240));
+            (
+                sim.messages_delivered(),
+                sim.ledger().total_cost().to_bits(),
+                sim.overlay().edge_count(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn overlay_invariants_hold_throughout() {
         let (oracle, ov) = world(50, 7);
         let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 8);
         for step in 1..=10 {
             sim.run_until(&oracle, SimTime::from_secs(step * 20));
             sim.overlay().check_invariants().unwrap();
+            sim.check_invariants().unwrap();
             assert!(sim.overlay().is_connected());
         }
+    }
+
+    /// Regression (async black hole): a tree leaf whose every flooding
+    /// link died must blind-flood its surviving neighbors instead of
+    /// silently swallowing queries.
+    #[test]
+    fn stale_async_tree_falls_back_to_blind_flooding() {
+        let (oracle, ov) = world(60, 21);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 22);
+        sim.run_until(&oracle, SimTime::from_secs(120));
+        let peer = sim
+            .overlay
+            .alive_peers()
+            .find(|&p| {
+                let fl = sim.flooding_neighbors(p);
+                sim.tree_built(p)
+                    && !fl.is_empty()
+                    && sim.overlay.neighbors(p).iter().any(|n| !fl.contains(n))
+            })
+            .expect("some peer keeps a non-flooding link");
+        // Churn cuts every flooding link behind the protocol's back;
+        // only non-flooding links survive.
+        for f in sim.flooding_neighbors(peer) {
+            if sim.overlay.are_neighbors(peer, f) {
+                sim.overlay.disconnect(peer, f).unwrap();
+            }
+        }
+        assert!(
+            !sim.overlay.neighbors(peer).is_empty(),
+            "non-flooding links remain"
+        );
+        // This used to return an empty set — a query black hole.
+        let mut targets = AsyncForward::new(&sim).forward_targets(&sim.overlay, peer, None);
+        targets.sort_unstable();
+        let mut expect = sim.overlay.neighbors(peer).to_vec();
+        expect.sort_unstable();
+        assert_eq!(targets, expect, "stale tree must fall back to flooding");
+        // And a query routed through the damaged peer escapes it.
+        let qc = QueryConfig::default();
+        let out = run_query(
+            &sim.overlay,
+            &oracle,
+            peer,
+            &qc,
+            &AsyncForward::new(&sim),
+            |_| false,
+        );
+        assert!(out.scope > 1, "query must escape the damaged peer");
+    }
+
+    /// Regression (fallback ordering): sender exclusion must come *after*
+    /// the fallback decision — a leaf whose only live tree link is the
+    /// query's sender is an endpoint, not a black hole.
+    #[test]
+    fn async_sender_exclusion_applies_after_fallback_decision() {
+        let (oracle, ov) = world(60, 21);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 22);
+        sim.run_until(&oracle, SimTime::from_secs(120));
+        let (peer, live) = sim
+            .overlay
+            .alive_peers()
+            .find_map(|p| {
+                let live: Vec<PeerId> = sim
+                    .flooding_neighbors(p)
+                    .into_iter()
+                    .filter(|&f| sim.overlay.are_neighbors(p, f))
+                    .collect();
+                let has_non_flooding = sim.overlay.neighbors(p).iter().any(|n| !live.contains(n));
+                (sim.tree_built(p) && live.len() >= 2 && has_non_flooding).then(|| (p, live))
+            })
+            .expect("peer with two live flooding links and a spare");
+        // Cut all but one flooding link: `peer` becomes a tree leaf whose
+        // only tree partner is the query's sender.
+        for &f in &live[1..] {
+            sim.overlay.disconnect(peer, f).unwrap();
+        }
+        let sender = live[0];
+        let targets = AsyncForward::new(&sim).forward_targets(&sim.overlay, peer, Some(sender));
+        assert!(
+            targets.is_empty(),
+            "leaf must not flood back past its sender: {targets:?}"
+        );
+    }
+
+    /// Regression (stale incarnation): a leave purges every reference
+    /// survivors hold — including cached measurements — and a rejoin
+    /// starts from a clean slate instead of inheriting its predecessor's
+    /// numbers.
+    #[test]
+    fn rejoin_does_not_reuse_dead_incarnation_measurements() {
+        let (oracle, ov) = world(60, 31);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 32);
+        sim.run_until(&oracle, SimTime::from_secs(150));
+        // Pick a victim someone has cached measurements about.
+        let victim = sim
+            .overlay
+            .alive_peers()
+            .find(|&v| {
+                sim.nodes.iter().any(|n| {
+                    n.table.owner() != v
+                        && (n.pair_cache.contains_key(&v) || n.neighbor_tables.contains_key(&v))
+                })
+            })
+            .expect("some victim is cached somewhere");
+        assert!(sim.peer_leave(&oracle, victim));
+        for node in &sim.nodes {
+            if node.table.owner() == victim {
+                continue;
+            }
+            assert!(!node.own_tree.contains(&victim), "tree ref survived");
+            assert!(!node.requested.contains(&victim), "request ref survived");
+            assert!(
+                !node
+                    .watches
+                    .iter()
+                    .any(|&(f, n)| f == victim || n == victim),
+                "watch ref survived"
+            );
+            assert!(node.table.get(victim).is_none(), "cost row survived");
+            assert!(
+                !node.pair_cache.contains_key(&victim),
+                "pair-cache measurement survived"
+            );
+            assert!(
+                !node.neighbor_tables.contains_key(&victim),
+                "received table survived"
+            );
+            assert!(
+                !node
+                    .neighbor_tables
+                    .values()
+                    .any(|t| t.get(victim).is_some()),
+                "table entry about the dead incarnation survived"
+            );
+            assert!(
+                !node.awaiting_reports.contains(&victim),
+                "awaited report survived"
+            );
+            assert!(
+                !node.serving.contains_key(&victim),
+                "serving ledger survived"
+            );
+        }
+        sim.check_invariants().unwrap();
+        assert!(sim.peer_join(victim, 3));
+        sim.check_invariants().unwrap();
+        // The rejoined incarnation re-measures everything it needs.
+        sim.run_until(&oracle, SimTime::from_secs(300));
+        sim.check_invariants().unwrap();
+        assert!(sim.overlay().is_alive(victim));
+    }
+
+    /// Regression (mid-cycle stall + serving leak): a neighbor leaving
+    /// while awaited drains the blocked step instead of stalling the
+    /// cycle until the next timer, and on-behalf probes to the leaver
+    /// count down their serving ledgers instead of leaking them.
+    #[test]
+    fn leave_mid_cycle_drains_blocked_state() {
+        let (oracle, ov) = world(60, 41);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 42);
+        // Scan for a moment where some node awaits a report (reports
+        // cross the wire for whole link delays, so fine-grained stepping
+        // lands inside such a window).
+        let mut found = None;
+        'scan: for step in 1..=3000u64 {
+            sim.run_until(&oracle, SimTime::from_ticks(step * 40));
+            for node in &sim.nodes {
+                if let Some(&victim) = node.awaiting_reports.first() {
+                    found = Some((node.table.owner(), victim));
+                    break 'scan;
+                }
+            }
+        }
+        let (holder, victim) = found.expect("caught a node mid-cycle");
+        let open_before = sim.nodes[holder.index()].cycle_open;
+        assert!(open_before, "awaiting reports implies an open cycle");
+        assert!(sim.peer_leave(&oracle, victim));
+        let holder_node = &sim.nodes[holder.index()];
+        assert!(
+            !holder_node.awaiting_reports.contains(&victim),
+            "drained the dead report dependency"
+        );
+        // If the victim was the last awaited report, the cycle must have
+        // closed immediately (drain), not stalled until the next timer.
+        if holder_node.awaiting_reports.is_empty() {
+            assert!(!holder_node.cycle_open, "cycle closed by the drain");
+        }
+        sim.check_invariants().unwrap();
+        // No serving ledger anywhere still waits on the dead peer, and
+        // survivors keep completing cycles.
+        for node in &sim.nodes {
+            for (&req, &(_, left)) in &node.serving {
+                assert_ne!(req, victim, "serving ledger for the dead requester");
+                assert!(left > 0, "zero-countdown serving entry leaked");
+            }
+        }
+        let cycles_before = sim.min_cycles_done();
+        sim.run_until(&oracle, SimTime::from_secs(200));
+        sim.check_invariants().unwrap();
+        assert!(
+            sim.min_cycles_done() > cycles_before,
+            "survivors keep making progress"
+        );
+    }
+
+    /// The overhead taxonomy is exhaustive: an async run classifies all
+    /// control traffic into probe / table-exchange / reconnect, and the
+    /// engine-only kinds stay untouched.
+    #[test]
+    fn async_overhead_taxonomy_is_exact() {
+        let (oracle, ov) = world(50, 51);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 52);
+        sim.run_until(&oracle, SimTime::from_secs(200));
+        let ledger = sim.ledger();
+        assert!(ledger.count_of(OverheadKind::Probe) > 0);
+        assert!(ledger.count_of(OverheadKind::TableExchange) > 0);
+        assert!(ledger.count_of(OverheadKind::Reconnect) > 0);
+        assert_eq!(
+            ledger.count_of(OverheadKind::ClosureRelay),
+            0,
+            "depth-1 async protocol never relays closures"
+        );
+        assert_eq!(
+            ledger.count_of(OverheadKind::ProbeRetry),
+            0,
+            "async path has no fault injection yet"
+        );
     }
 }

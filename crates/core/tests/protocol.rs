@@ -41,7 +41,7 @@ fn pairwise_core_lets_tree_bypass_far_neighbor() {
     // via... it cannot (virtual edge 1-4 is still expensive), but peer 0's
     // tree keeps only the cheapest incident structure.
     let (_, oracle) = two_sites();
-    let mut ov = overlay_with(&[(0, 1), (0, 4), (1, 4)]);
+    let ov = overlay_with(&[(0, 1), (0, 4), (1, 4)]);
     let mut ace = AceEngine::new(
         6,
         AceConfig {

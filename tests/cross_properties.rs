@@ -1,6 +1,10 @@
 //! Cross-crate property-based tests: ACE invariants on randomized worlds.
 
-use ace_core::experiments::{OverlayKind, PhysKind, Scenario, ScenarioConfig};
+use ace_core::experiments::differential::DEFAULT_BAND as DIFF_BAND;
+use ace_core::experiments::{
+    differential_run, ChurnKind as DiffChurnKind, ChurnStep, DifferentialConfig, OverlayKind,
+    PhysKind, Scenario, ScenarioConfig,
+};
 use ace_core::mst::{kruskal, prim, prim_heap, ClosureEdge};
 use ace_core::{AceConfig, AceEngine, AceForward, Closure, FaultConfig};
 use ace_overlay::{run_query, FloodAll, PeerId, QueryConfig};
@@ -324,5 +328,59 @@ proptest! {
         let one = run(1);
         let four = run(4);
         prop_assert_eq!(one, four);
+    }
+}
+
+fn arb_diff_churn() -> impl Strategy<Value = Vec<ChurnStep>> {
+    let step = (1u64..=5, 0u8..2, 0usize..64).prop_map(|(step, kind, sel)| ChurnStep {
+        step,
+        kind: if kind == 0 {
+            DiffChurnKind::Leave
+        } else {
+            DiffChurnKind::Join
+        },
+        sel,
+    });
+    proptest::collection::vec(step, 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Differential convergence-equivalence: the round-based engine and
+    /// the message-level simulator, run over the same seeded world with
+    /// the same churn schedule, optimize in the same direction, land in
+    /// the same traffic-reduction band, retain the same search scope and
+    /// keep both auditors green. Shrinks over topology seed, peer count
+    /// and the churn schedule.
+    #[test]
+    fn sync_and_async_drivers_are_convergence_equivalent(
+        seed in any::<u64>(),
+        peers in 45usize..=70,
+        churn in arb_diff_churn(),
+    ) {
+        let cfg = DifferentialConfig {
+            scenario: ScenarioConfig {
+                phys: PhysKind::TwoLevel { as_count: 4, nodes_per_as: 60 },
+                peers,
+                avg_degree: 6,
+                objects: 30,
+                replicas: 4,
+                seed,
+                ..ScenarioConfig::default()
+            },
+            rounds: 5,
+            churn,
+            attach: 3,
+        };
+        match differential_run(&cfg) {
+            Ok(out) => {
+                prop_assert_eq!(out.sync_side.alive, out.async_side.alive);
+                if let Err(e) = out.check_equivalence(DIFF_BAND) {
+                    prop_assert!(false, "equivalence violated: {}", e);
+                }
+            }
+            Err(e) => prop_assert!(false, "auditor failed mid-run: {}", e),
+        }
     }
 }

@@ -90,6 +90,7 @@ fn main() {
             rounds: ROUNDS,
             churn,
             attach: 3,
+            netem: None,
         };
         let out = differential_run(&cfg)
             .unwrap_or_else(|e| panic!("seed {seed}: auditor failed mid-run: {e}"));

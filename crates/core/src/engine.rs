@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use ace_overlay::{DepartureKind, Message, Overlay, OverlayError, PeerId};
 use ace_topology::{Delay, DistanceOracle};
 
+use crate::audit::{InvariantViolation, ViolationKind};
 use crate::closure::Closure;
 use crate::cost_table::CostTable;
 use crate::fault::FaultConfig;
@@ -385,13 +386,15 @@ impl AceEngine {
         sb.table.remove(a);
     }
 
-    /// Measures `a`↔`b`, charging `ledger`. Under fault injection each
-    /// attempt can be lost (decided by a pure hash, so both endpoints and
-    /// every worker schedule agree): a lost attempt wastes the request
-    /// leg — charged as [`OverheadKind::ProbeRetry`], scaled by the
-    /// backoff factor to model the lengthening timeout — and the prober
-    /// retries up to [`FaultConfig::max_retries`] times before giving up
-    /// with `None`. The successful attempt is charged as a normal probe.
+    /// Measures `a`↔`b`, charging `ledger`. Fault handling is delegated
+    /// to [`policy::probe_exchange_survives_faults`], the rule shared
+    /// with the async simulator: each attempt can be lost (decided by a
+    /// pure hash, so both endpoints and every worker schedule agree), a
+    /// lost attempt wastes the request leg — charged as
+    /// [`OverheadKind::ProbeRetry`], scaled by the backoff factor to
+    /// model the lengthening timeout — and the prober retries up to
+    /// [`FaultConfig::max_retries`] times before giving up with `None`.
+    /// The successful attempt is charged as a normal probe.
     fn probe_with_faults(
         &self,
         ov: &Overlay,
@@ -401,20 +404,16 @@ impl AceEngine {
         b: PeerId,
     ) -> Option<Delay> {
         let true_cost = ov.link_cost(oracle, a, b);
-        if let Some(f) = self.cfg.faults {
-            let mut attempt = 0u8;
-            while f.probe_lost(self.rounds_run, a, b, attempt) {
-                ledger.charge(
-                    OverheadKind::ProbeRetry,
-                    f64::from(true_cost)
-                        * self.probe_req_units
-                        * f.backoff.powi(i32::from(attempt)),
-                );
-                if attempt >= f.max_retries {
-                    return None;
-                }
-                attempt += 1;
-            }
+        if !policy::probe_exchange_survives_faults(
+            self.cfg.faults.as_ref(),
+            self.rounds_run,
+            a,
+            b,
+            true_cost,
+            self.probe_req_units,
+            ledger,
+        ) {
+            return None;
         }
         ledger.charge(OverheadKind::Probe, f64::from(true_cost) * self.probe_units);
         Some(self.cfg.probe.perturb(a, b, true_cost))
@@ -1426,7 +1425,13 @@ impl AceEngine {
     ///    one symmetric exchange).
     /// 5. **Ledger consistency** — every cost finite and non-negative,
     ///    and any charged cost backed by a nonzero message count.
-    pub fn check_invariants(&self, ov: &Overlay) -> Result<(), String> {
+    ///
+    /// Violations are typed ([`InvariantViolation`]); `Display` renders
+    /// the same message text the `String`-returning era produced.
+    pub fn check_invariants(&self, ov: &Overlay) -> Result<(), InvariantViolation> {
+        let viol = |kind, peer, partner, message: String| {
+            Err(InvariantViolation::new(kind, peer, partner, message))
+        };
         let mut targets = Vec::new();
         for p in ov.peers() {
             if !ov.is_alive(p) {
@@ -1436,16 +1441,31 @@ impl AceEngine {
             if !ov.neighbors(p).is_empty() {
                 self.forward_targets_into(ov, p, None, &mut targets);
                 if targets.is_empty() {
-                    return Err(format!("peer {p} has neighbors but no forward targets"));
+                    return viol(
+                        ViolationKind::ForwardBlackHole,
+                        Some(p),
+                        None,
+                        format!("peer {p} has neighbors but no forward targets"),
+                    );
                 }
             }
             for (name, list) in [("tree", &s.own_tree), ("request", &s.requested)] {
                 for (i, &e) in list.iter().enumerate() {
                     if e == p {
-                        return Err(format!("peer {p} {name} list contains itself"));
+                        return viol(
+                            ViolationKind::ListCorrupt,
+                            Some(p),
+                            None,
+                            format!("peer {p} {name} list contains itself"),
+                        );
                     }
                     if list[..i].contains(&e) {
-                        return Err(format!("peer {p} {name} list has duplicate {e}"));
+                        return viol(
+                            ViolationKind::ListCorrupt,
+                            Some(p),
+                            Some(e),
+                            format!("peer {p} {name} list has duplicate {e}"),
+                        );
                     }
                 }
             }
@@ -1454,12 +1474,20 @@ impl AceEngine {
                     continue;
                 }
                 if !ov.are_neighbors(p, f) {
-                    return Err(format!("peer {p} tree entry {f}: alive but not a neighbor"));
+                    return viol(
+                        ViolationKind::StaleLink,
+                        Some(p),
+                        Some(f),
+                        format!("peer {p} tree entry {f}: alive but not a neighbor"),
+                    );
                 }
                 if !self.states[f.index()].requested.contains(&p) {
-                    return Err(format!(
-                        "tree edge {p}->{f} not mirrored in {f}'s forward requests"
-                    ));
+                    return viol(
+                        ViolationKind::Unmirrored,
+                        Some(p),
+                        Some(f),
+                        format!("tree edge {p}->{f} not mirrored in {f}'s forward requests"),
+                    );
                 }
             }
             for &r in &s.requested {
@@ -1467,14 +1495,20 @@ impl AceEngine {
                     continue;
                 }
                 if !ov.are_neighbors(p, r) {
-                    return Err(format!(
-                        "peer {p} forward request from {r}: alive but not a neighbor"
-                    ));
+                    return viol(
+                        ViolationKind::StaleLink,
+                        Some(p),
+                        Some(r),
+                        format!("peer {p} forward request from {r}: alive but not a neighbor"),
+                    );
                 }
                 if !self.states[r.index()].own_tree.contains(&p) {
-                    return Err(format!(
-                        "forward request {r}->{p} has no matching tree entry at {r}"
-                    ));
+                    return viol(
+                        ViolationKind::Unmirrored,
+                        Some(p),
+                        Some(r),
+                        format!("forward request {r}->{p} has no matching tree entry at {r}"),
+                    );
                 }
             }
             for (n, c) in s.table.iter() {
@@ -1483,7 +1517,12 @@ impl AceEngine {
                 }
                 if let Some(c2) = self.states[n.index()].table.get(p) {
                     if c != c2 {
-                        return Err(format!("asymmetric cost {p}<->{n}: {c} vs {c2}"));
+                        return viol(
+                            ViolationKind::AsymmetricCost,
+                            Some(p),
+                            Some(n),
+                            format!("asymmetric cost {p}<->{n}: {c} vs {c2}"),
+                        );
                     }
                 }
             }
@@ -1491,10 +1530,20 @@ impl AceEngine {
         for kind in OverheadKind::ALL {
             let cost = self.ledger.cost_of(kind);
             if !cost.is_finite() || cost < 0.0 {
-                return Err(format!("ledger {kind:?} cost invalid: {cost}"));
+                return viol(
+                    ViolationKind::LedgerAccounting,
+                    None,
+                    None,
+                    format!("ledger {kind:?} cost invalid: {cost}"),
+                );
             }
             if cost > 0.0 && self.ledger.count_of(kind) == 0 {
-                return Err(format!("ledger {kind:?} charged {cost} over zero messages"));
+                return viol(
+                    ViolationKind::LedgerAccounting,
+                    None,
+                    None,
+                    format!("ledger {kind:?} charged {cost} over zero messages"),
+                );
             }
         }
         Ok(())
@@ -1514,7 +1563,13 @@ impl AceEngine {
             s.watches.hash(&mut h);
             s.tree_built.hash(&mut h);
         }
+        // ControlRetry belongs to the async wire model; the engine never
+        // charges it, and skipping it keeps digests stable across ledger
+        // taxonomy growth.
         for kind in OverheadKind::ALL {
+            if kind == OverheadKind::ControlRetry {
+                continue;
+            }
             self.ledger.cost_of(kind).to_bits().hash(&mut h);
             self.ledger.count_of(kind).hash(&mut h);
         }

@@ -30,7 +30,9 @@ use ace_engine::SimTime;
 use ace_overlay::{run_query, FloodAll, PeerId, QueryConfig};
 
 use super::{Scenario, ScenarioConfig};
+use crate::audit::{EquivalenceKind, EquivalenceViolation};
 use crate::forwarding::AceForward;
+use crate::netem::NetemConfig;
 use crate::protocol::{AsyncAceSim, AsyncForward, ProtoConfig};
 use crate::{AceConfig, AceEngine};
 
@@ -40,6 +42,13 @@ pub const DEFAULT_BAND: f64 = 0.35;
 pub const REDUCTION_CEILING: f64 = 0.9;
 /// Both sides must retain at least this fraction of their flooding scope.
 pub const SCOPE_FLOOR: f64 = 0.9;
+/// Documented loss threshold for the lossy-wire differential mode: with
+/// per-link loss up to this rate on the async side (and the sync side
+/// untouched), the hardened protocol must still land inside
+/// [`DEFAULT_BAND`]. Above it the claim is not made — convergence
+/// degrades gracefully, but equivalence with an idealized engine is no
+/// longer the right yardstick.
+pub const LOSSY_WIRE_MAX_LOSS: f64 = 0.10;
 
 /// Which lifecycle edge a [`ChurnStep`] exercises.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +84,10 @@ pub struct DifferentialConfig {
     pub churn: Vec<ChurnStep>,
     /// Attachment degree for rejoins.
     pub attach: usize,
+    /// Adversarial wire installed on the *async* side only (the sync
+    /// engine has no wire). The equivalence claim is documented up to
+    /// [`LOSSY_WIRE_MAX_LOSS`]; `None` keeps the wire perfect.
+    pub netem: Option<NetemConfig>,
 }
 
 impl DifferentialConfig {
@@ -85,6 +98,20 @@ impl DifferentialConfig {
             rounds,
             churn: Vec::new(),
             attach: 3,
+            netem: None,
+        }
+    }
+
+    /// Churn-free run with a uniformly lossy wire on the async side.
+    pub fn lossy(scenario: ScenarioConfig, rounds: u64, loss: f64) -> Self {
+        let seed = scenario.seed ^ 0xc4a0_5000;
+        DifferentialConfig {
+            netem: Some(NetemConfig {
+                loss,
+                seed,
+                ..NetemConfig::default()
+            }),
+            ..DifferentialConfig::quiet(scenario, rounds)
         }
     }
 }
@@ -112,34 +139,55 @@ pub struct DifferentialOutcome {
 
 impl DifferentialOutcome {
     /// Checks the convergence-equivalence contract (see module docs)
-    /// with the given reduction band. `Err` carries a human-readable
-    /// description of the first violated clause.
-    pub fn check_equivalence(&self, band: f64) -> Result<(), String> {
+    /// with the given reduction band. The violation is typed
+    /// ([`EquivalenceViolation`]); its `Display` carries the same
+    /// human-readable description of the first violated clause the
+    /// `String` era produced.
+    pub fn check_equivalence(&self, band: f64) -> Result<(), EquivalenceViolation> {
+        let fail = |kind, message: String| Err(EquivalenceViolation::new(kind, message));
         let (s, a) = (&self.sync_side, &self.async_side);
         if s.alive != a.alive {
-            return Err(format!(
-                "alive populations diverged: sync {} vs async {}",
-                s.alive, a.alive
-            ));
+            return fail(
+                EquivalenceKind::AliveDiverged,
+                format!(
+                    "alive populations diverged: sync {} vs async {}",
+                    s.alive, a.alive
+                ),
+            );
         }
         if s.reduction >= REDUCTION_CEILING {
-            return Err(format!("sync side failed to optimize: {:.3}", s.reduction));
+            return fail(
+                EquivalenceKind::SyncNotOptimized,
+                format!("sync side failed to optimize: {:.3}", s.reduction),
+            );
         }
         if a.reduction >= REDUCTION_CEILING {
-            return Err(format!("async side failed to optimize: {:.3}", a.reduction));
+            return fail(
+                EquivalenceKind::AsyncNotOptimized,
+                format!("async side failed to optimize: {:.3}", a.reduction),
+            );
         }
         let gap = (s.reduction - a.reduction).abs();
         if gap > band {
-            return Err(format!(
-                "reduction gap {gap:.3} exceeds band {band:.3} (sync {:.3}, async {:.3})",
-                s.reduction, a.reduction
-            ));
+            return fail(
+                EquivalenceKind::BandExceeded,
+                format!(
+                    "reduction gap {gap:.3} exceeds band {band:.3} (sync {:.3}, async {:.3})",
+                    s.reduction, a.reduction
+                ),
+            );
         }
         if s.scope_frac < SCOPE_FLOOR {
-            return Err(format!("sync scope collapsed: {:.3}", s.scope_frac));
+            return fail(
+                EquivalenceKind::SyncScopeCollapsed,
+                format!("sync scope collapsed: {:.3}", s.scope_frac),
+            );
         }
         if a.scope_frac < SCOPE_FLOOR {
-            return Err(format!("async scope collapsed: {:.3}", a.scope_frac));
+            return fail(
+                EquivalenceKind::AsyncScopeCollapsed,
+                format!("async scope collapsed: {:.3}", a.scope_frac),
+            );
         }
         Ok(())
     }
@@ -217,8 +265,11 @@ fn run_async(cfg: &DifferentialConfig) -> Result<SideOutcome, String> {
     let (oracle, overlay) = (s.oracle, s.overlay);
     let src = PeerId::new(0);
     let before = run_query(&overlay, &oracle, src, &QC, &FloodAll, |_| false);
-    let proto = ProtoConfig::default();
-    let period = proto.optimize_period;
+    let proto = ProtoConfig {
+        netem: cfg.netem.clone(),
+        ..ProtoConfig::default()
+    };
+    let period = proto.timing.cycle_period;
     // Different stream than the world seed, same for both shapes of run.
     let mut sim = AsyncAceSim::new(overlay, proto, cfg.scenario.seed ^ 0xace0_5eed);
     for step in 1..=cfg.rounds {

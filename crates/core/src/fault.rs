@@ -15,6 +15,8 @@
 
 use ace_overlay::{DepartureKind, PeerId};
 
+use crate::audit::ConfigError;
+
 /// Configuration for deterministic fault injection.
 ///
 /// The default is inert: no probe loss, no departures, no rejoins. All
@@ -62,9 +64,9 @@ impl Default for FaultConfig {
 }
 
 impl FaultConfig {
-    /// Validates the configuration, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration, returning a typed description of the
+    /// first problem found (`Display` keeps the old message text).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         for (name, p) in [
             ("probe_loss", self.probe_loss),
             ("crash", self.crash),
@@ -72,20 +74,32 @@ impl FaultConfig {
             ("rejoin", self.rejoin),
         ] {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-                return Err(format!("{name} must be in [0, 1], got {p}"));
+                return Err(ConfigError::new(
+                    name,
+                    format!("{name} must be in [0, 1], got {p}"),
+                ));
             }
         }
         if self.probe_loss >= 1.0 {
-            return Err("probe_loss must be < 1 (1.0 would never probe anything)".into());
+            return Err(ConfigError::new(
+                "probe_loss",
+                "probe_loss must be < 1 (1.0 would never probe anything)".into(),
+            ));
         }
         if self.crash + self.leave > 1.0 {
-            return Err(format!(
-                "crash + leave must be <= 1, got {}",
-                self.crash + self.leave
+            return Err(ConfigError::new(
+                "crash",
+                format!(
+                    "crash + leave must be <= 1, got {}",
+                    self.crash + self.leave
+                ),
             ));
         }
         if !self.backoff.is_finite() || self.backoff < 1.0 {
-            return Err(format!("backoff must be >= 1, got {}", self.backoff));
+            return Err(ConfigError::new(
+                "backoff",
+                format!("backoff must be >= 1, got {}", self.backoff),
+            ));
         }
         Ok(())
     }
@@ -141,8 +155,10 @@ impl FaultConfig {
     }
 }
 
-/// Hashes a word sequence by chaining splitmix64.
-fn mix(words: &[u64]) -> u64 {
+/// Hashes a word sequence by chaining splitmix64. Shared with the netem
+/// wire model ([`crate::netem`]) so every adversarial decision in the
+/// workspace draws from the same reproducible chain style.
+pub(crate) fn mix(words: &[u64]) -> u64 {
     let mut h = 0x5151_5151_ACE0_ACE0u64;
     for &w in words {
         h = splitmix64(h ^ w);
@@ -151,7 +167,7 @@ fn mix(words: &[u64]) -> u64 {
 }
 
 /// Maps a hash to a uniform draw in `[0, 1)`.
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod closure;
 mod cost_table;
 mod engine;
@@ -66,17 +67,22 @@ mod fault;
 mod forwarding;
 pub mod ltm;
 pub mod mst;
+pub mod netem;
 mod optrate;
 mod overhead;
 pub mod policy;
 mod probe;
 pub mod protocol;
 
+pub use audit::{
+    ConfigError, EquivalenceKind, EquivalenceViolation, InvariantViolation, ViolationKind,
+};
 pub use closure::Closure;
 pub use cost_table::CostTable;
 pub use engine::{AceConfig, AceEngine, AdaptOutcome, ReplacePolicy, RoundStats};
 pub use fault::FaultConfig;
 pub use forwarding::AceForward;
+pub use netem::{NetemConfig, Partition, PartitionKind};
 pub use optrate::{min_effective_depth, optimization_rate};
 pub use overhead::{OverheadKind, OverheadLedger};
 pub use policy::{Figure4Action, LifecycleEvent, WatchVerdict};

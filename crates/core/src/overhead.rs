@@ -22,16 +22,22 @@ pub enum OverheadKind {
     /// on); the wasted request traffic is charged here, the eventual
     /// successful attempt under [`OverheadKind::Probe`].
     ProbeRetry,
+    /// Retransmits of non-probe control messages (cost tables, probe
+    /// requests, forward (un)subscriptions, disconnects) after a wire
+    /// loss under the netem model; the original transmission is charged
+    /// under its natural kind.
+    ControlRetry,
 }
 
 impl OverheadKind {
     /// All categories, for iteration/reporting.
-    pub const ALL: [OverheadKind; 5] = [
+    pub const ALL: [OverheadKind; 6] = [
         OverheadKind::Probe,
         OverheadKind::TableExchange,
         OverheadKind::ClosureRelay,
         OverheadKind::Reconnect,
         OverheadKind::ProbeRetry,
+        OverheadKind::ControlRetry,
     ];
 
     fn index(self) -> usize {
@@ -41,6 +47,7 @@ impl OverheadKind {
             OverheadKind::ClosureRelay => 2,
             OverheadKind::Reconnect => 3,
             OverheadKind::ProbeRetry => 4,
+            OverheadKind::ControlRetry => 5,
         }
     }
 }
@@ -60,8 +67,8 @@ impl OverheadKind {
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct OverheadLedger {
-    cost: [f64; 5],
-    count: [u64; 5],
+    cost: [f64; 6],
+    count: [u64; 6],
 }
 
 impl OverheadLedger {
@@ -106,7 +113,7 @@ impl OverheadLedger {
 
     /// Adds another ledger's contents into this one.
     pub fn merge(&mut self, other: &OverheadLedger) {
-        for i in 0..5 {
+        for i in 0..OverheadKind::ALL.len() {
             self.cost[i] += other.cost[i];
             self.count[i] += other.count[i];
         }
@@ -120,7 +127,7 @@ impl OverheadLedger {
     /// history (i.e. any component would go negative).
     pub fn since(&self, earlier: &OverheadLedger) -> OverheadLedger {
         let mut out = OverheadLedger::new();
-        for i in 0..5 {
+        for i in 0..OverheadKind::ALL.len() {
             debug_assert!(self.cost[i] >= earlier.cost[i] - 1e-9);
             debug_assert!(self.count[i] >= earlier.count[i]);
             out.cost[i] = (self.cost[i] - earlier.cost[i]).max(0.0);
@@ -142,8 +149,9 @@ mod tests {
         l.charge(OverheadKind::ClosureRelay, 3.0);
         l.charge(OverheadKind::Reconnect, 4.0);
         l.charge(OverheadKind::ProbeRetry, 5.0);
-        assert_eq!(l.total_cost(), 15.0);
-        assert_eq!(l.total_count(), 5);
+        l.charge(OverheadKind::ControlRetry, 6.0);
+        assert_eq!(l.total_cost(), 21.0);
+        assert_eq!(l.total_count(), 6);
         for k in OverheadKind::ALL {
             assert_eq!(l.count_of(k), 1);
         }

@@ -22,8 +22,9 @@ use ace_overlay::{Message, Overlay, PeerId};
 use ace_topology::Delay;
 
 use crate::cost_table::CostTable;
+use crate::fault::FaultConfig;
 use crate::mst::{prim_heap, ClosureEdge};
-use crate::overhead::OverheadKind;
+use crate::overhead::{OverheadKind, OverheadLedger};
 
 /// What the paper's Figure-4 rules decided for a probed candidate `H`
 /// offered by the non-flooding neighbor `B` (the engine's `far`).
@@ -260,6 +261,43 @@ pub fn control_overhead_kind(msg: &Message) -> Option<OverheadKind> {
             None
         }
     }
+}
+
+/// The shared probe-loss/retry rule of [`FaultConfig`]: whether the
+/// probe exchange for the pair `(a, b)` in the given round survives the
+/// injected loss, charging every lost attempt's wasted request traffic
+/// (`true_cost × request_units`, scaled by the backoff of the retry
+/// timeout it burned) to [`OverheadKind::ProbeRetry`]. Returns `false`
+/// when every attempt up to `max_retries` was lost — the pair gets no
+/// measurement this round. The caller charges the successful exchange
+/// itself, so the ledger's charge sequence is exactly what the drivers
+/// produced before this rule was shared: both the round-based engine and
+/// the async simulator route their probe initiations through here, which
+/// is what makes their `ProbeRetry` accounting comparable.
+pub fn probe_exchange_survives_faults(
+    faults: Option<&FaultConfig>,
+    round: u64,
+    a: PeerId,
+    b: PeerId,
+    true_cost: Delay,
+    request_units: f64,
+    ledger: &mut OverheadLedger,
+) -> bool {
+    let Some(f) = faults else {
+        return true;
+    };
+    let mut attempt: u8 = 0;
+    while f.probe_lost(round, a, b, attempt) {
+        ledger.charge(
+            OverheadKind::ProbeRetry,
+            f64::from(true_cost) * request_units * f.backoff.powi(i32::from(attempt)),
+        );
+        if attempt >= f.max_retries {
+            return false;
+        }
+        attempt += 1;
+    }
+    true
 }
 
 #[cfg(test)]

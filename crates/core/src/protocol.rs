@@ -39,8 +39,37 @@
 //! leftovers of the previous incarnation ([`LifecycleEvent::Rejoin`])
 //! and every event is incarnation-tagged, so a message or timer from a
 //! dead incarnation can never act on its successor's state.
+//!
+//! # Adversarial wire
+//!
+//! With a [`NetemConfig`] installed ([`ProtoConfig::netem`]), every
+//! transmission is subjected to deterministic loss, duplication, extra
+//! delivery jitter and scheduled partitions, and the protocol hardens
+//! accordingly (see `DESIGN.md` §12):
+//!
+//! * every delivery carries a globally unique wire sequence number; the
+//!   receiver keeps a per-sender `seen` filter, so duplicates (injected
+//!   or retransmitted) are delivered once — handlers never observe them;
+//! * reliable control messages (everything except `Connect`/`ConnectOk`)
+//!   are retransmitted after an exponential backoff with deterministic
+//!   jitter, up to [`AsyncConfig::retry_cap`] times, each retransmission
+//!   charged to the ledger ([`OverheadKind::ProbeRetry`] for probe
+//!   traffic, [`OverheadKind::ControlRetry`] for the rest) — no message
+//!   ever moves for free;
+//! * the per-cycle timer already abandons stalled cycles; under netem it
+//!   additionally runs soft-state repair: cost rows for vanished
+//!   neighbors are pruned, forward-request slots that no refresh
+//!   confirmed for [`AsyncConfig::repair_periods`] cycles expire, and
+//!   stranded on-behalf probes are written off (flushing the partial
+//!   report so the requester is not held hostage);
+//! * [`AsyncAceSim::check_invariants`] tolerates cross-peer disagreement
+//!   exactly while a covering message is in flight, a lost copy is
+//!   within its repair window, or the pair was recently separated by a
+//!   scheduled partition — and the chaos harness re-checks *strictly*
+//!   after the last heal plus the repair window, so deferral is a grace
+//!   period, not a blank check.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,38 +78,126 @@ use ace_engine::{EventQueue, SimTime};
 use ace_overlay::{ForwardPolicy, Message, Overlay, PeerId};
 use ace_topology::{Delay, DistanceOracle};
 
+use crate::audit::{ConfigError, InvariantViolation, ViolationKind};
 use crate::cost_table::CostTable;
+use crate::fault::FaultConfig;
 use crate::mst::ClosureEdge;
+use crate::netem::NetemConfig;
 use crate::overhead::{OverheadKind, OverheadLedger};
 use crate::policy::{self, Figure4Action, LifecycleEvent, WatchVerdict};
 use crate::probe::ProbeModel;
 
-/// Configuration of the asynchronous protocol.
+/// Timer and retry tuning of the asynchronous driver. Hoisted out of
+/// [`ProtoConfig`] so experiments can sweep the control loop's tempo
+/// (cycle period, retry budget, backoff shape, repair horizon) as one
+/// coherent knob set.
 #[derive(Clone, Copy, Debug)]
-pub struct ProtoConfig {
+pub struct AsyncConfig {
     /// Ticks between a node's optimization cycles (paper: 30 s).
-    pub optimize_period: u64,
+    pub cycle_period: u64,
     /// Uniform start jitter so nodes do not fire in lockstep.
     pub start_jitter: u64,
+    /// Retransmissions attempted per reliable message after the original
+    /// transmission is lost or cut (0 disables the ARQ layer).
+    pub retry_cap: u8,
+    /// Base retransmit delay in ticks; attempt `k` waits
+    /// `backoff_base · 2^k` plus jitter.
+    pub backoff_base: u64,
+    /// Upper bound (inclusive) on the deterministic per-retry jitter
+    /// added to the backoff, in ticks.
+    pub backoff_jitter: u64,
+    /// How many cycle periods of cross-peer disagreement a wire fault
+    /// may excuse before the auditor treats it as a real violation; also
+    /// the horizon after which unrefreshed soft state expires.
+    pub repair_periods: u64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            cycle_period: SimTime::from_secs(30).as_ticks(),
+            start_jitter: SimTime::from_secs(30).as_ticks(),
+            retry_cap: 3,
+            backoff_base: SimTime::from_secs(2).as_ticks(),
+            backoff_jitter: SimTime::from_secs(1).as_ticks(),
+            repair_periods: 4,
+        }
+    }
+}
+
+impl AsyncConfig {
+    /// Validates the timer/retry tuning.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cycle_period == 0 {
+            return Err(ConfigError::new(
+                "cycle_period",
+                "cycle_period must be at least one tick".into(),
+            ));
+        }
+        if self.repair_periods == 0 {
+            return Err(ConfigError::new(
+                "repair_periods",
+                "repair_periods must be >= 1 (the auditor needs a finite grace window)".into(),
+            ));
+        }
+        if self.retry_cap > 0 && self.backoff_base == 0 {
+            return Err(ConfigError::new(
+                "backoff_base",
+                "backoff_base must be >= 1 tick when retries are enabled".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the asynchronous protocol.
+#[derive(Clone, Debug)]
+pub struct ProtoConfig {
+    /// Timer and retry tuning (cycle period, ARQ backoff, repair
+    /// horizon).
+    pub timing: AsyncConfig,
     /// Probe measurement model.
     pub probe: ProbeModel,
     /// Minimum flooding links kept (scope guard, as in the engine).
     pub min_flooding: usize,
+    /// Probe-plane fault injection, applied through the same shared rule
+    /// ([`policy::probe_exchange_survives_faults`]) the round-based
+    /// engine uses — both drivers charge `ProbeRetry` identically.
+    pub faults: Option<FaultConfig>,
+    /// Adversarial wire model (loss, duplication, reordering,
+    /// partitions); `None` keeps the wire perfect and the simulator's
+    /// behavior bit-identical to the pre-netem protocol.
+    pub netem: Option<NetemConfig>,
 }
 
 impl Default for ProtoConfig {
     fn default() -> Self {
         ProtoConfig {
-            optimize_period: SimTime::from_secs(30).as_ticks(),
-            start_jitter: SimTime::from_secs(30).as_ticks(),
+            timing: AsyncConfig::default(),
             probe: ProbeModel::default(),
             min_flooding: 2,
+            faults: None,
+            netem: None,
         }
     }
 }
 
+impl ProtoConfig {
+    /// Validates the whole configuration (timing, faults, netem).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.timing.validate()?;
+        if let Some(f) = &self.faults {
+            f.validate()?;
+        }
+        if let Some(n) = &self.netem {
+            n.validate()?;
+        }
+        Ok(())
+    }
+}
+
 /// Why a probe was sent (drives the reply handler).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 enum ProbePurpose {
     /// Phase-1 neighbor measurement.
     Neighbor,
@@ -92,6 +209,15 @@ enum ProbePurpose {
     OnBehalf { requester: PeerId },
 }
 
+/// One outstanding probe: whom it measures, why, and when it left (the
+/// send time drives the netem-mode expiry of stranded on-behalf probes).
+#[derive(Clone, Copy, Debug)]
+struct PendingProbe {
+    target: PeerId,
+    purpose: ProbePurpose,
+    sent_at: SimTime,
+}
+
 #[derive(Debug)]
 struct NodeState {
     table: CostTable,
@@ -100,8 +226,8 @@ struct NodeState {
     own_tree: Vec<PeerId>,
     requested: Vec<PeerId>,
     watches: Vec<(PeerId, PeerId)>,
-    /// Outstanding phase-1 probes (by nonce).
-    pending_probes: HashMap<u64, (PeerId, ProbePurpose)>,
+    /// Outstanding probes (by nonce).
+    pending_probes: HashMap<u64, PendingProbe>,
     /// Neighbors whose pairwise report we still await this cycle.
     awaiting_reports: Vec<PeerId>,
     /// Measurements collected for an open `ProbeRequest` we are serving,
@@ -113,6 +239,15 @@ struct NodeState {
     /// True between timer fire and tree build.
     cycle_open: bool,
     cycles_done: u64,
+    /// Per-sender wire sequence numbers already delivered — the dedup
+    /// filter. Sequence numbers are globally unique, so on a perfect
+    /// wire every insert succeeds and the filter is pure bookkeeping.
+    seen: HashMap<PeerId, HashSet<u64>>,
+    /// When each forward-request slot was last confirmed by a
+    /// `ForwardRequest` (netem mode refreshes them every cycle); slots
+    /// unconfirmed for a repair window expire — their `ForwardCancel`
+    /// was lost for good.
+    requested_at: HashMap<PeerId, SimTime>,
 }
 
 impl NodeState {
@@ -129,6 +264,8 @@ impl NodeState {
             pair_cache: HashMap::new(),
             cycle_open: false,
             cycles_done: 0,
+            seen: HashMap::new(),
+            requested_at: HashMap::new(),
         }
     }
 
@@ -140,6 +277,7 @@ impl NodeState {
     fn forget_link(&mut self, partner: PeerId) {
         self.own_tree.retain(|&p| p != partner);
         self.requested.retain(|&p| p != partner);
+        self.requested_at.remove(&partner);
         self.table.remove(partner);
     }
 }
@@ -166,6 +304,36 @@ impl InFlightKind {
     }
 }
 
+/// Control messages the hardened protocol retransmits when the wire
+/// destroys a copy. Probes and replies are worth retrying too: losing
+/// one silently stalls the whole cycle for a period (at 15 % loss and
+/// six neighbors, best-effort phase 1 would complete ~14 % of cycles).
+/// `Connect`/`ConnectOk` stay best-effort — the simulator's overlay
+/// mutates both adjacency lists atomically at the initiator, so a lost
+/// handshake message costs nothing but the acknowledgment.
+fn reliable(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::Probe { .. }
+            | Message::ProbeReply { .. }
+            | Message::ProbeRequest { .. }
+            | Message::CostTable { .. }
+            | Message::ForwardRequest
+            | Message::ForwardCancel
+            | Message::Disconnect
+    )
+}
+
+/// Ledger kind for a retransmission: probe-plane traffic retries under
+/// [`OverheadKind::ProbeRetry`] (the same bucket as the engine's lost
+/// probe attempts), everything else under [`OverheadKind::ControlRetry`].
+fn retry_kind(msg: &Message) -> OverheadKind {
+    match msg {
+        Message::Probe { .. } | Message::ProbeReply { .. } => OverheadKind::ProbeRetry,
+        _ => OverheadKind::ControlRetry,
+    }
+}
+
 enum NetEvent {
     Deliver {
         from: PeerId,
@@ -175,6 +343,10 @@ enum NetEvent {
         /// while the message was in flight — it is dropped.
         from_inc: u32,
         to_inc: u32,
+        /// Wire sequence number, globally unique per *logical* message:
+        /// retransmits and injected duplicates carry the original's, so
+        /// the receiver's dedup filter spots them.
+        seq: u64,
         msg: Message,
     },
     OptimizeTimer {
@@ -182,6 +354,19 @@ enum NetEvent {
         /// Incarnation that scheduled this chain; a stale chain dies at
         /// its next fire instead of doubling up with the rejoin's chain.
         inc: u32,
+    },
+    /// ARQ retransmission attempt for a reliable message whose previous
+    /// copy the wire destroyed. Fires after the backoff; incarnation-
+    /// checked like a delivery, charged to the retry ledger, then sent
+    /// through the adversarial wire again (netem mode only).
+    Retransmit {
+        from: PeerId,
+        to: PeerId,
+        from_inc: u32,
+        to_inc: u32,
+        seq: u64,
+        attempt: u8,
+        msg: Message,
     },
 }
 
@@ -209,6 +394,33 @@ impl DrainEffects {
             && self.finished_cycles.is_empty()
             && self.serving_replies.is_empty()
     }
+}
+
+/// Wire-level accounting of the adversarial network model. With netem
+/// off, only `sent` moves. The chaos harness holds the ledger to these
+/// numbers: `ledger.total_count() == sent + duplicated + retransmits +
+/// fault_retries` — every transmission, wasted or not, is charged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetemStats {
+    /// Logical control messages handed to the wire (originals only).
+    pub sent: u64,
+    /// Transmissions destroyed by random loss.
+    pub lost: u64,
+    /// Transmissions destroyed crossing an active partition.
+    pub cut_dropped: u64,
+    /// Extra copies injected by the duplicating wire.
+    pub duplicated: u64,
+    /// ARQ retransmissions performed after a loss or cut.
+    pub retransmits: u64,
+    /// Deliveries suppressed by the receiver's dedup filter.
+    pub deduped: u64,
+    /// Probe attempts written off by the injected probe-loss rule
+    /// (charged as `ProbeRetry`, same as the sync engine).
+    pub fault_retries: u64,
+    /// Forward-request slots expired for lack of refresh.
+    pub expired_forwards: u64,
+    /// Stranded on-behalf probes written off by their server.
+    pub expired_probes: u64,
 }
 
 /// The asynchronous simulator: overlay + per-node protocol state + the
@@ -255,12 +467,28 @@ pub struct AsyncAceSim {
     /// [`InFlightKind`]s (incremented at send, decremented at delivery
     /// *or* drop — the counter follows the wire, not the handler).
     in_flight: HashMap<(PeerId, PeerId, InFlightKind), usize>,
+    /// Monotonic wire sequence counter (see [`NetEvent::Deliver::seq`]).
+    wire_seq: u64,
+    /// Auditor tolerance for messages the wire destroyed: a tracked
+    /// message lost on `(from, to)` leaves the endpoints free to
+    /// disagree until the recorded deadline (drop time — or partition
+    /// heal — plus the repair window), by which time retransmits or the
+    /// next cycle's refresh must have reconciled them.
+    drop_covers: HashMap<(PeerId, PeerId, InFlightKind), SimTime>,
+    netem_stats: NetemStats,
 }
 
 impl AsyncAceSim {
     /// Wraps an overlay and schedules every alive node's first cycle with
     /// uniform jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ProtoConfig::validate`].
     pub fn new(overlay: Overlay, cfg: ProtoConfig, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ProtoConfig: {e}");
+        }
         let nodes: Vec<NodeState> = (0..overlay.peer_count())
             .map(|i| NodeState::new(PeerId::new(i as u32)))
             .collect();
@@ -277,10 +505,13 @@ impl AsyncAceSim {
             nonce: 0,
             messages_delivered: 0,
             in_flight: HashMap::new(),
+            wire_seq: 0,
+            drop_covers: HashMap::new(),
+            netem_stats: NetemStats::default(),
         };
         let peers: Vec<PeerId> = sim.overlay.alive_peers().collect();
         for p in peers {
-            let jitter = sim.rng.gen_range(0..=sim.cfg.start_jitter.max(1));
+            let jitter = sim.rng.gen_range(0..=sim.cfg.timing.start_jitter.max(1));
             sim.queue.push(
                 SimTime::from_ticks(jitter),
                 NetEvent::OptimizeTimer { peer: p, inc: 0 },
@@ -305,9 +536,82 @@ impl AsyncAceSim {
     }
 
     /// Total messages delivered so far (messages to/from peers that died
-    /// or rejoined mid-flight are dropped, not delivered).
+    /// or rejoined mid-flight are dropped, not delivered; copies the
+    /// dedup filter suppressed are not delivered either).
     pub fn messages_delivered(&self) -> u64 {
         self.messages_delivered
+    }
+
+    /// Wire-level accounting of the netem model (all zero except `sent`
+    /// when no [`NetemConfig`] is installed).
+    pub fn netem_stats(&self) -> &NetemStats {
+        &self.netem_stats
+    }
+
+    /// Order-independent digest of all per-node protocol state plus the
+    /// ledger bit patterns — the async twin of
+    /// [`AceEngine::state_digest`](crate::AceEngine::state_digest). The
+    /// receiver-side dedup filter (`seen`) is deliberately excluded: it
+    /// records wire history, not protocol state, and the idempotence
+    /// tests assert digests unchanged *because* a suppressed duplicate
+    /// touches nothing else.
+    pub fn state_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for n in &self.nodes {
+            let mut entries: Vec<(PeerId, Delay)> = n.table.iter().collect();
+            entries.sort_unstable();
+            entries.hash(&mut h);
+            let mut tables: Vec<(PeerId, Vec<(PeerId, Delay)>)> = n
+                .neighbor_tables
+                .iter()
+                .map(|(&o, t)| {
+                    let mut e: Vec<(PeerId, Delay)> = t.iter().collect();
+                    e.sort_unstable();
+                    (o, e)
+                })
+                .collect();
+            tables.sort_unstable_by_key(|&(o, _)| o);
+            tables.hash(&mut h);
+            n.own_tree.hash(&mut h);
+            n.requested.hash(&mut h);
+            let mut stamps: Vec<(PeerId, u64)> = n
+                .requested_at
+                .iter()
+                .map(|(&p, &t)| (p, t.as_ticks()))
+                .collect();
+            stamps.sort_unstable();
+            stamps.hash(&mut h);
+            n.watches.hash(&mut h);
+            let mut pending: Vec<(u64, PeerId, ProbePurpose, u64)> = n
+                .pending_probes
+                .iter()
+                .map(|(&nonce, pp)| (nonce, pp.target, pp.purpose, pp.sent_at.as_ticks()))
+                .collect();
+            pending.sort_unstable_by_key(|&(nonce, ..)| nonce);
+            pending.hash(&mut h);
+            n.awaiting_reports.hash(&mut h);
+            type ServingRow<'a> = (PeerId, &'a Vec<(PeerId, Delay)>, usize);
+            let mut serving: Vec<ServingRow<'_>> = n
+                .serving
+                .iter()
+                .map(|(&req, &(ref entries, left))| (req, entries, left))
+                .collect();
+            serving.sort_unstable_by_key(|&(req, ..)| req);
+            serving.hash(&mut h);
+            let mut cache: Vec<(PeerId, Delay)> =
+                n.pair_cache.iter().map(|(&p, &c)| (p, c)).collect();
+            cache.sort_unstable();
+            cache.hash(&mut h);
+            n.cycle_open.hash(&mut h);
+            n.cycles_done.hash(&mut h);
+        }
+        for kind in OverheadKind::ALL {
+            self.ledger.cost_of(kind).to_bits().hash(&mut h);
+            self.ledger.count_of(kind).hash(&mut h);
+        }
+        h.finish()
     }
 
     /// Completed optimization cycles per node (min over alive nodes).
@@ -397,7 +701,7 @@ impl AsyncAceSim {
                 "rejoin purge found undrained references to a dead incarnation"
             );
         }
-        let jitter = self.rng.gen_range(0..=self.cfg.start_jitter.max(1));
+        let jitter = self.rng.gen_range(0..=self.cfg.timing.start_jitter.max(1));
         let inc = self.incarnations[peer.index()];
         self.queue
             .push(self.now + jitter, NetEvent::OptimizeTimer { peer, inc });
@@ -420,6 +724,8 @@ impl AsyncAceSim {
             let node = &mut self.nodes[i];
             node.own_tree.retain(|&p| p != dead);
             node.requested.retain(|&p| p != dead);
+            node.requested_at.remove(&dead);
+            node.seen.remove(&dead);
             node.watches
                 .retain(|&(far, near)| far != dead && near != dead);
             node.table.remove(dead);
@@ -443,12 +749,12 @@ impl AsyncAceSim {
             let mut dropped: Vec<(u64, PeerId, ProbePurpose)> = node
                 .pending_probes
                 .iter()
-                .filter(|&(_, &(target, purpose))| {
-                    target == dead
-                        || matches!(purpose, ProbePurpose::Candidate { far, .. } if far == dead)
-                        || matches!(purpose, ProbePurpose::OnBehalf { requester } if requester == dead)
+                .filter(|&(_, pp)| {
+                    pp.target == dead
+                        || matches!(pp.purpose, ProbePurpose::Candidate { far, .. } if far == dead)
+                        || matches!(pp.purpose, ProbePurpose::OnBehalf { requester } if requester == dead)
                 })
-                .map(|(&nonce, &(target, purpose))| (nonce, target, purpose))
+                .map(|(&nonce, pp)| (nonce, pp.target, pp.purpose))
                 .collect();
             dropped.sort_unstable_by_key(|&(nonce, ..)| nonce);
             let mut neighbor_dropped = false;
@@ -481,11 +787,13 @@ impl AsyncAceSim {
                 && !node
                     .pending_probes
                     .values()
-                    .any(|&(_, p)| matches!(p, ProbePurpose::Neighbor))
+                    .any(|pp| matches!(pp.purpose, ProbePurpose::Neighbor))
             {
                 fx.phase1_complete.push(owner);
             }
         }
+        self.drop_covers
+            .retain(|&(a, b, _), _| a != dead && b != dead);
         fx
     }
 
@@ -521,26 +829,146 @@ impl AsyncAceSim {
         self.nonce
     }
 
-    /// Sends `msg`, charging its size over the physical path and
-    /// scheduling delivery after the one-way delay. Classification comes
-    /// from the shared taxonomy ([`policy::control_overhead_kind`]);
-    /// search-plane messages have no business on the control plane.
+    /// Sends `msg`, charging its size over the physical path and handing
+    /// it to the (possibly adversarial) wire. Classification comes from
+    /// the shared taxonomy ([`policy::control_overhead_kind`]);
+    /// search-plane messages have no business on the control plane. The
+    /// charge happens *here*, before the wire decides the message's
+    /// fate: a lost transmission cost real traffic too.
     fn send(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, msg: Message) {
         let dist = self.overlay.link_cost(oracle, from, to);
         let Some(kind) = policy::control_overhead_kind(&msg) else {
             unreachable!("search-plane message {msg:?} routed into the control plane")
         };
         self.ledger.charge(kind, f64::from(dist) * msg.size_units());
+        self.netem_stats.sent += 1;
+        self.wire_seq += 1;
+        let seq = self.wire_seq;
+        self.transmit(from, to, seq, 0, dist, msg);
+    }
+
+    /// One transmission attempt over the wire. With netem installed the
+    /// copy can be destroyed by a partition cut or random loss (both
+    /// schedule an ARQ retransmit for reliable kinds and record an
+    /// auditor drop cover), duplicated (the extra copy is charged as
+    /// real traffic and jittered independently, so the copies can swap
+    /// order), or delayed by extra jitter. Without netem it is simply
+    /// delivered after the physical delay.
+    fn transmit(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        seq: u64,
+        attempt: u8,
+        dist: Delay,
+        msg: Message,
+    ) {
+        let Some(net) = self.cfg.netem.clone() else {
+            self.enqueue_delivery(from, to, seq, dist, 0, msg);
+            return;
+        };
+        let tick = self.now.as_ticks();
+        if net.cut(tick, from, to) {
+            self.netem_stats.cut_dropped += 1;
+            self.note_wire_drop(from, to, &msg, net.heals_at(tick, from, to));
+            self.schedule_retransmit(&net, from, to, seq, attempt, msg);
+            return;
+        }
+        if net.lost(from, to, seq, attempt) {
+            self.netem_stats.lost += 1;
+            self.note_wire_drop(from, to, &msg, None);
+            self.schedule_retransmit(&net, from, to, seq, attempt, msg);
+            return;
+        }
+        if net.duplicated(from, to, seq, attempt) {
+            let kind = policy::control_overhead_kind(&msg).expect("control-plane message");
+            self.ledger.charge(kind, f64::from(dist) * msg.size_units());
+            self.netem_stats.duplicated += 1;
+            let jitter = net.extra_delay(from, to, seq, 1);
+            self.enqueue_delivery(from, to, seq, dist, jitter, msg.clone());
+        }
+        let jitter = net.extra_delay(from, to, seq, 0);
+        self.enqueue_delivery(from, to, seq, dist, jitter, msg);
+    }
+
+    fn enqueue_delivery(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        seq: u64,
+        dist: Delay,
+        extra: u64,
+        msg: Message,
+    ) {
         if let Some(k) = InFlightKind::of(&msg) {
             *self.in_flight.entry((from, to, k)).or_insert(0) += 1;
         }
         self.queue.push(
-            self.now + u64::from(dist),
+            self.now + (u64::from(dist) + extra),
             NetEvent::Deliver {
                 from,
                 to,
                 from_inc: self.incarnations[from.index()],
                 to_inc: self.incarnations[to.index()],
+                seq,
+                msg,
+            },
+        );
+    }
+
+    /// The auditor's repair window: how long a wire fault may excuse
+    /// cross-peer disagreement.
+    fn repair_window(&self) -> u64 {
+        self.cfg.timing.repair_periods * self.cfg.timing.cycle_period
+    }
+
+    /// Records the auditor tolerance for a tracked message the wire
+    /// destroyed: the endpoints may disagree until the repair window
+    /// past now (loss) or past the partition's heal (cut).
+    fn note_wire_drop(&mut self, from: PeerId, to: PeerId, msg: &Message, heal: Option<u64>) {
+        let Some(kind) = InFlightKind::of(msg) else {
+            return;
+        };
+        let base = heal.map_or(self.now, SimTime::from_ticks);
+        let deadline = base + self.repair_window();
+        let slot = self.drop_covers.entry((from, to, kind)).or_insert(deadline);
+        if deadline > *slot {
+            *slot = deadline;
+        }
+    }
+
+    /// Schedules the ARQ retransmit of a reliable message after an
+    /// exponential backoff with deterministic jitter; best-effort kinds
+    /// (`Connect`/`ConnectOk` — the overlay records the link atomically
+    /// at the initiator, so their loss costs nothing but the
+    /// acknowledgment) are simply gone.
+    fn schedule_retransmit(
+        &mut self,
+        net: &NetemConfig,
+        from: PeerId,
+        to: PeerId,
+        seq: u64,
+        attempt: u8,
+        msg: Message,
+    ) {
+        if attempt >= self.cfg.timing.retry_cap || !reliable(&msg) {
+            return;
+        }
+        let backoff = self
+            .cfg
+            .timing
+            .backoff_base
+            .saturating_mul(1u64 << u32::from(attempt).min(20));
+        let delay = backoff + net.retry_jitter(seq, attempt, self.cfg.timing.backoff_jitter);
+        self.queue.push(
+            self.now + delay,
+            NetEvent::Retransmit {
+                from,
+                to,
+                from_inc: self.incarnations[from.index()],
+                to_inc: self.incarnations[to.index()],
+                seq,
+                attempt: attempt + 1,
                 msg,
             },
         );
@@ -553,11 +981,35 @@ impl AsyncAceSim {
             .is_some_and(|&c| c > 0)
     }
 
-    /// True while a `Disconnect` travels between `a` and `b` (either
-    /// direction): the endpoints legitimately disagree about the link.
-    fn cut_in_flight(&self, a: PeerId, b: PeerId) -> bool {
-        self.in_flight(a, b, InFlightKind::Disconnect)
-            || self.in_flight(b, a, InFlightKind::Disconnect)
+    /// Auditor tolerance for one directed notification: it is still on
+    /// the wire, or the wire destroyed a copy and the repair window has
+    /// not yet elapsed (retransmits or the next cycle's refresh get that
+    /// long to reconcile the endpoints).
+    fn wire_cover(&self, from: PeerId, to: PeerId, kind: InFlightKind) -> bool {
+        self.in_flight(from, to, kind)
+            || self
+                .drop_covers
+                .get(&(from, to, kind))
+                .is_some_and(|&deadline| deadline >= self.now)
+    }
+
+    /// True while a `Disconnect` between `a` and `b` (either direction)
+    /// is in flight or within its post-drop repair window: the endpoints
+    /// legitimately disagree about the link.
+    fn cut_cover(&self, a: PeerId, b: PeerId) -> bool {
+        self.wire_cover(a, b, InFlightKind::Disconnect)
+            || self.wire_cover(b, a, InFlightKind::Disconnect)
+    }
+
+    /// True if a scheduled partition separated `a` and `b` within the
+    /// last repair window. Covers the disagreements no drop record can:
+    /// a sender whose whole cycle stalled during the cut recorded no
+    /// drops toward the other side, yet its partner's soft state may
+    /// have expired meanwhile.
+    fn recently_separated(&self, a: PeerId, b: PeerId) -> bool {
+        self.cfg.netem.as_ref().is_some_and(|net| {
+            net.separated_within(self.now.as_ticks(), self.repair_window(), a, b)
+        })
     }
 
     /// Runs the protocol until `until` (absolute simulation time).
@@ -581,6 +1033,7 @@ impl AsyncAceSim {
                     to,
                     from_inc,
                     to_inc,
+                    seq,
                     msg,
                 } => {
                     if let Some(k) = InFlightKind::of(&msg) {
@@ -600,8 +1053,31 @@ impl AsyncAceSim {
                         && from_inc == self.incarnations[from.index()]
                         && to_inc == self.incarnations[to.index()];
                     if fresh {
-                        self.messages_delivered += 1;
-                        self.on_message(oracle, from, to, msg);
+                        self.deliver(oracle, from, to, seq, msg);
+                    }
+                }
+                NetEvent::Retransmit {
+                    from,
+                    to,
+                    from_inc,
+                    to_inc,
+                    seq,
+                    attempt,
+                    msg,
+                } => {
+                    // An endpoint that died or rejoined since the
+                    // original send voids the ARQ chain, like the
+                    // freshness check voids the delivery.
+                    let fresh = self.overlay.is_alive(to)
+                        && self.overlay.is_alive(from)
+                        && from_inc == self.incarnations[from.index()]
+                        && to_inc == self.incarnations[to.index()];
+                    if fresh {
+                        let dist = self.overlay.link_cost(oracle, from, to);
+                        self.ledger
+                            .charge(retry_kind(&msg), f64::from(dist) * msg.size_units());
+                        self.netem_stats.retransmits += 1;
+                        self.transmit(from, to, seq, attempt, dist, msg);
                     }
                 }
             }
@@ -609,8 +1085,37 @@ impl AsyncAceSim {
         self.now = until;
     }
 
+    /// Final delivery step behind the freshness check: the per-sender
+    /// dedup filter first (sequence numbers are globally unique, so the
+    /// filter is inert on a perfect wire), then the handler. A
+    /// suppressed duplicate touches nothing — the idempotence tests
+    /// assert node-state digests are unchanged by it.
+    fn deliver(
+        &mut self,
+        oracle: &DistanceOracle,
+        from: PeerId,
+        to: PeerId,
+        seq: u64,
+        msg: Message,
+    ) {
+        if !self.nodes[to.index()]
+            .seen
+            .entry(from)
+            .or_default()
+            .insert(seq)
+        {
+            self.netem_stats.deduped += 1;
+            return;
+        }
+        self.messages_delivered += 1;
+        self.on_message(oracle, from, to, msg);
+    }
+
     fn on_timer(&mut self, oracle: &DistanceOracle, peer: PeerId, inc: u32) {
         if self.overlay.is_alive(peer) {
+            if self.cfg.netem.is_some() {
+                self.wire_repair(oracle, peer);
+            }
             // Abandon any stalled cycle and start fresh — but keep
             // on-behalf probes: they serve *other* peers' cycles, and
             // dropping them would strand the matching `serving` entries
@@ -618,7 +1123,7 @@ impl AsyncAceSim {
             {
                 let node = &mut self.nodes[peer.index()];
                 node.pending_probes
-                    .retain(|_, &mut (_, p)| matches!(p, ProbePurpose::OnBehalf { .. }));
+                    .retain(|_, pp| matches!(pp.purpose, ProbePurpose::OnBehalf { .. }));
                 node.awaiting_reports.clear();
                 node.cycle_open = true;
             }
@@ -626,16 +1131,144 @@ impl AsyncAceSim {
             if nbrs.is_empty() {
                 self.nodes[peer.index()].cycle_open = false;
             } else {
+                let round = self.nodes[peer.index()].cycles_done;
                 for n in nbrs {
+                    if !self.probe_survives_faults(oracle, peer, n, round) {
+                        // Same semantics as the engine: a pair whose
+                        // every probe attempt was lost gets no table
+                        // entry this cycle.
+                        self.nodes[peer.index()].table.remove(n);
+                        continue;
+                    }
                     let nonce = self.fresh_nonce();
-                    self.nodes[peer.index()]
-                        .pending_probes
-                        .insert(nonce, (n, ProbePurpose::Neighbor));
+                    self.nodes[peer.index()].pending_probes.insert(
+                        nonce,
+                        PendingProbe {
+                            target: n,
+                            purpose: ProbePurpose::Neighbor,
+                            sent_at: self.now,
+                        },
+                    );
                     self.send(oracle, peer, n, Message::Probe { nonce });
                 }
+                // Every neighbor probe written off by fault injection:
+                // phase 1 is (vacuously) complete.
+                let node = &self.nodes[peer.index()];
+                if node.cycle_open
+                    && !node
+                        .pending_probes
+                        .values()
+                        .any(|pp| matches!(pp.purpose, ProbePurpose::Neighbor))
+                {
+                    self.exchange_tables(oracle, peer);
+                }
             }
-            let next = self.now + self.cfg.optimize_period;
+            let next = self.now + self.cfg.timing.cycle_period;
             self.queue.push(next, NetEvent::OptimizeTimer { peer, inc });
+        }
+    }
+
+    /// Applies the shared probe-loss rule
+    /// ([`policy::probe_exchange_survives_faults`]) at probe-initiation
+    /// time, charging every written-off attempt to `ProbeRetry` exactly
+    /// as the sync engine does. Returns false when the injected faults
+    /// ate the whole exchange.
+    fn probe_survives_faults(
+        &mut self,
+        oracle: &DistanceOracle,
+        from: PeerId,
+        to: PeerId,
+        round: u64,
+    ) -> bool {
+        if self.cfg.faults.is_none() {
+            return true;
+        }
+        let true_cost = self.overlay.link_cost(oracle, from, to);
+        let request_units = Message::Probe { nonce: 0 }.size_units();
+        let before = self.ledger.count_of(OverheadKind::ProbeRetry);
+        let survives = policy::probe_exchange_survives_faults(
+            self.cfg.faults.as_ref(),
+            round,
+            from,
+            to,
+            true_cost,
+            request_units,
+            &mut self.ledger,
+        );
+        self.netem_stats.fault_retries += self.ledger.count_of(OverheadKind::ProbeRetry) - before;
+        survives
+    }
+
+    /// Per-timer soft-state repair, active only under the adversarial
+    /// wire: prunes expired drop covers, expires forward-request slots
+    /// no refresh confirmed within the repair window (their cancel was
+    /// destroyed beyond the ARQ's patience), writes off stranded
+    /// on-behalf probes (flushing the partial report so the requester's
+    /// phase 2 is not held hostage), and re-syncs the cost table to the
+    /// current neighbor set (a `Disconnect` lost for good would
+    /// otherwise leave a stale row advertised forever).
+    fn wire_repair(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+        let now = self.now;
+        self.drop_covers.retain(|_, &mut deadline| deadline >= now);
+        let cutoff = SimTime::from_ticks(now.as_ticks().saturating_sub(self.repair_window()));
+        let nbrs: Vec<PeerId> = self.overlay.neighbors(peer).to_vec();
+        {
+            let node = &mut self.nodes[peer.index()];
+            let before = node.requested.len();
+            let NodeState {
+                requested,
+                requested_at,
+                ..
+            } = node;
+            requested.retain(|r| requested_at.get(r).is_none_or(|&t| t >= cutoff));
+            requested_at.retain(|r, _| requested.contains(r));
+            self.netem_stats.expired_forwards += (before - node.requested.len()) as u64;
+            node.table.retain_neighbors(&nbrs);
+        }
+        // Stranded on-behalf probes: their reply has been gone past any
+        // ARQ horizon; write them off in nonce order.
+        let mut expired: Vec<(u64, PeerId)> = self.nodes[peer.index()]
+            .pending_probes
+            .iter()
+            .filter_map(|(&nonce, pp)| match pp.purpose {
+                ProbePurpose::OnBehalf { requester } if pp.sent_at < cutoff => {
+                    Some((nonce, requester))
+                }
+                _ => None,
+            })
+            .collect();
+        expired.sort_unstable_by_key(|&(nonce, _)| nonce);
+        for (nonce, requester) in expired {
+            self.nodes[peer.index()].pending_probes.remove(&nonce);
+            self.netem_stats.expired_probes += 1;
+            let flushed = {
+                let node = &mut self.nodes[peer.index()];
+                match node.serving.get_mut(&requester) {
+                    Some((_, left)) => {
+                        *left -= 1;
+                        if *left == 0 {
+                            let (entries, _) = node.serving.remove(&requester).expect("just seen");
+                            Some(entries)
+                        } else {
+                            None
+                        }
+                    }
+                    None => None,
+                }
+            };
+            if let Some(entries) = flushed {
+                if self.overlay.is_alive(requester) {
+                    self.send(
+                        oracle,
+                        peer,
+                        requester,
+                        Message::CostTable {
+                            owner: peer,
+                            entries,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -678,14 +1311,21 @@ impl AsyncAceSim {
                 if self.overlay.are_neighbors(to, from)
                     && self.nodes[from.index()].own_tree.contains(&to)
                 {
+                    let now = self.now;
                     let node = &mut self.nodes[to.index()];
                     if !node.requested.contains(&from) {
                         node.requested.push(from);
                     }
+                    // Refresh stamp: netem-mode senders re-send their
+                    // whole tree every cycle, and slots unrefreshed for
+                    // a repair window expire (`wire_repair`).
+                    node.requested_at.insert(from, now);
                 }
             }
             Message::ForwardCancel => {
-                self.nodes[to.index()].requested.retain(|&p| p != from);
+                let node = &mut self.nodes[to.index()];
+                node.requested.retain(|&p| p != from);
+                node.requested_at.remove(&from);
             }
             Message::Connect => {
                 // Accept whenever the overlay allows it.
@@ -710,7 +1350,10 @@ impl AsyncAceSim {
     }
 
     fn on_probe_reply(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, nonce: u64) {
-        let Some((target, purpose)) = self.nodes[to.index()].pending_probes.remove(&nonce) else {
+        let Some(PendingProbe {
+            target, purpose, ..
+        }) = self.nodes[to.index()].pending_probes.remove(&nonce)
+        else {
             return; // stale reply from an abandoned cycle
         };
         debug_assert_eq!(target, from);
@@ -731,7 +1374,7 @@ impl AsyncAceSim {
                         && !node
                             .pending_probes
                             .values()
-                            .any(|(_, p)| matches!(p, ProbePurpose::Neighbor))
+                            .any(|pp| matches!(pp.purpose, ProbePurpose::Neighbor))
                 };
                 if done {
                     self.exchange_tables(oracle, to);
@@ -785,6 +1428,27 @@ impl AsyncAceSim {
         to: PeerId,
         targets: Vec<PeerId>,
     ) {
+        if self.cfg.netem.is_some() {
+            // Under the adversarial wire a requester can abandon a cycle
+            // and re-request while the previous request's probes are
+            // still stranded on a cut link. The new request supersedes
+            // them: drop the stale serving state so its countdown can't
+            // be corrupted by replies to a request nobody awaits.
+            let node = &mut self.nodes[to.index()];
+            let mut stale: Vec<u64> = node
+                .pending_probes
+                .iter()
+                .filter(|(_, pp)| {
+                    matches!(pp.purpose, ProbePurpose::OnBehalf { requester } if requester == from)
+                })
+                .map(|(&nonce, _)| nonce)
+                .collect();
+            stale.sort_unstable();
+            for nonce in stale {
+                node.pending_probes.remove(&nonce);
+            }
+            node.serving.remove(&from);
+        }
         let mut known: Vec<(PeerId, Delay)> = Vec::new();
         let mut unknown: Vec<PeerId> = Vec::new();
         for t in targets {
@@ -804,7 +1468,16 @@ impl AsyncAceSim {
                 None => unknown.push(t),
             }
         }
-        if unknown.is_empty() {
+        // Injected probe loss can write off some (or all) of the fresh
+        // measurements before they start, same rule as phase 1.
+        let round = self.nodes[to.index()].cycles_done;
+        let mut probed: Vec<PeerId> = Vec::new();
+        for t in unknown {
+            if self.probe_survives_faults(oracle, to, t, round) {
+                probed.push(t);
+            }
+        }
+        if probed.is_empty() {
             self.send(
                 oracle,
                 to,
@@ -816,13 +1489,18 @@ impl AsyncAceSim {
             );
             return;
         }
-        let count = unknown.len();
+        let count = probed.len();
         self.nodes[to.index()].serving.insert(from, (known, count));
-        for t in unknown {
+        for t in probed {
             let nonce = self.fresh_nonce();
-            self.nodes[to.index()]
-                .pending_probes
-                .insert(nonce, (t, ProbePurpose::OnBehalf { requester: from }));
+            self.nodes[to.index()].pending_probes.insert(
+                nonce,
+                PendingProbe {
+                    target: t,
+                    purpose: ProbePurpose::OnBehalf { requester: from },
+                    sent_at: self.now,
+                },
+            );
             self.send(oracle, to, t, Message::Probe { nonce });
         }
     }
@@ -866,7 +1544,12 @@ impl AsyncAceSim {
         );
         let old_tree = std::mem::take(&mut self.nodes[peer.index()].own_tree);
         self.nodes[peer.index()].own_tree = new_tree.clone();
-        for &f in new_tree.iter().filter(|f| !old_tree.contains(f)) {
+        // On a perfect wire only the diffs travel; under netem the whole
+        // tree is re-requested every cycle — the refresh that keeps the
+        // partner's `requested_at` stamps alive and re-installs slots
+        // whose original request the wire destroyed for good.
+        let refresh = self.cfg.netem.is_some();
+        for &f in new_tree.iter().filter(|f| refresh || !old_tree.contains(f)) {
             self.send(oracle, peer, f, Message::ForwardRequest);
         }
         for &f in old_tree.iter().filter(|f| !new_tree.contains(f)) {
@@ -929,10 +1612,19 @@ impl AsyncAceSim {
             return;
         }
         let (near, far_near) = candidates[self.rng.gen_range(0..candidates.len())];
+        let round = self.nodes[peer.index()].cycles_done;
+        if !self.probe_survives_faults(oracle, peer, near, round) {
+            return; // injected loss ate the candidate probe; retry next cycle
+        }
         let nonce = self.fresh_nonce();
-        self.nodes[peer.index()]
-            .pending_probes
-            .insert(nonce, (near, ProbePurpose::Candidate { far, far_near }));
+        self.nodes[peer.index()].pending_probes.insert(
+            nonce,
+            PendingProbe {
+                target: near,
+                purpose: ProbePurpose::Candidate { far, far_near },
+                sent_at: self.now,
+            },
+        );
         self.send(oracle, peer, near, Message::Probe { nonce });
     }
 
@@ -1006,7 +1698,18 @@ impl AsyncAceSim {
     /// 6. **Cycle bookkeeping** — awaited reports imply an open cycle.
     /// 7. **Ledger consistency** — every cost finite and non-negative,
     ///    and any charged cost backed by a nonzero message count.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    ///
+    /// Under netem, the cross-peer agreement clauses (3) additionally
+    /// tolerate pairs whose covering notification was destroyed within
+    /// its repair window ([`AsyncConfig::repair_periods`]) or that a
+    /// scheduled partition separated within that window — the chaos
+    /// harness re-checks strictly once the window past the last heal has
+    /// elapsed. Violations are typed ([`InvariantViolation`]); `Display`
+    /// renders the same message text the `String` era produced.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let viol = |kind, peer, partner, message: String| {
+            Err(InvariantViolation::new(kind, peer, partner, message))
+        };
         let ov = &self.overlay;
         let mut targets = Vec::new();
         for p in ov.peers() {
@@ -1017,147 +1720,249 @@ impl AsyncAceSim {
             if !ov.neighbors(p).is_empty() {
                 AsyncForward::new(self).forward_targets_into(ov, p, None, &mut targets);
                 if targets.is_empty() {
-                    return Err(format!("peer {p} has neighbors but no forward targets"));
+                    return viol(
+                        ViolationKind::ForwardBlackHole,
+                        Some(p),
+                        None,
+                        format!("peer {p} has neighbors but no forward targets"),
+                    );
                 }
             }
             for (name, list) in [("tree", &n.own_tree), ("request", &n.requested)] {
                 for (i, &e) in list.iter().enumerate() {
                     if e == p {
-                        return Err(format!("peer {p} {name} list contains itself"));
+                        return viol(
+                            ViolationKind::ListCorrupt,
+                            Some(p),
+                            None,
+                            format!("peer {p} {name} list contains itself"),
+                        );
                     }
                     if list[..i].contains(&e) {
-                        return Err(format!("peer {p} {name} list has duplicate {e}"));
+                        return viol(
+                            ViolationKind::ListCorrupt,
+                            Some(p),
+                            Some(e),
+                            format!("peer {p} {name} list has duplicate {e}"),
+                        );
                     }
                     if !ov.is_alive(e) {
-                        return Err(format!("peer {p} {name} list references offline {e}"));
+                        return viol(
+                            ViolationKind::OfflineReference,
+                            Some(p),
+                            Some(e),
+                            format!("peer {p} {name} list references offline {e}"),
+                        );
                     }
                 }
             }
             for &(far, near) in &n.watches {
                 if !ov.is_alive(far) || !ov.is_alive(near) {
-                    return Err(format!(
-                        "peer {p} watch ({far},{near}) references offline peer"
-                    ));
+                    return viol(
+                        ViolationKind::OfflineReference,
+                        Some(p),
+                        None,
+                        format!("peer {p} watch ({far},{near}) references offline peer"),
+                    );
                 }
             }
             for (q, _) in n.table.iter() {
                 if !ov.is_alive(q) {
-                    return Err(format!("peer {p} cost table references offline {q}"));
+                    return viol(
+                        ViolationKind::OfflineReference,
+                        Some(p),
+                        Some(q),
+                        format!("peer {p} cost table references offline {q}"),
+                    );
                 }
             }
             for (&owner, t) in &n.neighbor_tables {
                 if !ov.is_alive(owner) {
-                    return Err(format!("peer {p} keeps a table of offline {owner}"));
+                    return viol(
+                        ViolationKind::OfflineReference,
+                        Some(p),
+                        Some(owner),
+                        format!("peer {p} keeps a table of offline {owner}"),
+                    );
                 }
                 for (q, _) in t.iter() {
                     if !ov.is_alive(q) {
-                        return Err(format!("peer {p} table of {owner} references offline {q}"));
+                        return viol(
+                            ViolationKind::OfflineReference,
+                            Some(p),
+                            Some(q),
+                            format!("peer {p} table of {owner} references offline {q}"),
+                        );
                     }
                 }
             }
             for &q in n.pair_cache.keys() {
                 if !ov.is_alive(q) {
-                    return Err(format!("peer {p} pair cache references offline {q}"));
+                    return viol(
+                        ViolationKind::OfflineReference,
+                        Some(p),
+                        Some(q),
+                        format!("peer {p} pair cache references offline {q}"),
+                    );
                 }
             }
-            for &(target, purpose) in n.pending_probes.values() {
+            for pp in n.pending_probes.values() {
+                let target = pp.target;
                 if !ov.is_alive(target) {
-                    return Err(format!("peer {p} pending probe targets offline {target}"));
+                    return viol(
+                        ViolationKind::OfflineReference,
+                        Some(p),
+                        Some(target),
+                        format!("peer {p} pending probe targets offline {target}"),
+                    );
                 }
-                match purpose {
+                match pp.purpose {
                     ProbePurpose::Neighbor => {}
                     ProbePurpose::Candidate { far, .. } => {
                         if !ov.is_alive(far) {
-                            return Err(format!(
-                                "peer {p} candidate probe references offline far {far}"
-                            ));
+                            return viol(
+                                ViolationKind::OfflineReference,
+                                Some(p),
+                                Some(far),
+                                format!("peer {p} candidate probe references offline far {far}"),
+                            );
                         }
                     }
                     ProbePurpose::OnBehalf { requester } => {
                         if !ov.is_alive(requester) {
-                            return Err(format!(
-                                "peer {p} serves probe for offline requester {requester}"
-                            ));
+                            return viol(
+                                ViolationKind::OfflineReference,
+                                Some(p),
+                                Some(requester),
+                                format!("peer {p} serves probe for offline requester {requester}"),
+                            );
                         }
                     }
                 }
             }
             for &r in &n.awaiting_reports {
                 if !ov.is_alive(r) {
-                    return Err(format!("peer {p} awaits a report from offline {r}"));
+                    return viol(
+                        ViolationKind::OfflineReference,
+                        Some(p),
+                        Some(r),
+                        format!("peer {p} awaits a report from offline {r}"),
+                    );
                 }
             }
             if !n.awaiting_reports.is_empty() && !n.cycle_open {
-                return Err(format!("peer {p} awaits reports outside an open cycle"));
+                return viol(
+                    ViolationKind::CycleBookkeeping,
+                    Some(p),
+                    None,
+                    format!("peer {p} awaits reports outside an open cycle"),
+                );
             }
             for (&req, &(ref entries, left)) in &n.serving {
                 if !ov.is_alive(req) {
-                    return Err(format!("peer {p} serving ledger for offline {req}"));
+                    return viol(
+                        ViolationKind::OfflineReference,
+                        Some(p),
+                        Some(req),
+                        format!("peer {p} serving ledger for offline {req}"),
+                    );
                 }
                 for &(t, _) in entries {
                     if !ov.is_alive(t) {
-                        return Err(format!(
-                            "peer {p} serving entry for {req} references offline {t}"
-                        ));
+                        return viol(
+                            ViolationKind::OfflineReference,
+                            Some(p),
+                            Some(t),
+                            format!("peer {p} serving entry for {req} references offline {t}"),
+                        );
                     }
                 }
                 let outstanding = n
                     .pending_probes
                     .values()
                     .filter(
-                        |&&(_, pu)| matches!(pu, ProbePurpose::OnBehalf { requester } if requester == req),
+                        |pp| matches!(pp.purpose, ProbePurpose::OnBehalf { requester } if requester == req),
                     )
                     .count();
                 if left != outstanding {
-                    return Err(format!(
-                        "peer {p} serving {req}: countdown {left} vs {outstanding} outstanding probes"
-                    ));
+                    return viol(
+                        ViolationKind::ServingLedger,
+                        Some(p),
+                        Some(req),
+                        format!(
+                            "peer {p} serving {req}: countdown {left} vs {outstanding} outstanding probes"
+                        ),
+                    );
                 }
                 if left == 0 {
-                    return Err(format!(
-                        "peer {p} serving {req}: completed report never flushed"
-                    ));
+                    return viol(
+                        ViolationKind::ServingLedger,
+                        Some(p),
+                        Some(req),
+                        format!("peer {p} serving {req}: completed report never flushed"),
+                    );
                 }
             }
             for &f in &n.own_tree {
                 if !ov.are_neighbors(p, f) {
-                    if !self.cut_in_flight(p, f) {
-                        return Err(format!(
-                            "peer {p} tree entry {f}: not a neighbor and no cut in flight"
-                        ));
+                    if !self.cut_cover(p, f) && !self.recently_separated(p, f) {
+                        return viol(
+                            ViolationKind::StaleLink,
+                            Some(p),
+                            Some(f),
+                            format!("peer {p} tree entry {f}: not a neighbor and no cut in flight"),
+                        );
                     }
                     continue;
                 }
                 if !self.nodes[f.index()].requested.contains(&p)
-                    && !self.in_flight(p, f, InFlightKind::ForwardRequest)
+                    && !self.wire_cover(p, f, InFlightKind::ForwardRequest)
+                    && !self.recently_separated(p, f)
                 {
-                    return Err(format!(
-                        "tree edge {p}->{f} not mirrored in {f}'s forward requests"
-                    ));
+                    return viol(
+                        ViolationKind::Unmirrored,
+                        Some(p),
+                        Some(f),
+                        format!("tree edge {p}->{f} not mirrored in {f}'s forward requests"),
+                    );
                 }
             }
             for &r in &n.requested {
                 if !ov.are_neighbors(p, r) {
-                    if !self.cut_in_flight(p, r) {
-                        return Err(format!(
-                            "peer {p} forward request from {r}: not a neighbor and no cut in flight"
-                        ));
+                    if !self.cut_cover(p, r) && !self.recently_separated(p, r) {
+                        return viol(
+                            ViolationKind::StaleLink,
+                            Some(p),
+                            Some(r),
+                            format!(
+                                "peer {p} forward request from {r}: not a neighbor and no cut in flight"
+                            ),
+                        );
                     }
                     continue;
                 }
                 if !self.nodes[r.index()].own_tree.contains(&p)
-                    && !self.in_flight(r, p, InFlightKind::ForwardCancel)
-                    && !self.cut_in_flight(p, r)
+                    && !self.wire_cover(r, p, InFlightKind::ForwardCancel)
+                    && !self.cut_cover(p, r)
+                    && !self.recently_separated(p, r)
                 {
-                    return Err(format!(
-                        "forward request {r}->{p} has no matching tree entry at {r}"
-                    ));
+                    return viol(
+                        ViolationKind::Unmirrored,
+                        Some(p),
+                        Some(r),
+                        format!("forward request {r}->{p} has no matching tree entry at {r}"),
+                    );
                 }
             }
             for (q, c) in n.table.iter() {
                 if let Some(c2) = self.nodes[q.index()].table.get(p) {
                     if c != c2 {
-                        return Err(format!("asymmetric cost {p}<->{q}: {c} vs {c2}"));
+                        return viol(
+                            ViolationKind::AsymmetricCost,
+                            Some(p),
+                            Some(q),
+                            format!("asymmetric cost {p}<->{q}: {c} vs {c2}"),
+                        );
                     }
                 }
             }
@@ -1165,10 +1970,20 @@ impl AsyncAceSim {
         for kind in OverheadKind::ALL {
             let cost = self.ledger.cost_of(kind);
             if !cost.is_finite() || cost < 0.0 {
-                return Err(format!("ledger {kind:?} cost invalid: {cost}"));
+                return viol(
+                    ViolationKind::LedgerAccounting,
+                    None,
+                    None,
+                    format!("ledger {kind:?} cost invalid: {cost}"),
+                );
             }
             if cost > 0.0 && self.ledger.count_of(kind) == 0 {
-                return Err(format!("ledger {kind:?} charged {cost} over zero messages"));
+                return viol(
+                    ViolationKind::LedgerAccounting,
+                    None,
+                    None,
+                    format!("ledger {kind:?} charged {cost} over zero messages"),
+                );
             }
         }
         Ok(())
@@ -1225,6 +2040,7 @@ impl ForwardPolicy for AsyncForward<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::netem::{Partition, PartitionKind};
     use ace_overlay::{clustered_overlay, run_query, FloodAll, QueryConfig};
     use ace_topology::generate::{two_level, TwoLevelConfig};
     use ace_topology::NodeId;
@@ -1606,7 +2422,295 @@ mod tests {
         assert_eq!(
             ledger.count_of(OverheadKind::ProbeRetry),
             0,
-            "async path has no fault injection yet"
+            "faults default off: no probe retries charged"
         );
+        assert_eq!(
+            ledger.count_of(OverheadKind::ControlRetry),
+            0,
+            "netem default off: no control-plane retransmits charged"
+        );
+    }
+
+    /// Hands a crafted frame to the wire at the current instant and
+    /// drains it, bypassing `send`: the test's stand-in for a duplicated
+    /// or replayed delivery. In-flight bookkeeping is pre-incremented so
+    /// the drain's decrement balances, like a real extra copy's would.
+    fn inject(
+        sim: &mut AsyncAceSim,
+        oracle: &DistanceOracle,
+        from: PeerId,
+        to: PeerId,
+        seq: u64,
+        stale_from: bool,
+        msg: Message,
+    ) {
+        if let Some(k) = InFlightKind::of(&msg) {
+            *sim.in_flight.entry((from, to, k)).or_insert(0) += 1;
+        }
+        let t = sim.now;
+        let from_inc = sim.incarnations[from.index()].wrapping_add(u32::from(stale_from));
+        let to_inc = sim.incarnations[to.index()];
+        sim.queue.push(
+            t,
+            NetEvent::Deliver {
+                from,
+                to,
+                from_inc,
+                to_inc,
+                seq,
+                msg,
+            },
+        );
+        sim.run_until(oracle, t);
+    }
+
+    fn neighbor_pair(sim: &AsyncAceSim) -> (PeerId, PeerId) {
+        sim.overlay()
+            .alive_peers()
+            .find_map(|p| sim.overlay().neighbors(p).first().map(|&n| (n, p)))
+            .expect("warm overlay has links")
+    }
+
+    fn non_neighbor_pair(sim: &AsyncAceSim) -> (PeerId, PeerId) {
+        let alive: Vec<PeerId> = sim.overlay().alive_peers().collect();
+        for &a in &alive {
+            for &b in &alive {
+                if a != b && !sim.overlay().are_neighbors(a, b) {
+                    return (a, b);
+                }
+            }
+        }
+        panic!("overlay is a clique");
+    }
+
+    /// Every message variant, delivered a second time as an exact wire
+    /// duplicate (same sequence number) and once more from a stale
+    /// incarnation: neither extra copy may move the state digest, the
+    /// delivery count, or (for the stale copy) even the dedup counter —
+    /// the hardened handlers are idempotent under duplication and replay.
+    #[test]
+    fn duplicate_and_stale_deliveries_are_idempotent() {
+        let (oracle, ov) = world(30, 61);
+        let mut sim = AsyncAceSim::new(ov, ProtoConfig::default(), 62);
+        sim.run_until(&oracle, SimTime::from_secs(120));
+
+        let nonce = 0xDEAD_0000u64;
+        let third = PeerId::new(3);
+        let variants: Vec<(&str, Message)> = vec![
+            ("Ping", Message::Ping),
+            ("Pong", Message::Pong { addrs: vec![third] }),
+            (
+                "Query",
+                Message::Query {
+                    id: 9001,
+                    ttl: 4,
+                    object: 7,
+                },
+            ),
+            (
+                "QueryHit",
+                Message::QueryHit {
+                    id: 9001,
+                    responder: third,
+                },
+            ),
+            ("Probe", Message::Probe { nonce }),
+            ("ProbeReply", Message::ProbeReply { nonce }),
+            ("Connect", Message::Connect),
+            ("ConnectOk", Message::ConnectOk),
+            ("Disconnect", Message::Disconnect),
+            ("ForwardRequest", Message::ForwardRequest),
+            ("ForwardCancel", Message::ForwardCancel),
+        ];
+        // Sequence numbers far above anything the warm run handed out.
+        let mut seq = 1 << 40;
+        let mut run =
+            |sim: &mut AsyncAceSim, name: &str, from: PeerId, to: PeerId, msg: Message| {
+                seq += 2;
+                inject(sim, &oracle, from, to, seq, false, msg.clone());
+                let digest = sim.state_digest();
+                let delivered = sim.messages_delivered();
+                let deduped = sim.netem_stats().deduped;
+
+                inject(sim, &oracle, from, to, seq, false, msg.clone());
+                assert_eq!(sim.state_digest(), digest, "{name}: duplicate moved state");
+                assert_eq!(
+                    sim.messages_delivered(),
+                    delivered,
+                    "{name}: duplicate delivered"
+                );
+                assert_eq!(
+                    sim.netem_stats().deduped,
+                    deduped + 1,
+                    "{name}: not deduped"
+                );
+
+                inject(sim, &oracle, from, to, seq + 1, true, msg);
+                assert_eq!(sim.state_digest(), digest, "{name}: stale copy moved state");
+                assert_eq!(
+                    sim.messages_delivered(),
+                    delivered,
+                    "{name}: stale copy delivered"
+                );
+                assert_eq!(
+                    sim.netem_stats().deduped,
+                    deduped + 1,
+                    "{name}: stale copy deduped"
+                );
+            };
+        for (name, msg) in variants {
+            let (from, to) = if matches!(msg, Message::Connect) {
+                non_neighbor_pair(&sim)
+            } else {
+                neighbor_pair(&sim)
+            };
+            if matches!(msg, Message::ProbeReply { .. }) {
+                // A reply only means something to a peer with the probe
+                // still outstanding.
+                sim.nodes[to.index()].pending_probes.insert(
+                    nonce,
+                    PendingProbe {
+                        target: from,
+                        purpose: ProbePurpose::Neighbor,
+                        sent_at: sim.now,
+                    },
+                );
+            }
+            run(&mut sim, name, from, to, msg);
+        }
+        // The two payload-carrying ACE variants, built against live state.
+        let (from, to) = neighbor_pair(&sim);
+        let entries: Vec<(PeerId, Delay)> = vec![(third, 5)];
+        run(
+            &mut sim,
+            "CostTable",
+            from,
+            to,
+            Message::CostTable {
+                owner: from,
+                entries,
+            },
+        );
+        let (from, to) = neighbor_pair(&sim);
+        let targets: Vec<PeerId> = sim.overlay().neighbors(to).to_vec();
+        run(
+            &mut sim,
+            "ProbeRequest",
+            from,
+            to,
+            Message::ProbeRequest { targets },
+        );
+        // No final strict audit: the forged unilateral `Disconnect` has
+        // no sender-side cleanup, which is exactly the one-sided state a
+        // real sender never produces. Idempotence is the contract here.
+    }
+
+    /// Probe-loss faults flow through the same `policy` rule as the sync
+    /// engine: every written-off attempt is charged to `ProbeRetry`, and
+    /// with the wire itself perfect (netem off) the ledger's retry count
+    /// matches the fault counter exactly.
+    #[test]
+    fn async_probe_faults_charge_the_shared_retry_ledger() {
+        let (oracle, ov) = world(50, 81);
+        let cfg = ProtoConfig {
+            faults: Some(FaultConfig {
+                probe_loss: 0.15,
+                ..FaultConfig::default()
+            }),
+            ..ProtoConfig::default()
+        };
+        let mut sim = AsyncAceSim::new(ov, cfg, 82);
+        sim.run_until(&oracle, SimTime::from_secs(300));
+        let retries = sim.ledger().count_of(OverheadKind::ProbeRetry);
+        assert!(retries > 0, "15% probe loss over 10 cycles never retried");
+        assert_eq!(
+            retries,
+            sim.netem_stats().fault_retries,
+            "every ProbeRetry charge is a counted fault write-off"
+        );
+        assert_eq!(
+            sim.ledger().count_of(OverheadKind::ControlRetry),
+            0,
+            "perfect wire: no ARQ retransmissions"
+        );
+        assert!(sim.overlay().is_connected());
+        sim.check_invariants().unwrap();
+    }
+
+    /// A lossy, duplicating, reordering wire: the protocol still
+    /// converges, the dedup filter and ARQ visibly engage, and the
+    /// chaos ledger identity holds — every transmission (original,
+    /// duplicate, retransmission, fault write-off) is charged.
+    #[test]
+    fn lossy_wire_converges_and_accounts_every_copy() {
+        let (oracle, ov) = world(60, 91);
+        let cfg = ProtoConfig {
+            netem: Some(NetemConfig {
+                loss: 0.10,
+                duplicate: 0.05,
+                reorder_jitter: 40,
+                seed: 92,
+                ..NetemConfig::default()
+            }),
+            ..ProtoConfig::default()
+        };
+        let mut sim = AsyncAceSim::new(ov, cfg, 93);
+        sim.run_until(&oracle, SimTime::from_secs(300));
+        let st = *sim.netem_stats();
+        assert!(st.lost > 0, "10% loss never fired");
+        assert!(st.duplicated > 0, "5% duplication never fired");
+        assert!(st.retransmits > 0, "losses never retransmitted");
+        assert!(st.deduped > 0, "duplicates never suppressed");
+        assert_eq!(
+            sim.ledger().total_count(),
+            st.sent + st.duplicated + st.retransmits + st.fault_retries,
+            "chaos ledger identity"
+        );
+        assert!(
+            sim.overlay().is_connected(),
+            "lossy wire disconnected overlay"
+        );
+        assert!(sim.min_cycles_done() >= 2, "cycles stalled under loss");
+        for p in sim.overlay().alive_peers() {
+            assert!(sim.tree_built(p), "{p} never built a tree under loss");
+        }
+        sim.check_invariants().unwrap();
+    }
+
+    /// A scheduled bipartition: during the cut the auditor defers
+    /// cross-cut disagreements, and within a repair window of the heal
+    /// the soft-state refresh reconciles both sides — the strict audit
+    /// passes again.
+    #[test]
+    fn bipartition_heals_within_repair_window() {
+        let (oracle, ov) = world(50, 101);
+        let start = SimTime::from_secs(60).as_ticks();
+        let duration = SimTime::from_secs(60).as_ticks();
+        let cfg = ProtoConfig {
+            netem: Some(NetemConfig {
+                partitions: vec![Partition {
+                    start,
+                    duration,
+                    kind: PartitionKind::Bipartition { salt: 5 },
+                }],
+                seed: 102,
+                ..NetemConfig::default()
+            }),
+            ..ProtoConfig::default()
+        };
+        let repair = cfg.timing.repair_periods * cfg.timing.cycle_period;
+        let mut sim = AsyncAceSim::new(ov, cfg, 103);
+        // Mid-partition: messages die crossing the cut, auditor stays
+        // green thanks to the deferral windows.
+        sim.run_until(&oracle, SimTime::from_ticks(start + duration / 2));
+        assert!(sim.netem_stats().cut_dropped > 0, "partition cut nothing");
+        sim.check_invariants()
+            .expect("auditor must defer cross-cut disagreements");
+        // Heal + repair window + one settling period: strictly clean.
+        let settle = start + duration + repair + SimTime::from_secs(30).as_ticks();
+        sim.run_until(&oracle, SimTime::from_ticks(settle));
+        sim.check_invariants()
+            .expect("auditor must be strictly clean after the repair window");
+        assert!(sim.overlay().is_connected());
     }
 }

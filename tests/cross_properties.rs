@@ -372,6 +372,7 @@ proptest! {
             rounds: 5,
             churn,
             attach: 3,
+            netem: None,
         };
         match differential_run(&cfg) {
             Ok(out) => {

@@ -10,7 +10,7 @@
 //! the fixed-seed anchors that fail reproducibly without a proptest
 //! shrink cycle.
 
-use ace_core::experiments::differential::DEFAULT_BAND;
+use ace_core::experiments::differential::{DEFAULT_BAND, LOSSY_WIRE_MAX_LOSS};
 use ace_core::experiments::{
     differential_run, ChurnKind, ChurnStep, DifferentialConfig, PhysKind, ScenarioConfig,
 };
@@ -37,6 +37,22 @@ fn scenario(peers: usize, seed: u64) -> ScenarioConfig {
 fn sync_and_async_converge_equivalently() {
     for (peers, seed) in [(60, 11), (70, 12), (80, 13)] {
         let cfg = DifferentialConfig::quiet(scenario(peers, seed), 6);
+        let out = differential_run(&cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        out.check_equivalence(DEFAULT_BAND)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Lossy wire: with per-link loss at the documented threshold on the
+/// async side only — the sync engine keeps its perfect wire — the
+/// hardened protocol (dedup + ARQ + soft-state repair) must still land
+/// in the same convergence band. This is the acceptance bar for the
+/// adversarial wire model: packet loss costs retransmissions, not
+/// convergence.
+#[test]
+fn lossy_wire_async_stays_in_band() {
+    for seed in [41, 42] {
+        let cfg = DifferentialConfig::lossy(scenario(70, seed), 6, LOSSY_WIRE_MAX_LOSS);
         let out = differential_run(&cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         out.check_equivalence(DEFAULT_BAND)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -76,6 +92,7 @@ fn sync_and_async_stay_equivalent_under_churn() {
             rounds: 6,
             churn: churn.clone(),
             attach: 3,
+            netem: None,
         };
         let out = differential_run(&cfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(
@@ -112,6 +129,7 @@ fn differential_runner_is_auditor_clean() {
             },
         ],
         attach: 4,
+        netem: None,
     };
     let out = differential_run(&cfg).expect("auditors stay clean under churn");
     // Both sides genuinely optimized (direction clause on its own).

@@ -1,0 +1,127 @@
+//! Scale curve of the hybrid distance plane — writes `BENCH_scale.json`.
+//!
+//! Modes:
+//!
+//! * no arguments — the full curve (800 → 100k peers). Each point runs in
+//!   a child process (`--point N --json`) so its `VmHWM` peak-RSS reading
+//!   covers exactly that population, then the parent adds the 800-peer
+//!   cross-plane band and writes `BENCH_scale.json`.
+//! * `--point N [--json]` — measure one population in this process;
+//!   `--json` prints the point as JSON on stdout (the parent↔child wire).
+//! * `--point N --check BENCH_scale.json` — CI smoke: measure `N` and
+//!   fail (exit 1) if its mean round wall time regressed more than
+//!   [`REGRESSION_TOLERANCE`] over the committed baseline's same point.
+
+use ace_bench::scale::{self, ScaleBench, ScalePoint, SCALE_POINTS};
+
+/// Allowed wall-time growth over the committed baseline before the CI
+/// smoke job fails (shared runners are noisy; 20% is the contract).
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    if let Some(peers) = flag_value("--point") {
+        let peers: usize = peers.parse().expect("--point takes a peer count");
+        let point = run_one(peers);
+        if let Some(baseline_path) = flag_value("--check") {
+            check_regression(&point, &baseline_path);
+        }
+        if args.iter().any(|a| a == "--json") {
+            println!(
+                "{}",
+                serde_json::to_string(&point).expect("serialize point")
+            );
+        }
+        return;
+    }
+
+    // Full curve: one child process per point for honest peak-RSS.
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut points = Vec::new();
+    for &(peers, _, _) in &SCALE_POINTS {
+        eprintln!("[bench_scale: spawning {peers}-peer point]");
+        let out = std::process::Command::new(&exe)
+            .args(["--point", &peers.to_string(), "--json"])
+            .output()
+            .expect("spawn point subprocess");
+        assert!(
+            out.status.success(),
+            "{peers}-peer point failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("point output is UTF-8");
+        let json = stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with('{'))
+            .expect("point subprocess printed JSON");
+        let point: ScalePoint = serde_json::from_str(json).expect("parse point JSON");
+        eprintln!(
+            "[bench_scale: {peers} peers — mean round {:.1} ms, peak RSS {} MiB, coord share {:.3}]",
+            point.mean_round_ms,
+            point.peak_rss_kb / 1024,
+            point.tiers.coord_share
+        );
+        points.push(point);
+    }
+
+    eprintln!("[bench_scale: running 800-peer cross-plane band]");
+    let band = scale::run_band();
+    assert!(
+        band.within_band,
+        "hybrid plane fell outside the documented reduction band: {band:?}"
+    );
+    let bench = ScaleBench::assemble(points, band);
+    for row in &bench.extrapolation {
+        eprintln!(
+            "[bench_scale: {} peers — naive exact {:.0} ms vs measured {:.0} ms ({:.0}x); \
+             exact cache would need {:.0} MiB, hybrid peaked at {:.0} MiB]",
+            row.peers,
+            row.naive_exact_ms,
+            row.measured_ms,
+            row.advantage,
+            row.exact_cache_mb,
+            row.hybrid_peak_rss_mb
+        );
+    }
+    let json = serde_json::to_string_pretty(&bench).expect("serialize scale bench");
+    std::fs::write("BENCH_scale.json", json).expect("write BENCH_scale.json");
+    eprintln!("[saved BENCH_scale.json]");
+}
+
+fn run_one(peers: usize) -> ScalePoint {
+    eprintln!("[bench_scale: measuring {peers} peers]");
+    let point = scale::run_point(peers);
+    eprintln!(
+        "[bench_scale: {peers} peers — world {:.0} ms, oracle build {:.0} ms, mean round {:.1} ms]",
+        point.world_ms, point.oracle_build_ms, point.mean_round_ms
+    );
+    point
+}
+
+fn check_regression(point: &ScalePoint, baseline_path: &str) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline: ScaleBench = serde_json::from_str(&text).expect("parse baseline JSON");
+    let base = baseline
+        .point(point.peers)
+        .unwrap_or_else(|| panic!("baseline has no {}-peer point", point.peers));
+    let limit = base.mean_round_ms * (1.0 + REGRESSION_TOLERANCE);
+    eprintln!(
+        "[bench_scale: {} peers — measured {:.1} ms vs baseline {:.1} ms (limit {:.1} ms)]",
+        point.peers, point.mean_round_ms, base.mean_round_ms, limit
+    );
+    if point.mean_round_ms > limit {
+        eprintln!(
+            "[bench_scale: REGRESSION — round wall time grew more than {:.0}%]",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!("[bench_scale: within tolerance]");
+}

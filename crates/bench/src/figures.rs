@@ -26,7 +26,9 @@ use ace_overlay::{
     GiaAdaptation, GiaConfig, HpfWeight, Overlay, PartialFlood, PeerId, QueryConfig, TwoTierConfig,
     TwoTierNetwork, WalkConfig, GNUTELLA_CAPACITY_MIX,
 };
-use ace_topology::{DistanceOracle, Graph, LandmarkOracle, NodeId, VivaldiConfig, VivaldiCoords};
+use ace_topology::{
+    DistanceOracle, DistancePlane, Graph, LandmarkOracle, NodeId, VivaldiConfig, VivaldiCoords,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -70,7 +72,7 @@ fn peer_name(p: PeerId) -> String {
 /// Record every query transmission (including duplicates) in send order.
 fn record_transmissions<P: ForwardPolicy + ?Sized>(
     ov: &Overlay,
-    oracle: &DistanceOracle,
+    oracle: &dyn DistancePlane,
     src: PeerId,
     policy: &P,
 ) -> (Vec<(PeerId, PeerId, u32)>, f64, u64) {
@@ -1742,6 +1744,7 @@ pub struct RoundTiming {
     pub wall_ms: f64,
     pub oracle_hits: u64,
     pub oracle_misses: u64,
+    pub oracle_evictions: u64,
 }
 
 /// Serial-vs-parallel wall-clock comparison of the ACE round pipeline on
@@ -1775,19 +1778,20 @@ pub fn bench_rounds(scale: Scale, rounds: usize) -> RoundBench {
             },
         );
         let mut timings = Vec::with_capacity(rounds);
-        let (mut prev_hits, mut prev_misses) = s.oracle.cache_stats();
+        let mut prev = s.oracle.cache_stats();
         for round in 0..rounds {
             let start = std::time::Instant::now();
             ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            let (hits, misses) = s.oracle.cache_stats();
+            let now = s.oracle.cache_stats();
             timings.push(RoundTiming {
                 round,
                 wall_ms,
-                oracle_hits: hits - prev_hits,
-                oracle_misses: misses - prev_misses,
+                oracle_hits: now.hits - prev.hits,
+                oracle_misses: now.misses - prev.misses,
+                oracle_evictions: now.evictions - prev.evictions,
             });
-            (prev_hits, prev_misses) = (hits, misses);
+            prev = now;
         }
         timings
     };

@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ace_overlay::{DepartureKind, Message, Overlay, OverlayError, PeerId};
-use ace_topology::{Delay, DistanceOracle};
+use ace_topology::{Delay, DistancePlane};
 
 use crate::audit::{InvariantViolation, ViolationKind};
 use crate::closure::Closure;
@@ -398,7 +398,7 @@ impl AceEngine {
     fn probe_with_faults(
         &self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         ledger: &mut OverheadLedger,
         a: PeerId,
         b: PeerId,
@@ -425,7 +425,7 @@ impl AceEngine {
     fn probe_and_charge(
         &mut self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         a: PeerId,
         b: PeerId,
     ) -> Option<Delay> {
@@ -445,7 +445,7 @@ impl AceEngine {
     /// # Panics
     ///
     /// Panics if `peer` is offline.
-    pub fn phase1_probe(&mut self, ov: &Overlay, oracle: &DistanceOracle, peer: PeerId) {
+    pub fn phase1_probe(&mut self, ov: &Overlay, oracle: &dyn DistancePlane, peer: PeerId) {
         assert!(ov.is_alive(peer), "cannot probe from an offline peer");
         let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
         {
@@ -477,7 +477,7 @@ impl AceEngine {
     fn collect_closure(
         &mut self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
     ) -> (Closure, HashMap<PeerId, CostTable>) {
         let closure = Closure::collect(ov, peer, self.cfg.depth);
@@ -517,7 +517,7 @@ impl AceEngine {
     fn edge_cost(
         &mut self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         known: &HashMap<PeerId, CostTable>,
         a: PeerId,
         b: PeerId,
@@ -541,7 +541,7 @@ impl AceEngine {
     pub fn optimize_peer<R: Rng + ?Sized>(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
         rng: &mut R,
     ) -> AdaptOutcome {
@@ -568,7 +568,7 @@ impl AceEngine {
     pub fn build_tree(
         &mut self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
     ) -> HashMap<PeerId, CostTable> {
         assert!(ov.is_alive(peer), "cannot optimize an offline peer");
@@ -659,7 +659,7 @@ impl AceEngine {
     fn process_watches(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
         known: &HashMap<PeerId, CostTable>,
     ) {
@@ -686,7 +686,7 @@ impl AceEngine {
     fn phase3_adapt<R: Rng + ?Sized>(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
         known: &HashMap<PeerId, CostTable>,
         rng: &mut R,
@@ -797,7 +797,7 @@ impl AceEngine {
     fn replace_link(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
         far: PeerId,
         near: PeerId,
@@ -828,7 +828,7 @@ impl AceEngine {
         }
     }
 
-    fn charge_connect(&mut self, ov: &Overlay, oracle: &DistanceOracle, a: PeerId, b: PeerId) {
+    fn charge_connect(&mut self, ov: &Overlay, oracle: &dyn DistancePlane, a: PeerId, b: PeerId) {
         let cost = ov.link_cost(oracle, a, b);
         self.ledger.charge(
             OverheadKind::Reconnect,
@@ -836,7 +836,13 @@ impl AceEngine {
         );
     }
 
-    fn charge_disconnect(&mut self, ov: &Overlay, oracle: &DistanceOracle, a: PeerId, b: PeerId) {
+    fn charge_disconnect(
+        &mut self,
+        ov: &Overlay,
+        oracle: &dyn DistancePlane,
+        a: PeerId,
+        b: PeerId,
+    ) {
         let cost = ov.link_cost(oracle, a, b);
         self.ledger.charge(
             OverheadKind::Reconnect,
@@ -856,7 +862,7 @@ impl AceEngine {
     pub fn round<R: Rng + ?Sized>(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         rng: &mut R,
     ) -> RoundStats {
         if self.cfg.parallel {
@@ -902,7 +908,7 @@ impl AceEngine {
     /// every alive peer, with no phase-3 rewiring. Quantifies how much of
     /// ACE's gain comes from forwarding trees alone (ablation) and renders
     /// the paper's Table 1/2 examples on an unmodified topology.
-    pub fn tree_round(&mut self, ov: &Overlay, oracle: &DistanceOracle) -> RoundStats {
+    pub fn tree_round(&mut self, ov: &Overlay, oracle: &dyn DistancePlane) -> RoundStats {
         let before = self.ledger;
         let mut stats = RoundStats::default();
         let alive: Vec<PeerId> = ov.alive_peers().collect();
@@ -945,7 +951,7 @@ impl AceEngine {
     fn plan_probe(
         &self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         ledger: &mut OverheadLedger,
         a: PeerId,
         b: PeerId,
@@ -955,7 +961,7 @@ impl AceEngine {
 
     /// Stage A: plan one peer's phase 2 against the round-start snapshot.
     /// Read-only on `self`; every side effect is recorded in the plan.
-    fn plan_tree(&self, ov: &Overlay, oracle: &DistanceOracle, peer: PeerId) -> TreePlan {
+    fn plan_tree(&self, ov: &Overlay, oracle: &dyn DistancePlane, peer: PeerId) -> TreePlan {
         let mut ledger = OverheadLedger::new();
         let closure = Closure::collect(ov, peer, self.cfg.depth);
         let mut known: HashMap<PeerId, CostTable> = HashMap::with_capacity(closure.len());
@@ -1044,7 +1050,7 @@ impl AceEngine {
     fn commit_trees(
         &mut self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         plans: &[TreePlan],
         stats: &mut RoundStats,
     ) {
@@ -1087,7 +1093,7 @@ impl AceEngine {
     fn plan_adapt(
         &self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
         known: &HashMap<PeerId, CostTable>,
         rng: &mut StdRng,
@@ -1123,7 +1129,7 @@ impl AceEngine {
     fn plan_phase3(
         &self,
         ov: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
         known: &HashMap<PeerId, CostTable>,
         ledger: &mut OverheadLedger,
@@ -1226,7 +1232,7 @@ impl AceEngine {
     fn commit_adaptations(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         plans: Vec<AdaptPlan>,
         stats: &mut RoundStats,
     ) {
@@ -1295,7 +1301,7 @@ impl AceEngine {
     fn round_planned(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         round_seed: u64,
     ) -> RoundStats {
         let before = self.ledger;
@@ -1650,7 +1656,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_topology::{Graph, NodeId};
+    use ace_topology::{DistanceOracle, Graph, NodeId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -1681,7 +1687,7 @@ mod tests {
         }
     }
 
-    fn total_link_cost(ov: &Overlay, oracle: &DistanceOracle) -> u64 {
+    fn total_link_cost(ov: &Overlay, oracle: &dyn DistancePlane) -> u64 {
         let mut sum = 0u64;
         for p in ov.peers() {
             for &n in ov.neighbors(p) {

@@ -13,7 +13,7 @@ use ace_overlay::{
     run_query, DepartureKind, DepartureModel, FloodAll, ForwardPolicy, IndexCache, LifetimeModel,
     Overlay, PeerId, Placement, QueryConfig, QueryRate,
 };
-use ace_topology::DistanceOracle;
+use ace_topology::DistancePlane;
 use rand::Rng;
 
 use crate::engine::{AceConfig, AceEngine};
@@ -135,7 +135,7 @@ enum Event {
 #[allow(clippy::too_many_arguments)]
 fn one_query<P: ForwardPolicy + ?Sized>(
     overlay: &Overlay,
-    oracle: &DistanceOracle,
+    oracle: &dyn DistancePlane,
     placement: &Placement,
     cache: &mut Option<IndexCache>,
     src: PeerId,

@@ -25,7 +25,7 @@ use ace_overlay::{
     Overlay, PeerId, Placement, QueryConfig, QueryOutcome, QueryScratch,
 };
 use ace_topology::generate::{ba, two_level, BaConfig, TwoLevelConfig};
-use ace_topology::{DistanceOracle, LandmarkOracle, NodeId};
+use ace_topology::{DistanceOracle, DistancePlane, LandmarkOracle, NodeId};
 
 /// Which physical topology family to generate.
 #[derive(Clone, Copy, Debug)]
@@ -196,7 +196,7 @@ pub struct QuerySample {
 /// the outcomes. Only holders that are currently alive respond.
 pub fn measure_queries<P: ForwardPolicy + ?Sized>(
     overlay: &Overlay,
-    oracle: &DistanceOracle,
+    oracle: &dyn DistancePlane,
     placement: &Placement,
     pairs: &[(PeerId, u32)],
     ttl: u8,

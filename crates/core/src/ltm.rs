@@ -17,7 +17,7 @@
 use rand::Rng;
 
 use ace_overlay::{Message, Overlay, PeerId};
-use ace_topology::{Delay, DistanceOracle};
+use ace_topology::{Delay, DistancePlane};
 
 use crate::overhead::{OverheadKind, OverheadLedger};
 use crate::probe::ProbeModel;
@@ -129,7 +129,7 @@ impl LtmEngine {
     pub fn round<R: Rng + ?Sized>(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         rng: &mut R,
     ) -> LtmRoundStats {
         let before = self.ledger;
@@ -152,7 +152,7 @@ impl LtmEngine {
     fn peer_round(
         &mut self,
         ov: &mut Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         src: PeerId,
     ) -> (usize, usize) {
         // Detector flood over the 2-hop (TTL) neighborhood: charge every
@@ -181,7 +181,7 @@ impl LtmEngine {
         fn measured(
             m: &ProbeModel,
             ov: &Overlay,
-            oracle: &DistanceOracle,
+            oracle: &dyn DistancePlane,
             a: PeerId,
             b: PeerId,
         ) -> Delay {
@@ -248,7 +248,7 @@ impl LtmEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_topology::{Graph, NodeId};
+    use ace_topology::{DistanceOracle, Graph, NodeId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

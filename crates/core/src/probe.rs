@@ -8,7 +8,7 @@
 //! reproducible.
 
 use ace_overlay::{Overlay, PeerId};
-use ace_topology::{Delay, DistanceOracle};
+use ace_topology::{Delay, DistancePlane};
 
 /// Delay measurement with configurable relative noise.
 #[derive(Clone, Copy, Debug)]
@@ -48,7 +48,7 @@ impl ProbeModel {
     pub fn measure(
         &self,
         overlay: &Overlay,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         a: PeerId,
         b: PeerId,
     ) -> Delay {
@@ -80,7 +80,7 @@ fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_topology::{Graph, NodeId};
+    use ace_topology::{DistanceOracle, Graph, NodeId};
 
     fn env() -> (Overlay, DistanceOracle) {
         let mut g = Graph::new(3);

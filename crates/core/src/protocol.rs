@@ -76,7 +76,7 @@ use rand::{Rng, SeedableRng};
 
 use ace_engine::{EventQueue, SimTime};
 use ace_overlay::{ForwardPolicy, Message, Overlay, PeerId};
-use ace_topology::{Delay, DistanceOracle};
+use ace_topology::{Delay, DistancePlane};
 
 use crate::audit::{ConfigError, InvariantViolation, ViolationKind};
 use crate::cost_table::CostTable;
@@ -657,7 +657,7 @@ impl AsyncAceSim {
     /// completions send real messages. In-flight messages from or to
     /// the leaver are discarded at delivery time. Returns false if the
     /// peer was already offline.
-    pub fn peer_leave(&mut self, oracle: &DistanceOracle, peer: PeerId) -> bool {
+    pub fn peer_leave(&mut self, oracle: &dyn DistancePlane, peer: PeerId) -> bool {
         if self.overlay.leave(peer).is_err() {
             return false;
         }
@@ -798,7 +798,7 @@ impl AsyncAceSim {
     }
 
     /// Applies the cycle completions a purge unblocked.
-    fn apply_drain(&mut self, oracle: &DistanceOracle, fx: DrainEffects) {
+    fn apply_drain(&mut self, oracle: &dyn DistancePlane, fx: DrainEffects) {
         for (server, requester, entries) in fx.serving_replies {
             if self.overlay.is_alive(server) && self.overlay.is_alive(requester) {
                 self.send(
@@ -835,7 +835,7 @@ impl AsyncAceSim {
     /// search-plane messages have no business on the control plane. The
     /// charge happens *here*, before the wire decides the message's
     /// fate: a lost transmission cost real traffic too.
-    fn send(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, msg: Message) {
+    fn send(&mut self, oracle: &dyn DistancePlane, from: PeerId, to: PeerId, msg: Message) {
         let dist = self.overlay.link_cost(oracle, from, to);
         let Some(kind) = policy::control_overhead_kind(&msg) else {
             unreachable!("search-plane message {msg:?} routed into the control plane")
@@ -1013,7 +1013,7 @@ impl AsyncAceSim {
     }
 
     /// Runs the protocol until `until` (absolute simulation time).
-    pub fn run_until(&mut self, oracle: &DistanceOracle, until: SimTime) {
+    pub fn run_until(&mut self, oracle: &dyn DistancePlane, until: SimTime) {
         while let Some(t) = self.queue.peek_time() {
             if t > until {
                 break;
@@ -1092,7 +1092,7 @@ impl AsyncAceSim {
     /// assert node-state digests are unchanged by it.
     fn deliver(
         &mut self,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         from: PeerId,
         to: PeerId,
         seq: u64,
@@ -1111,7 +1111,7 @@ impl AsyncAceSim {
         self.on_message(oracle, from, to, msg);
     }
 
-    fn on_timer(&mut self, oracle: &DistanceOracle, peer: PeerId, inc: u32) {
+    fn on_timer(&mut self, oracle: &dyn DistancePlane, peer: PeerId, inc: u32) {
         if self.overlay.is_alive(peer) {
             if self.cfg.netem.is_some() {
                 self.wire_repair(oracle, peer);
@@ -1175,7 +1175,7 @@ impl AsyncAceSim {
     /// ate the whole exchange.
     fn probe_survives_faults(
         &mut self,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         from: PeerId,
         to: PeerId,
         round: u64,
@@ -1207,7 +1207,7 @@ impl AsyncAceSim {
     /// phase 2 is not held hostage), and re-syncs the cost table to the
     /// current neighbor set (a `Disconnect` lost for good would
     /// otherwise leave a stale row advertised forever).
-    fn wire_repair(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+    fn wire_repair(&mut self, oracle: &dyn DistancePlane, peer: PeerId) {
         let now = self.now;
         self.drop_covers.retain(|_, &mut deadline| deadline >= now);
         let cutoff = SimTime::from_ticks(now.as_ticks().saturating_sub(self.repair_window()));
@@ -1272,7 +1272,7 @@ impl AsyncAceSim {
         }
     }
 
-    fn on_message(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, msg: Message) {
+    fn on_message(&mut self, oracle: &dyn DistancePlane, from: PeerId, to: PeerId, msg: Message) {
         match msg {
             Message::Probe { nonce } => {
                 self.send(oracle, to, from, Message::ProbeReply { nonce });
@@ -1349,7 +1349,7 @@ impl AsyncAceSim {
         }
     }
 
-    fn on_probe_reply(&mut self, oracle: &DistanceOracle, from: PeerId, to: PeerId, nonce: u64) {
+    fn on_probe_reply(&mut self, oracle: &dyn DistancePlane, from: PeerId, to: PeerId, nonce: u64) {
         let Some(PendingProbe {
             target, purpose, ..
         }) = self.nodes[to.index()].pending_probes.remove(&nonce)
@@ -1406,7 +1406,7 @@ impl AsyncAceSim {
     }
 
     /// Step 2: own table to all neighbors + pairwise probe requests.
-    fn exchange_tables(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+    fn exchange_tables(&mut self, oracle: &dyn DistancePlane, peer: PeerId) {
         let nbrs: Vec<PeerId> = self.overlay.neighbors(peer).to_vec();
         let own = self.nodes[peer.index()].table.clone();
         self.nodes[peer.index()].awaiting_reports = nbrs.clone();
@@ -1423,7 +1423,7 @@ impl AsyncAceSim {
     /// Serve a pairwise probe request: measure unknown targets, then report.
     fn on_probe_request(
         &mut self,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         from: PeerId,
         to: PeerId,
         targets: Vec<PeerId>,
@@ -1509,7 +1509,7 @@ impl AsyncAceSim {
     /// forward-set diffs and one phase-3 attempt. Tree construction and
     /// the `min_flooding` scope guard come from the shared core
     /// ([`policy::tree_with_scope_guard`]) — identical to the engine's.
-    fn finish_cycle(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+    fn finish_cycle(&mut self, oracle: &dyn DistancePlane, peer: PeerId) {
         self.nodes[peer.index()].cycle_open = false;
         let nbrs: Vec<PeerId> = self.overlay.neighbors(peer).to_vec();
         let mut members = vec![peer];
@@ -1564,7 +1564,7 @@ impl AsyncAceSim {
     /// §3.3 keep-both follow-up, decided by the shared
     /// [`policy::triage_watch`] over the freshest table received from
     /// each watched far neighbor.
-    fn process_watches(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+    fn process_watches(&mut self, oracle: &dyn DistancePlane, peer: PeerId) {
         let watches = std::mem::take(&mut self.nodes[peer.index()].watches);
         let own_tree = self.nodes[peer.index()].own_tree.clone();
         let mut keep = Vec::new();
@@ -1591,7 +1591,7 @@ impl AsyncAceSim {
         self.nodes[peer.index()].watches = keep;
     }
 
-    fn start_phase3(&mut self, oracle: &DistanceOracle, peer: PeerId) {
+    fn start_phase3(&mut self, oracle: &dyn DistancePlane, peer: PeerId) {
         let flooding = self.flooding_neighbors(peer);
         let non_flooding: Vec<PeerId> = self
             .overlay
@@ -1632,7 +1632,7 @@ impl AsyncAceSim {
     /// a probed candidate, translating the verdict into wire traffic.
     fn apply_figure4(
         &mut self,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         peer: PeerId,
         far: PeerId,
         near: PeerId,
@@ -2043,7 +2043,7 @@ mod tests {
     use crate::netem::{Partition, PartitionKind};
     use ace_overlay::{clustered_overlay, run_query, FloodAll, QueryConfig};
     use ace_topology::generate::{two_level, TwoLevelConfig};
-    use ace_topology::NodeId;
+    use ace_topology::{DistanceOracle, NodeId};
 
     fn world(peers: usize, seed: u64) -> (DistanceOracle, Overlay) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -2265,7 +2265,7 @@ mod tests {
                     .filter(|&f| sim.overlay.are_neighbors(p, f))
                     .collect();
                 let has_non_flooding = sim.overlay.neighbors(p).iter().any(|n| !live.contains(n));
-                (sim.tree_built(p) && live.len() >= 2 && has_non_flooding).then(|| (p, live))
+                (sim.tree_built(p) && live.len() >= 2 && has_non_flooding).then_some((p, live))
             })
             .expect("peer with two live flooding links and a spare");
         // Cut all but one flooding link: `peer` becomes a tree leaf whose
@@ -2437,7 +2437,7 @@ mod tests {
     /// the drain's decrement balances, like a real extra copy's would.
     fn inject(
         sim: &mut AsyncAceSim,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         from: PeerId,
         to: PeerId,
         seq: u64,

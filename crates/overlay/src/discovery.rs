@@ -10,7 +10,7 @@
 use rand::Rng;
 
 use ace_engine::rng::sample_distinct;
-use ace_topology::DistanceOracle;
+use ace_topology::DistancePlane;
 
 use crate::message::Message;
 use crate::network::Overlay;
@@ -55,7 +55,7 @@ pub struct DiscoveryStats {
 /// caches via [`Overlay::remember`].
 pub fn ping_pong_round<R: Rng + ?Sized>(
     overlay: &mut Overlay,
-    oracle: &DistanceOracle,
+    oracle: &dyn DistancePlane,
     cfg: &DiscoveryConfig,
     rng: &mut R,
 ) -> DiscoveryStats {
@@ -123,7 +123,7 @@ pub fn ping_pong_round<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_topology::{Graph, NodeId};
+    use ace_topology::{DistanceOracle, Graph, NodeId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -9,7 +9,7 @@
 //! the periodic re-issue loop is the caller's (it is just repeated
 //! queries with increasing `fraction`).
 
-use ace_topology::DistanceOracle;
+use ace_topology::DistancePlane;
 
 use crate::network::Overlay;
 use crate::peer::PeerId;
@@ -27,15 +27,25 @@ pub enum HpfWeight {
 
 /// Partial-flooding forward policy: forward to `ceil(fraction × degree)`
 /// neighbors (at least `min_targets`), ranked by [`HpfWeight`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct PartialFlood<'a> {
-    oracle: &'a DistanceOracle,
+    oracle: &'a dyn DistancePlane,
     /// Fraction of neighbors to forward to, in `(0, 1]`.
     fraction: f64,
     /// Lower bound on forward targets (keeps queries alive on low-degree
     /// peers).
     min_targets: usize,
     weight: HpfWeight,
+}
+
+impl std::fmt::Debug for PartialFlood<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartialFlood")
+            .field("fraction", &self.fraction)
+            .field("min_targets", &self.min_targets)
+            .field("weight", &self.weight)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> PartialFlood<'a> {
@@ -45,7 +55,7 @@ impl<'a> PartialFlood<'a> {
     ///
     /// Panics if `fraction` is outside `(0, 1]`.
     pub fn new(
-        oracle: &'a DistanceOracle,
+        oracle: &'a dyn DistancePlane,
         fraction: f64,
         min_targets: usize,
         weight: HpfWeight,
@@ -101,7 +111,7 @@ impl ForwardPolicy for PartialFlood<'_> {
 mod tests {
     use super::*;
     use crate::search::{run_query, FloodAll, QueryConfig};
-    use ace_topology::{Graph, NodeId};
+    use ace_topology::{DistanceOracle, Graph, NodeId};
 
     /// Star around peer 0 with mixed link costs.
     fn env() -> (Overlay, DistanceOracle) {

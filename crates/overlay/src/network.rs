@@ -8,7 +8,7 @@
 
 use rand::Rng;
 
-use ace_topology::{Delay, DistanceOracle, NodeId};
+use ace_topology::{Delay, DistancePlane, NodeId};
 
 use crate::peer::PeerId;
 
@@ -176,7 +176,7 @@ impl Overlay {
 
     /// Physical shortest-path delay between the hosts of two peers — the
     /// cost of one unit-size message on logical link `a-b`.
-    pub fn link_cost(&self, oracle: &DistanceOracle, a: PeerId, b: PeerId) -> Delay {
+    pub fn link_cost(&self, oracle: &dyn DistancePlane, a: PeerId, b: PeerId) -> Delay {
         oracle.distance(self.host(a), self.host(b))
     }
 
@@ -742,7 +742,7 @@ mod tests {
 
     #[test]
     fn link_cost_uses_physical_distance() {
-        use ace_topology::Graph;
+        use ace_topology::{DistanceOracle, Graph};
         let mut g = Graph::new(3);
         g.add_edge(NodeId::new(0), NodeId::new(1), 4).unwrap();
         g.add_edge(NodeId::new(1), NodeId::new(2), 6).unwrap();

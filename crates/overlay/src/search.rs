@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ace_engine::SimTime;
-use ace_topology::DistanceOracle;
+use ace_topology::DistancePlane;
 
 use crate::network::Overlay;
 use crate::peer::PeerId;
@@ -217,7 +217,7 @@ impl QueryScratch {
 /// Panics if `source` is offline or out of range.
 pub fn run_query<P, F>(
     overlay: &Overlay,
-    oracle: &DistanceOracle,
+    oracle: &dyn DistancePlane,
     source: PeerId,
     config: &QueryConfig,
     policy: &P,
@@ -251,7 +251,7 @@ where
 #[allow(clippy::too_many_arguments)]
 pub fn run_query_into<P, F>(
     overlay: &Overlay,
-    oracle: &DistanceOracle,
+    oracle: &dyn DistancePlane,
     source: PeerId,
     config: &QueryConfig,
     policy: &P,
@@ -327,7 +327,7 @@ pub fn run_query_into<P, F>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_topology::{Graph, NodeId};
+    use ace_topology::{DistanceOracle, Graph, NodeId};
 
     /// Line physical net 0-1-2-3 (weight 10 each); overlay mirrors it.
     fn line_env() -> (Overlay, DistanceOracle) {

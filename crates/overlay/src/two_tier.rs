@@ -11,7 +11,7 @@
 use rand::Rng;
 
 use ace_engine::rng::sample_distinct;
-use ace_topology::{Delay, DistanceOracle, NodeId};
+use ace_topology::{Delay, DistancePlane, NodeId};
 
 use crate::network::{clustered_overlay, Overlay};
 use crate::peer::PeerId;
@@ -60,7 +60,7 @@ impl TwoTierNetwork {
     pub fn build<R: Rng + ?Sized>(
         hosts: Vec<NodeId>,
         cfg: &TwoTierConfig,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         rng: &mut R,
     ) -> Self {
         assert!(cfg.supernode_fraction > 0.0 && cfg.supernode_fraction <= 1.0);
@@ -119,13 +119,13 @@ impl TwoTierNetwork {
     }
 
     /// Cost of the access link between a leaf and its supernode.
-    pub fn access_cost(&self, oracle: &DistanceOracle, leaf: usize) -> Delay {
+    pub fn access_cost(&self, oracle: &dyn DistancePlane, leaf: usize) -> Delay {
         oracle.distance(self.leaf_hosts[leaf], self.core.host(self.assignment[leaf]))
     }
 
     /// Mean access-link cost over all leaves — the metric that
     /// locality-aware attachment improves.
-    pub fn mean_access_cost(&self, oracle: &DistanceOracle) -> f64 {
+    pub fn mean_access_cost(&self, oracle: &dyn DistancePlane) -> f64 {
         if self.leaf_hosts.is_empty() {
             return 0.0;
         }
@@ -143,7 +143,7 @@ impl TwoTierNetwork {
     /// link)`.
     pub fn query_from_leaf<P: crate::search::ForwardPolicy + ?Sized>(
         &self,
-        oracle: &DistanceOracle,
+        oracle: &dyn DistancePlane,
         leaf: usize,
         qc: &crate::search::QueryConfig,
         policy: &P,
@@ -162,6 +162,7 @@ mod tests {
     use super::*;
     use crate::search::{FloodAll, QueryConfig};
     use ace_topology::generate::{two_level, TwoLevelConfig};
+    use ace_topology::DistanceOracle;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

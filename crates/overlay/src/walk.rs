@@ -10,7 +10,7 @@
 use rand::Rng;
 
 use ace_engine::SimTime;
-use ace_topology::DistanceOracle;
+use ace_topology::DistancePlane;
 
 use crate::network::Overlay;
 use crate::peer::PeerId;
@@ -94,7 +94,7 @@ impl WalkOutcome {
 /// Panics if `source` is offline or `cfg.walkers == 0`.
 pub fn random_walk_query<R, F>(
     overlay: &Overlay,
-    oracle: &DistanceOracle,
+    oracle: &dyn DistancePlane,
     source: PeerId,
     cfg: &WalkConfig,
     mut is_responder: F,
@@ -157,7 +157,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ace_topology::{Graph, NodeId};
+    use ace_topology::{DistanceOracle, Graph, NodeId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

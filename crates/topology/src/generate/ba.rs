@@ -60,6 +60,28 @@ impl Default for BaConfig {
 ///
 /// Panics if the configuration is inconsistent (see field docs).
 pub fn ba<R: Rng + ?Sized>(cfg: &BaConfig, rng: &mut R) -> Graph {
+    let mut g = Graph::new(cfg.nodes);
+    ba_into(cfg, rng, &mut g, 0);
+    debug_assert!(g.is_connected());
+    g
+}
+
+/// Streams a Barabási–Albert graph into nodes
+/// `offset..offset + cfg.nodes` of an existing graph.
+///
+/// This is [`ba`] without the intermediate graph: composite generators
+/// (two-level AS/router, transit-stub) lay out many BA islands inside one
+/// big arena, and emitting edges straight into the target means the edge
+/// list is never materialized twice. Draws from `rng` in exactly the same
+/// order as [`ba`], so `ba(cfg, rng)` and `ba_into(cfg, rng, g, 0)` build
+/// identical edge sets.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (see field docs), the
+/// target range exceeds the graph, or a target node already has edges
+/// inside the range.
+pub fn ba_into<R: Rng + ?Sized>(cfg: &BaConfig, rng: &mut R, g: &mut Graph, offset: usize) {
     assert!(cfg.seed_nodes >= 2, "seed clique needs at least 2 nodes");
     assert!(
         cfg.nodes >= cfg.seed_nodes,
@@ -69,18 +91,22 @@ pub fn ba<R: Rng + ?Sized>(cfg: &BaConfig, rng: &mut R) -> Graph {
         (1..=cfg.seed_nodes).contains(&cfg.edges_per_node),
         "edges_per_node must be in 1..=seed_nodes"
     );
+    assert!(
+        offset + cfg.nodes <= g.node_count(),
+        "target range exceeds the graph"
+    );
 
-    let mut g = Graph::new(cfg.nodes);
-    // Urn of edge endpoints: each node appears once per incident edge.
+    // Urn of edge endpoints (local ids): each node appears once per
+    // incident edge.
     let mut urn: Vec<u32> = Vec::with_capacity(cfg.nodes * cfg.edges_per_node * 2);
+    let global = |local: u32| NodeId::new(offset as u32 + local);
 
-    for i in 0..cfg.seed_nodes {
-        for j in (i + 1)..cfg.seed_nodes {
-            let (a, b) = (NodeId::new(i as u32), NodeId::new(j as u32));
-            g.add_edge(a, b, cfg.delays.sample(rng))
+    for i in 0..cfg.seed_nodes as u32 {
+        for j in (i + 1)..cfg.seed_nodes as u32 {
+            g.add_edge(global(i), global(j), cfg.delays.sample(rng))
                 .expect("seed clique edges are unique");
-            urn.push(a.raw());
-            urn.push(b.raw());
+            urn.push(i);
+            urn.push(j);
         }
     }
 
@@ -94,17 +120,14 @@ pub fn ba<R: Rng + ?Sized>(cfg: &BaConfig, rng: &mut R) -> Graph {
                 picks.push(t);
             }
         }
-        let v = NodeId::new(v as u32);
+        let v = v as u32;
         for &t in &picks {
-            let t = NodeId::new(t);
-            g.add_edge(v, t, cfg.delays.sample(rng))
+            g.add_edge(global(v), global(t), cfg.delays.sample(rng))
                 .expect("new node cannot duplicate an edge");
-            urn.push(v.raw());
-            urn.push(t.raw());
+            urn.push(v);
+            urn.push(t);
         }
     }
-    debug_assert!(g.is_connected());
-    g
 }
 
 #[cfg(test)]
@@ -126,6 +149,22 @@ mod tests {
         assert_eq!(g.node_count(), 500);
         assert_eq!(g.edge_count(), 6 + (500 - 4) * 3); // seed clique + growth
         assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ba_into_matches_ba_at_an_offset() {
+        let cfg = BaConfig {
+            nodes: 300,
+            ..BaConfig::default()
+        };
+        let reference = ba(&cfg, &mut StdRng::seed_from_u64(11));
+        let mut arena = Graph::new(1000);
+        ba_into(&cfg, &mut StdRng::seed_from_u64(11), &mut arena, 400);
+        assert_eq!(arena.edge_count(), reference.edge_count());
+        for e in reference.edges() {
+            let (a, b) = (NodeId::new(400 + e.a.raw()), NodeId::new(400 + e.b.raw()));
+            assert_eq!(arena.edge_weight(a, b), Some(e.weight), "{a}-{b}");
+        }
     }
 
     #[test]

@@ -22,8 +22,8 @@ mod transit_stub;
 mod two_level;
 mod waxman;
 
-pub use ba::{ba, BaConfig};
-pub use random::{gnm, watts_strogatz, GnmConfig, WattsStrogatzConfig};
+pub use ba::{ba, ba_into, BaConfig};
+pub use random::{gnm, gnm_into, watts_strogatz, GnmConfig, WattsStrogatzConfig};
 pub use transit_stub::{transit_stub, RouterTier, TransitStubConfig, TransitStubTopology};
 pub use two_level::{two_level, TwoLevelConfig, TwoLevelTopology};
 pub use waxman::{waxman, WaxmanConfig};

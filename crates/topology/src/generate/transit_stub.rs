@@ -9,7 +9,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use super::{gnm, DelayModel, GnmConfig};
+use super::{gnm_into, DelayModel, GnmConfig};
 use crate::graph::{Graph, NodeId};
 
 /// Parameters for the [`transit_stub`] generator.
@@ -133,23 +133,18 @@ pub fn transit_stub<R: Rng + ?Sized>(cfg: &TransitStubConfig, rng: &mut R) -> Tr
         // Stub domains per transit router.
         for &anchor in &routers {
             for _ in 0..cfg.stubs_per_transit_node {
-                let stub = gnm(
+                let base = next;
+                // Stream the stub domain straight into the arena.
+                gnm_into(
                     &GnmConfig {
                         nodes: cfg.stub_size,
                         edges: cfg.stub_size + cfg.stub_size / 2,
                         delays: cfg.stub_delays,
                     },
                     rng,
+                    &mut g,
+                    base,
                 );
-                let base = next;
-                for e in stub.edges() {
-                    g.add_edge(
-                        NodeId::new((base + e.a.index()) as u32),
-                        NodeId::new((base + e.b.index()) as u32),
-                        e.weight,
-                    )
-                    .expect("stub domains are disjoint");
-                }
                 // One access link from a random stub router to the anchor.
                 let gateway = NodeId::new((base + rng.gen_range(0..cfg.stub_size)) as u32);
                 g.add_edge(anchor, gateway, cfg.access_delays.sample(rng))

@@ -10,7 +10,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use super::{ba, BaConfig, DelayModel};
+use super::{ba, ba_into, BaConfig, DelayModel};
 use crate::graph::{Graph, NodeId};
 
 /// Parameters for the [`two_level`] generator.
@@ -108,7 +108,8 @@ pub fn two_level<R: Rng + ?Sized>(cfg: &TwoLevelConfig, rng: &mut R) -> TwoLevel
     let mut g = Graph::new(total);
     let mut as_of = vec![0u32; total];
 
-    // Intra-AS router graphs.
+    // Intra-AS router graphs, streamed straight into the arena (the edge
+    // list is never materialized per AS first).
     for a in 0..cfg.as_count {
         let base = a * cfg.nodes_per_as;
         let intra_cfg = BaConfig {
@@ -117,15 +118,7 @@ pub fn two_level<R: Rng + ?Sized>(cfg: &TwoLevelConfig, rng: &mut R) -> TwoLevel
             edges_per_node: cfg.intra_edges_per_node.clamp(1, 3.min(cfg.nodes_per_as)),
             delays: cfg.intra_delays,
         };
-        let sub = ba(&intra_cfg, rng);
-        for e in sub.edges() {
-            g.add_edge(
-                NodeId::new((base + e.a.index()) as u32),
-                NodeId::new((base + e.b.index()) as u32),
-                e.weight,
-            )
-            .expect("intra edges are disjoint across ASes");
-        }
+        ba_into(&intra_cfg, rng, &mut g, base);
         for i in 0..cfg.nodes_per_as {
             as_of[base + i] = a as u32;
         }

@@ -39,10 +39,14 @@ pub mod analysis;
 pub mod export;
 pub mod generate;
 mod graph;
+mod hybrid;
 mod oracle;
+mod plane;
 pub mod sssp;
 mod vivaldi;
 
 pub use graph::{Delay, Edge, EdgeError, Graph, NodeId};
-pub use oracle::{DistanceOracle, LandmarkOracle};
-pub use vivaldi::{VivaldiConfig, VivaldiCoords};
+pub use hybrid::{HybridConfig, HybridOracle};
+pub use oracle::{CacheStats, DistanceOracle, LandmarkOracle};
+pub use plane::{DistancePlane, PlaneStats};
+pub use vivaldi::{VivaldiConfig, VivaldiCoords, VIVALDI_MEDIAN_ERROR_BUDGET};

@@ -11,7 +11,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::graph::{Delay, Graph, NodeId};
+use crate::plane::{DistancePlane, PlaneStats};
 use crate::sssp;
+
+/// Row-cache counters of a [`DistanceOracle`] (see
+/// [`DistanceOracle::cache_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls answered without running Dijkstra (including calls that
+    /// waited on a concurrent in-flight computation of the same source).
+    pub hits: u64,
+    /// Calls that ran Dijkstra themselves.
+    pub misses: u64,
+    /// Cached rows dropped by FIFO eviction.
+    pub evictions: u64,
+}
 
 /// A caching exact distance oracle.
 ///
@@ -39,20 +53,21 @@ use crate::sssp;
 pub struct DistanceOracle {
     graph: Arc<Graph>,
     shards: Vec<RwLock<Shard>>,
-    /// Maximum rows kept per shard (FIFO eviction within each shard).
-    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// One cache shard. A row is present in `rows` from the moment some
 /// thread claims the miss; the `OnceLock` fills in once its Dijkstra
 /// finishes, and late arrivals block there instead of recomputing.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shard {
     rows: HashMap<u32, Arc<OnceLock<Arc<Vec<Delay>>>>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<u32>,
+    /// This shard's slice of the global row budget (FIFO-evicts beyond it).
+    capacity: usize,
 }
 
 impl DistanceOracle {
@@ -68,21 +83,35 @@ impl DistanceOracle {
         Self::with_capacity(graph, Self::DEFAULT_CAPACITY)
     }
 
-    /// Wraps `graph` with a cache of roughly `capacity` source rows
-    /// (`capacity >= 1`). The budget is split evenly across shards, so a
-    /// skewed source distribution can evict slightly earlier than a single
-    /// global FIFO would.
+    /// Wraps `graph` with a cache of **exactly** `capacity` source rows
+    /// (`capacity >= 1`), split across shards.
+    ///
+    /// The first `capacity % shard_count` shards take one extra row, so
+    /// the per-shard budgets always sum to `capacity`. (An earlier version
+    /// rounded every shard down to `max(capacity / shards, 1)`, which
+    /// silently capped e.g. a 20-row budget at 16 rows — one per shard.)
+    /// Because eviction is FIFO *within each shard*, a source distribution
+    /// skewed onto one shard can still evict earlier than a single global
+    /// FIFO would; only the total budget is exact.
     pub fn with_capacity(graph: Graph, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         let shard_count = capacity.min(Self::MAX_SHARDS);
+        let base = capacity / shard_count;
+        let extra = capacity % shard_count;
         DistanceOracle {
             graph: Arc::new(graph),
             shards: (0..shard_count)
-                .map(|_| RwLock::new(Shard::default()))
+                .map(|i| {
+                    RwLock::new(Shard {
+                        rows: HashMap::new(),
+                        order: VecDeque::new(),
+                        capacity: base + usize::from(i < extra),
+                    })
+                })
                 .collect(),
-            shard_capacity: (capacity / shard_count).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -129,9 +158,10 @@ impl DistanceOracle {
                 // Another thread claimed it between our two lock scopes.
                 Some(cell) => (Arc::clone(cell), false),
                 None => {
-                    while guard.order.len() >= self.shard_capacity {
+                    while guard.order.len() >= guard.capacity {
                         if let Some(old) = guard.order.pop_front() {
                             guard.rows.remove(&old);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                     let cell = Arc::new(OnceLock::new());
@@ -174,14 +204,42 @@ impl DistanceOracle {
             .sum()
     }
 
-    /// `(hits, misses)` counters since construction. A "hit" is any call
+    /// Hit/miss/eviction counters since construction. A "hit" is any call
     /// that did not run Dijkstra itself, including calls that waited on a
     /// concurrent in-flight computation of the same source.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total row budget across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("oracle shard poisoned").capacity)
+            .sum()
+    }
+}
+
+impl DistancePlane for DistanceOracle {
+    fn graph(&self) -> &Graph {
+        DistanceOracle::graph(self)
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> Delay {
+        DistanceOracle::distance(self, a, b)
+    }
+
+    fn plane_stats(&self) -> PlaneStats {
+        let cache = self.cache_stats();
+        PlaneStats {
+            exact_full: cache.hits + cache.misses,
+            cache,
+            ..PlaneStats::default()
+        }
     }
 }
 
@@ -280,10 +338,46 @@ mod tests {
         let oracle = DistanceOracle::new(line(5, 1));
         oracle.distance(NodeId::new(0), NodeId::new(4));
         oracle.distance(NodeId::new(0), NodeId::new(3));
-        let (hits, misses) = oracle.cache_stats();
-        assert_eq!(misses, 1);
-        assert_eq!(hits, 1);
+        let stats = oracle.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 0);
         assert_eq!(oracle.cached_sources(), 1);
+    }
+
+    /// The shard split must neither exceed nor starve the requested
+    /// budget: per-shard capacities always sum to exactly `capacity`.
+    /// (Regression: even splitting rounded 17..=31 down to 16.)
+    #[test]
+    fn capacity_budget_is_exact() {
+        for capacity in [1usize, 2, 7, 15, 16, 17, 20, 31, 33, 100] {
+            let oracle = DistanceOracle::with_capacity(line(4, 1), capacity);
+            assert_eq!(oracle.capacity(), capacity, "budget for {capacity}");
+        }
+    }
+
+    /// A capacity between one and two multiples of the shard count keeps
+    /// exactly `capacity` rows resident, not a rounded-down multiple.
+    #[test]
+    fn capacity_between_shard_multiples_is_honored() {
+        let n = 40u32;
+        let capacity = 20; // > 16 shards, not a multiple
+        let oracle = DistanceOracle::with_capacity(line(n, 1), capacity);
+        for s in 0..n {
+            oracle.distances_from(NodeId::new(s));
+        }
+        let resident = oracle.cached_sources();
+        assert!(
+            resident <= capacity,
+            "resident {resident} exceeds budget {capacity}"
+        );
+        // Sources spread uniformly across shards, so the whole budget
+        // (not just 16 rows) must be in use after touching every source.
+        assert_eq!(resident, capacity, "budget starved: {resident}");
+        assert_eq!(
+            oracle.cache_stats().evictions as usize,
+            n as usize - capacity
+        );
     }
 
     #[test]
@@ -347,13 +441,71 @@ mod tests {
             }
         });
 
-        let (hits, misses) = oracle.cache_stats();
+        let stats = oracle.cache_stats();
         assert!(
-            misses <= distinct.len() as u64,
-            "misses {misses} > distinct sources {}",
+            stats.misses <= distinct.len() as u64,
+            "misses {} > distinct sources {}",
+            stats.misses,
             distinct.len()
         );
-        assert_eq!(hits + misses, (threads * queries_per_thread) as u64);
+        assert_eq!(
+            stats.hits + stats.misses,
+            (threads * queries_per_thread) as u64
+        );
+    }
+
+    /// FIFO eviction under concurrent same-source misses: in every phase,
+    /// all threads hammer one source that the previous phase evicted. The
+    /// per-source `OnceLock` guard must collapse each phase's concurrent
+    /// misses into exactly one Dijkstra, so the miss count is exact even
+    /// though the cache churns the whole time.
+    #[test]
+    fn concurrent_same_source_misses_dedup_under_eviction() {
+        let n = 64u32;
+        let capacity = 4usize;
+        let oracle = DistanceOracle::with_capacity(line(n, 1), capacity);
+        let threads = 8usize;
+        let phases = 10u32;
+        let barrier = std::sync::Barrier::new(threads);
+        let (oracle, barrier) = (&oracle, &barrier);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    for phase in 0..phases {
+                        barrier.wait();
+                        // Distinct per phase, always evicted by the time
+                        // the phase starts (see filler below).
+                        let s = NodeId::new(phase);
+                        let row = oracle.distances_from(s);
+                        for i in 0..n {
+                            let want = phase.abs_diff(i);
+                            assert_eq!(row[i as usize], want, "d({s}, n{i})");
+                        }
+                        barrier.wait();
+                        if t == 0 {
+                            // One filler per shard: flushes every resident
+                            // row, including this phase's hammered source.
+                            for k in 0..capacity as u32 {
+                                oracle
+                                    .distances_from(NodeId::new(16 + phase * capacity as u32 + k));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = oracle.cache_stats();
+        let expected_misses = u64::from(phases) * (capacity as u64 + 1);
+        assert_eq!(
+            stats.misses, expected_misses,
+            "concurrent same-source misses must dedup to one Dijkstra per phase"
+        );
+        assert_eq!(
+            stats.evictions,
+            expected_misses - oracle.cached_sources() as u64,
+            "every insert beyond the resident set must be an eviction"
+        );
+        assert!(oracle.cached_sources() <= capacity);
     }
 
     #[test]

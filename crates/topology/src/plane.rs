@@ -1,0 +1,96 @@
+//! The distance plane — the abstraction every consumer of "how far apart
+//! are these two physical nodes?" goes through.
+//!
+//! The ACE engine, the async protocol simulator and the overlay query path
+//! all price logical links by physical distance. Historically they took the
+//! concrete exact [`DistanceOracle`](crate::DistanceOracle) (one full
+//! Dijkstra row per source), which caps experiments at a few thousand
+//! peers. [`DistancePlane`] decouples the consumers from the answering
+//! strategy so the same engine runs against:
+//!
+//! * [`DistanceOracle`](crate::DistanceOracle) — exact, memoized SSSP rows
+//!   (the reference plane, used by every paper-figure experiment);
+//! * [`HybridOracle`](crate::HybridOracle) — converged Vivaldi coordinates
+//!   with deterministic sampled-exact and error-forced exact tiers (the
+//!   scale plane: `O(dims)` per query, no per-source rows).
+//!
+//! The trait is object-safe and `Sync` so a `&dyn DistancePlane` can be
+//! shared across the engine's plan/commit worker threads.
+
+use crate::graph::{Delay, Graph, NodeId};
+use crate::oracle::CacheStats;
+
+/// Per-tier answer counters of a distance plane (all monotonic since
+/// construction). Which fields move depends on the implementation: an
+/// exact oracle only drives `exact_full`; the hybrid oracle splits its
+/// answers across `coord`, `exact_sampled`, `exact_forced` and
+/// `exact_fallback`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaneStats {
+    /// Answers from network coordinates (the cheap tier).
+    pub coord: u64,
+    /// Exact answers for pairs in the deterministic audit sample.
+    pub exact_sampled: u64,
+    /// Exact answers forced because an endpoint's coordinate error bound
+    /// exceeded the configured threshold.
+    pub exact_forced: u64,
+    /// Exact answers for nodes outside the embedded member set.
+    pub exact_fallback: u64,
+    /// Answers from a full exact oracle (reference plane only).
+    pub exact_full: u64,
+    /// Row-cache counters of whatever exact oracle backs the plane.
+    pub cache: CacheStats,
+}
+
+impl PlaneStats {
+    /// Total distance queries answered.
+    pub fn total(&self) -> u64 {
+        self.coord + self.exact_sampled + self.exact_forced + self.exact_fallback + self.exact_full
+    }
+
+    /// Fraction of queries answered by the coordinate tier (0.0 for an
+    /// exact plane; the scale story wants this near 1.0).
+    pub fn coord_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.coord as f64 / total as f64
+        }
+    }
+}
+
+/// A source of physical point-to-point delays.
+///
+/// Implementations must be deterministic: `distance(a, b)` may depend only
+/// on construction-time state and the pair itself — never on query order
+/// or thread interleaving — so that the engine's bit-identical-digest
+/// guarantee across worker counts holds on every plane.
+pub trait DistancePlane: Sync {
+    /// The underlying physical graph.
+    fn graph(&self) -> &Graph;
+
+    /// Delay between `a` and `b` (0 when equal; implementations answer
+    /// [`crate::sssp::UNREACHABLE`] for disconnected exact pairs).
+    fn distance(&self, a: NodeId, b: NodeId) -> Delay;
+
+    /// Tier/cache counters. Planes without instrumentation return zeros.
+    fn plane_stats(&self) -> PlaneStats {
+        PlaneStats::default()
+    }
+}
+
+/// Blanket impl so `&SomePlane` passes where a plane value is expected.
+impl<P: DistancePlane + ?Sized> DistancePlane for &P {
+    fn graph(&self) -> &Graph {
+        (**self).graph()
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> Delay {
+        (**self).distance(a, b)
+    }
+
+    fn plane_stats(&self) -> PlaneStats {
+        (**self).plane_stats()
+    }
+}

@@ -14,6 +14,56 @@ use crate::graph::Delay;
 use crate::oracle::DistanceOracle;
 use crate::NodeId;
 
+/// Recorded accuracy budget for the seeded default topology: the median
+/// relative estimation error of a converged default-config embedding must
+/// stay under this. The regression test
+/// `median_error_stays_within_recorded_budget` pins it so coordinate
+/// drift (a changed update rule, a broken RNG stream, a bad default)
+/// cannot silently degrade the hybrid oracle's cheap tier. Measured
+/// ~0.26 at the time of recording; the budget leaves headroom for seed
+/// sensitivity but fails well before estimates become useless.
+pub const VIVALDI_MEDIAN_ERROR_BUDGET: f64 = 0.40;
+
+/// One Vivaldi spring-relaxation step: nudges coordinate `ci` toward (or
+/// away from) `cj` so their Euclidean distance tracks the measured `rtt`,
+/// and updates node `i`'s confidence error `ei` (Dabek et al., Fig. 3).
+/// Shared by the full [`VivaldiCoords`] embedding and the hybrid oracle's
+/// anchor-trained embedding so the two cannot drift apart.
+pub(crate) fn spring_update(
+    ci: &mut [f64],
+    cj: &[f64],
+    rtt: f64,
+    ei: &mut f64,
+    ej: f64,
+    ce: f64,
+    cc: f64,
+) {
+    let mut dist2 = 0.0;
+    for (a, b) in ci.iter().zip(cj.iter()) {
+        let diff = a - b;
+        dist2 += diff * diff;
+    }
+    let dist = dist2.sqrt();
+    let w = *ei / (*ei + ej).max(1e-12);
+    let es = (dist - rtt).abs() / rtt;
+    *ei = es * ce * w + *ei * (1.0 - ce * w);
+    let delta = cc * w;
+    // Move along the spring force.
+    for (d, a) in ci.iter_mut().enumerate() {
+        let dir = if dist > 1e-9 {
+            (*a - cj[d]) / dist
+        } else {
+            // Coincident points: pick a deterministic axis kick.
+            if d == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        *a += delta * (rtt - dist) * dir;
+    }
+}
+
 /// Parameters of the Vivaldi embedding.
 #[derive(Clone, Copy, Debug)]
 pub struct VivaldiConfig {
@@ -91,31 +141,10 @@ impl VivaldiCoords {
                     let (lo, hi) = coords.split_at_mut(i);
                     (&mut hi[0], &lo[j])
                 };
-                // Current estimated distance and unit direction j -> i.
-                let mut dist2 = 0.0;
-                for (a, b) in ci.iter().zip(cj.iter()) {
-                    let diff = a - b;
-                    dist2 += diff * diff;
-                }
-                let dist = dist2.sqrt();
-                let w = error[i] / (error[i] + error[j]).max(1e-12);
-                let es = (dist - rtt).abs() / rtt;
-                error[i] = es * cfg.ce * w + error[i] * (1.0 - cfg.ce * w);
-                let delta = cfg.cc * w;
-                // Move along the spring force.
-                for (d, a) in ci.iter_mut().enumerate() {
-                    let dir = if dist > 1e-9 {
-                        (*a - cj[d]) / dist
-                    } else {
-                        // Coincident points: pick a deterministic axis kick.
-                        if d == 0 {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    };
-                    *a += delta * (rtt - dist) * dir;
-                }
+                let (ei, ej) = (error[i], error[j]);
+                let mut ei_new = ei;
+                spring_update(ci, cj, rtt, &mut ei_new, ej, cfg.ce, cfg.cc);
+                error[i] = ei_new;
             }
         }
         let index = nodes
@@ -302,6 +331,27 @@ mod tests {
         assert!(
             same / ns as f64 * 2.0 < cross / nc as f64,
             "embedding keeps locality"
+        );
+    }
+
+    /// Accuracy regression gate: the seeded default topology's converged
+    /// median relative error must stay under the recorded
+    /// [`VIVALDI_MEDIAN_ERROR_BUDGET`]. The hybrid distance plane answers
+    /// most queries from these coordinates, so silent drift here would
+    /// directly degrade every scale experiment.
+    #[test]
+    fn median_error_stays_within_recorded_budget() {
+        let (oracle, nodes) = world();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = VivaldiConfig {
+            rounds: 128,
+            ..VivaldiConfig::default()
+        };
+        let v = VivaldiCoords::compute(&oracle, &nodes, &cfg, &mut rng);
+        let err = v.median_relative_error(&oracle, 400, &mut rng);
+        assert!(
+            err < VIVALDI_MEDIAN_ERROR_BUDGET,
+            "median relative error {err:.3} exceeds recorded budget {VIVALDI_MEDIAN_ERROR_BUDGET}"
         );
     }
 

@@ -1,10 +1,51 @@
 //! Property-based tests for the physical-network substrate.
 
-use ace_topology::generate::{gnm, DelayModel, GnmConfig};
-use ace_topology::{sssp, DistanceOracle, Graph, LandmarkOracle, NodeId};
+use std::collections::BTreeSet;
+
+use ace_topology::generate::{ba, gnm, BaConfig, DelayModel, GnmConfig};
+use ace_topology::{sssp, Delay, DistanceOracle, Graph, LandmarkOracle, NodeId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Reference adjacency model: the plain `Vec<Vec<(NodeId, Delay)>>`
+/// layout the CSR arena replaced. Built from the generator's edge stream,
+/// it re-derives neighbor lists and SSSP rows independently of the arena.
+struct VecAdjacency {
+    adj: Vec<Vec<(NodeId, Delay)>>,
+}
+
+impl VecAdjacency {
+    fn from_graph(g: &Graph) -> Self {
+        let mut adj = vec![Vec::new(); g.node_count()];
+        for e in g.edges() {
+            adj[e.a.index()].push((e.b, e.weight));
+            adj[e.b.index()].push((e.a, e.weight));
+        }
+        VecAdjacency { adj }
+    }
+
+    /// Textbook Dijkstra over the Vec-of-Vecs layout.
+    fn dijkstra(&self, src: NodeId) -> Vec<Delay> {
+        let mut dist = vec![sssp::UNREACHABLE; self.adj.len()];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[src.index()] = 0;
+        heap.push(std::cmp::Reverse((0u64, src.index())));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > u64::from(dist[u]) {
+                continue;
+            }
+            for &(v, w) in &self.adj[u] {
+                let nd = d + u64::from(w);
+                if nd < u64::from(dist[v.index()]) {
+                    dist[v.index()] = nd as Delay;
+                    heap.push(std::cmp::Reverse((nd, v.index())));
+                }
+            }
+        }
+        dist
+    }
+}
 
 /// Strategy: a random connected graph with 2..=40 nodes and positive weights.
 fn arb_connected_graph() -> impl Strategy<Value = Graph> {
@@ -76,13 +117,79 @@ proptest! {
     #[test]
     fn landmark_estimate_is_upper_bound(g in arb_connected_graph()) {
         let n = g.node_count();
-        let lm = LandmarkOracle::new(&g, vec![NodeId::new(0), NodeId::new((n as u32 - 1).max(0))]);
+        let lm = LandmarkOracle::new(&g, vec![NodeId::new(0), NodeId::new(n as u32 - 1)]);
         let oracle = DistanceOracle::new(g);
         for i in 0..n.min(8) {
             for j in 0..n.min(8) {
                 let (a, b) = (NodeId::new(i as u32), NodeId::new(j as u32));
                 prop_assert!(lm.estimate(a, b) >= oracle.distance(a, b));
             }
+        }
+    }
+
+    #[test]
+    fn csr_adjacency_matches_vec_model(g in arb_connected_graph()) {
+        let model = VecAdjacency::from_graph(&g);
+        // Neighbor lists: same multiset per node.
+        for n in g.nodes() {
+            let mut csr: Vec<_> = g.neighbors(n).to_vec();
+            let mut reference = model.adj[n.index()].clone();
+            csr.sort_unstable();
+            reference.sort_unstable();
+            prop_assert_eq!(csr, reference, "node {}", n);
+        }
+        // Edge set: iterating the CSR arena yields each undirected edge once.
+        let csr_edges: BTreeSet<_> = g.edges().map(|e| {
+            let (lo, hi) = if e.a <= e.b { (e.a, e.b) } else { (e.b, e.a) };
+            (lo, hi, e.weight)
+        }).collect();
+        prop_assert_eq!(csr_edges.len(), g.edge_count());
+    }
+
+    #[test]
+    fn csr_sssp_rows_match_vec_model(g in arb_connected_graph()) {
+        let model = VecAdjacency::from_graph(&g);
+        let sources = [0, g.node_count() / 2, g.node_count() - 1];
+        for s in sources {
+            let src = NodeId::new(s as u32);
+            prop_assert_eq!(sssp::dijkstra(&g, src), model.dijkstra(src), "source {}", src);
+        }
+    }
+
+    #[test]
+    fn streamed_ba_matches_batch_ba(
+        (n, m, seed) in (3usize..=30, 1usize..=3, any::<u64>()),
+        offset in 0usize..50,
+    ) {
+        let cfg = BaConfig {
+            nodes: n,
+            seed_nodes: 3,
+            edges_per_node: m,
+            delays: DelayModel::Uniform { lo: 1, hi: 40 },
+        };
+        let batch = ba(&cfg, &mut StdRng::seed_from_u64(seed));
+        let mut arena = Graph::new(offset + n + 5);
+        ace_topology::generate::ba_into(
+            &cfg,
+            &mut StdRng::seed_from_u64(seed),
+            &mut arena,
+            offset,
+        );
+        // Identical edge sets, shifted by the offset.
+        let batch_edges: BTreeSet<_> = batch
+            .edges()
+            .map(|e| (e.a.index() + offset, e.b.index() + offset, e.weight))
+            .collect();
+        let arena_edges: BTreeSet<_> = arena
+            .edges()
+            .map(|e| (e.a.index(), e.b.index(), e.weight))
+            .collect();
+        prop_assert_eq!(batch_edges, arena_edges);
+        // Identical SSSP rows over the streamed region.
+        let batch_row = sssp::dijkstra(&batch, NodeId::new(0));
+        let arena_row = sssp::dijkstra(&arena, NodeId::new(offset as u32));
+        for i in 0..n {
+            prop_assert_eq!(batch_row[i], arena_row[offset + i], "node {}", i);
         }
     }
 

@@ -274,7 +274,7 @@ mod tests {
             (n, _seed) in arb_pair(),
             k in 3u8..=5,
         ) {
-            prop_assert!(n >= 2 && n < 20, "n={}", n);
+            prop_assert!((2..20).contains(&n), "n={}", n);
             prop_assert!((3..=5).contains(&k));
             prop_assert_eq!(n % 2, 0);
         }

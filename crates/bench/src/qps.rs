@@ -1,0 +1,323 @@
+//! The serving-throughput curve — sustained queries/sec on optimized vs.
+//! unoptimized overlays, written to `BENCH_qps.json`.
+//!
+//! The paper's headline is that ACE cuts *query* traffic; every earlier
+//! artifact measures that cut per query. This bench serves a Zipf
+//! workload at rate through [`ace_overlay::serve_batch`] and reports
+//! what the reduction buys as throughput: on the same world, the same
+//! queries are swept once over the initial overlay with blind flooding
+//! and once over the ACE-optimized overlay with tree forwarding, and
+//! each side records sustained queries/sec plus p50/p99 hop and
+//! response latency (simulated ticks, not wall clock — wall clock only
+//! prices the sweep itself).
+//!
+//! Worlds and distance plane match the scale curve ([`crate::scale`]):
+//! same two-level physical topologies, same clustered overlays, same
+//! hybrid Vivaldi oracle, so the two artifacts describe one system.
+
+use std::time::Instant;
+
+use ace_core::{AceConfig, AceEngine, AceForward};
+use ace_overlay::{
+    serve_batch, zipf_workload, Catalog, FloodAll, ForwardPolicy, Placement, QueryConfig,
+    QuerySpec, ServeConfig, ServeReport,
+};
+use ace_topology::{DistancePlane, HybridConfig, HybridOracle, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::scale::build_world;
+
+/// Populations served; both are scale-curve points so the worlds are
+/// directly comparable with `BENCH_scale.json`.
+pub const QPS_POINTS: [usize; 2] = [800, 5_000];
+
+/// ACE optimization rounds before the optimized side serves.
+pub const QPS_ROUNDS: usize = 5;
+
+/// World seed (per-point streams derive from it).
+const SEED: u64 = 211;
+
+/// Content catalog: the workspace's standard Gnutella-like workload.
+const OBJECTS: usize = 500;
+const REPLICAS: usize = 8;
+const ZIPF: f64 = 0.8;
+
+/// TTL covering every generated overlay even under tree-path dilation.
+const TTL: u8 = 32;
+
+/// Queries served per side at a population (smaller at 5k: each query
+/// visits ~6× the peers, so this keeps both points at comparable cost).
+pub fn queries_for(peers: usize) -> usize {
+    if peers >= 5_000 {
+        2_048
+    } else {
+        4_096
+    }
+}
+
+/// One serving side (flooding on the initial overlay, or ACE tree
+/// forwarding on the optimized overlay).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct QpsSide {
+    /// Sustained throughput: served queries per wall-clock second.
+    pub qps: f64,
+    /// Wall-clock seconds for the whole sweep.
+    pub elapsed_s: f64,
+    /// Median query-arrival (hop) latency, simulated ms.
+    pub hop_p50_ms: f64,
+    /// 99th-percentile hop latency, simulated ms.
+    pub hop_p99_ms: f64,
+    /// Median first-response round trip, simulated ms.
+    pub response_p50_ms: f64,
+    /// 99th-percentile first-response round trip, simulated ms.
+    pub response_p99_ms: f64,
+    /// Mean search scope per served query.
+    pub mean_scope: f64,
+    /// Mean traffic cost per served query.
+    pub traffic_per_query: f64,
+    /// Mean duplicate receipts per served query.
+    pub duplicates_per_query: f64,
+    /// Fraction of served queries that found a responder.
+    pub success: f64,
+    /// Queries skipped (dead source) — 0 here, the serving worlds are
+    /// static; the field keeps the artifact honest if churn is added.
+    pub skipped: u64,
+    /// Heaviest per-peer inbox load of the sweep.
+    pub max_inbox: u64,
+    /// Batch digest — reproducibility pin for the whole side.
+    pub digest: u64,
+}
+
+impl QpsSide {
+    fn from_report(r: &ServeReport) -> Self {
+        let served = r.served.max(1) as f64;
+        QpsSide {
+            qps: r.qps(),
+            elapsed_s: r.elapsed.as_secs_f64(),
+            hop_p50_ms: r.hop_latency.quantile_ms(0.5),
+            hop_p99_ms: r.hop_latency.quantile_ms(0.99),
+            response_p50_ms: r.response_latency.quantile_ms(0.5),
+            response_p99_ms: r.response_latency.quantile_ms(0.99),
+            mean_scope: r.mean_scope,
+            traffic_per_query: r.traffic_cost / served,
+            duplicates_per_query: r.duplicates as f64 / served,
+            success: r.success,
+            skipped: r.skipped,
+            max_inbox: r.max_inbox(),
+            digest: r.digest(),
+        }
+    }
+}
+
+/// One population of the throughput curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QpsPoint {
+    /// Logical peers.
+    pub peers: usize,
+    /// Queries served per side.
+    pub queries: usize,
+    /// Worker threads the serving engine used.
+    pub workers: usize,
+    /// Blind flooding on the initial (mismatched) overlay.
+    pub flood: QpsSide,
+    /// ACE tree forwarding on the optimized overlay.
+    pub ace: QpsSide,
+    /// `ace.qps / flood.qps` — the serving-throughput claim.
+    pub qps_ratio: f64,
+    /// `ace.traffic_per_query / flood.traffic_per_query` — the paper's
+    /// traffic claim, restated on the serving plane.
+    pub traffic_ratio: f64,
+    /// `ace.mean_scope / flood.mean_scope` — scope retention.
+    pub scope_ratio: f64,
+}
+
+/// The whole committed artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QpsBench {
+    /// ACE rounds run before the optimized side.
+    pub rounds: usize,
+    /// Shard size of the serving engine.
+    pub chunk: usize,
+    /// The curve.
+    pub points: Vec<QpsPoint>,
+}
+
+impl QpsBench {
+    /// The point for a population, if present.
+    pub fn point(&self, peers: usize) -> Option<&QpsPoint> {
+        self.points.iter().find(|p| p.peers == peers)
+    }
+}
+
+fn serve_side<P: ForwardPolicy + Sync + ?Sized>(
+    overlay: &ace_overlay::Overlay,
+    plane: &dyn DistancePlane,
+    policy: &P,
+    placement: &Placement,
+    specs: &[QuerySpec],
+) -> ServeReport {
+    let cfg = ServeConfig {
+        query: QueryConfig {
+            ttl: TTL,
+            stop_at_responder: false,
+        },
+        ..ServeConfig::default()
+    };
+    serve_batch(
+        overlay,
+        plane,
+        policy,
+        specs,
+        &|obj, peer| placement.is_holder(obj, peer),
+        &cfg,
+    )
+}
+
+/// Measures one population: same world and hybrid plane as the scale
+/// curve, one Zipf workload, served by both sides.
+pub fn run_point(peers: usize) -> QpsPoint {
+    let (graph, overlay, mut rng) = build_world(peers, SEED);
+    let members: Vec<NodeId> = overlay.peers().map(|p| overlay.host(p)).collect();
+    let t0 = Instant::now();
+    let plane = HybridOracle::build(graph, &members, &HybridConfig::default());
+    eprintln!(
+        "[bench_qps: {peers} peers — hybrid plane built in {:.0} ms]",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    let catalog = Catalog::new(OBJECTS, ZIPF);
+    let placement = Placement::random(OBJECTS, REPLICAS, &overlay, &mut rng);
+    let queries = queries_for(peers);
+    let specs = zipf_workload(&overlay, &catalog, queries, &mut rng);
+
+    // Unoptimized side: blind flooding on the initial overlay.
+    let flood_report = serve_side(&overlay, &plane, &FloodAll, &placement, &specs);
+
+    // Optimized side: the same workload after ACE rounds.
+    let mut optimized = overlay;
+    let mut ace = AceEngine::new(
+        optimized.peer_count(),
+        AceConfig {
+            parallel: true,
+            ..AceConfig::paper_default()
+        },
+    );
+    let t1 = Instant::now();
+    for _ in 0..QPS_ROUNDS {
+        ace.round(&mut optimized, &plane, &mut rng);
+    }
+    eprintln!(
+        "[bench_qps: {peers} peers — {QPS_ROUNDS} ACE rounds in {:.0} ms]",
+        t1.elapsed().as_secs_f64() * 1e3
+    );
+    let ace_report = serve_side(
+        &optimized,
+        &plane,
+        &AceForward::new(&ace),
+        &placement,
+        &specs,
+    );
+
+    let flood = QpsSide::from_report(&flood_report);
+    let ace_side = QpsSide::from_report(&ace_report);
+    QpsPoint {
+        peers,
+        queries,
+        workers: ace_engine::pool::effective_workers(0),
+        qps_ratio: ace_side.qps / flood.qps.max(1e-9),
+        traffic_ratio: ace_side.traffic_per_query / flood.traffic_per_query.max(1e-9),
+        scope_ratio: ace_side.mean_scope / flood.mean_scope.max(1e-9),
+        flood,
+        ace: ace_side,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature point (not a committed population): the optimized side
+    /// must cut per-query traffic while retaining scope, and both sides
+    /// must actually serve.
+    #[test]
+    fn tiny_point_reduces_traffic_and_retains_scope() {
+        let point = run_point_sized(300, 256);
+        assert_eq!(point.flood.skipped, 0);
+        assert_eq!(point.ace.skipped, 0);
+        assert!(point.flood.qps > 0.0);
+        assert!(point.ace.qps > 0.0);
+        assert!(
+            point.traffic_ratio < 0.95,
+            "ACE must cut per-query traffic: ratio {}",
+            point.traffic_ratio
+        );
+        assert!(
+            point.scope_ratio > 0.9,
+            "scope must be retained: ratio {}",
+            point.scope_ratio
+        );
+    }
+
+    /// Same world, same seed → same digests (the serving side of the
+    /// reproducibility guarantee).
+    #[test]
+    fn points_are_reproducible() {
+        let a = run_point_sized(200, 128);
+        let b = run_point_sized(200, 128);
+        assert_eq!(a.flood.digest, b.flood.digest);
+        assert_eq!(a.ace.digest, b.ace.digest);
+    }
+
+    /// Test-only variant of [`run_point`] on an arbitrary (small)
+    /// population with a custom query count.
+    fn run_point_sized(peers: usize, queries: usize) -> QpsPoint {
+        use ace_overlay::clustered_overlay;
+        use ace_topology::generate::{two_level, TwoLevelConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let topo = two_level(
+            &TwoLevelConfig {
+                as_count: 4,
+                nodes_per_as: 200,
+                ..TwoLevelConfig::default()
+            },
+            &mut rng,
+        );
+        let hosts = topo.graph.nodes().take(peers).collect();
+        let overlay = clustered_overlay(hosts, 6, 0.7, Some(12), &mut rng);
+        let members: Vec<NodeId> = overlay.peers().map(|p| overlay.host(p)).collect();
+        let plane = HybridOracle::build(topo.graph, &members, &HybridConfig::default());
+
+        let catalog = Catalog::new(OBJECTS, ZIPF);
+        let placement = Placement::random(OBJECTS, REPLICAS, &overlay, &mut rng);
+        let specs = zipf_workload(&overlay, &catalog, queries, &mut rng);
+
+        let flood_report = serve_side(&overlay, &plane, &FloodAll, &placement, &specs);
+        let mut optimized = overlay;
+        let mut ace = AceEngine::new(optimized.peer_count(), AceConfig::paper_default());
+        for _ in 0..QPS_ROUNDS {
+            ace.round(&mut optimized, &plane, &mut rng);
+        }
+        let ace_report = serve_side(
+            &optimized,
+            &plane,
+            &AceForward::new(&ace),
+            &placement,
+            &specs,
+        );
+        let flood = QpsSide::from_report(&flood_report);
+        let ace_side = QpsSide::from_report(&ace_report);
+        QpsPoint {
+            peers,
+            queries,
+            workers: ace_engine::pool::effective_workers(0),
+            qps_ratio: ace_side.qps / flood.qps.max(1e-9),
+            traffic_ratio: ace_side.traffic_per_query / flood.traffic_per_query.max(1e-9),
+            scope_ratio: ace_side.mean_scope / flood.mean_scope.max(1e-9),
+            flood,
+            ace: ace_side,
+        }
+    }
+}

@@ -260,8 +260,10 @@ fn sample_hosts<R: Rng + ?Sized>(rng: &mut R, nodes: usize, k: usize) -> Vec<Nod
 }
 
 /// Builds the point's world: physical graph and clustered overlay whose
-/// hosts become the hybrid plane's member set.
-fn build_world(peers: usize, seed: u64) -> (Graph, Overlay, StdRng) {
+/// hosts become the hybrid plane's member set. Shared with the
+/// query-serving bench ([`crate::qps`]) so both curves measure the same
+/// worlds.
+pub(crate) fn build_world(peers: usize, seed: u64) -> (Graph, Overlay, StdRng) {
     let (as_count, nodes_per_as) = phys_for(peers);
     let mut rng = StdRng::seed_from_u64(seed);
     let topo = two_level(

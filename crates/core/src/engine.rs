@@ -19,11 +19,11 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use ace_engine::pool::{self, plan_parallel};
 
 use ace_overlay::{DepartureKind, Message, Overlay, OverlayError, PeerId};
 use ace_topology::{Delay, DistancePlane};
@@ -929,13 +929,7 @@ impl AceEngine {
     /// Worker-thread count for the pipeline (`cfg.workers`, or one per
     /// available core when 0). Never affects results, only wall time.
     fn effective_workers(&self) -> usize {
-        if self.cfg.workers > 0 {
-            self.cfg.workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        }
+        pool::effective_workers(self.cfg.workers)
     }
 
     /// Per-peer RNG stream seed: distinct per `(round_seed, peer)` and
@@ -1615,42 +1609,6 @@ enum Proposal {
         near_cost: Delay,
     },
     Keep,
-}
-
-/// Runs `f(0)..f(n-1)` on `workers` scoped threads with atomic-counter
-/// work stealing, returning results in index order. One worker (or one
-/// item) degenerates to an inline loop with identical results — `f` must
-/// not depend on which thread runs it.
-fn plan_parallel<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n <= 1 || workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let v = f(i);
-                *slots[i].lock().expect("plan slot lock poisoned") = Some(v);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("plan slot lock poisoned")
-                .expect("every index was planned")
-        })
-        .collect()
 }
 
 #[cfg(test)]

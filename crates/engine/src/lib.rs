@@ -2,8 +2,10 @@
 //!
 //! Shared simulation machinery for the ACE reproduction: integer
 //! [`SimTime`], a deterministic [`EventQueue`] (time ties broken by
-//! insertion order), the [`run_until`] driver, and the random
-//! distributions ([`rng`]) behind the paper's workload and churn models.
+//! insertion order), the [`run_until`] driver, the deterministic
+//! fork-join worker pool ([`pool`]) shared by the round pipeline and the
+//! query-serving engine, and the random distributions ([`rng`]) behind
+//! the paper's workload and churn models.
 //!
 //! Everything is seedable and integer-timed so that every experiment in
 //! the repository is exactly reproducible from its configuration.
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
 mod queue;
 pub mod rng;
 mod time;

@@ -1,0 +1,107 @@
+//! Deterministic fork-join worker pool.
+//!
+//! The plan/commit round pipeline (PR 1) and the batched query-serving
+//! engine both need the same primitive: run `n` independent, read-only
+//! jobs on a bounded set of threads and get the results back **in index
+//! order**, so that the caller's subsequent (serial) merge is identical
+//! for any worker count. This module is that primitive, extracted from
+//! the ACE engine so every layer shares one implementation.
+//!
+//! The contract that makes worker-count independence work: `f` must be a
+//! pure function of its index (no shared mutable state, no RNG draws from
+//! a shared stream). The pool only changes *which thread* runs an index,
+//! never *what* the index computes or the order results are returned in.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0)..f(n-1)` on `workers` scoped threads with atomic-counter
+/// work stealing, returning results in index order. One worker (or one
+/// item) degenerates to an inline loop with identical results — `f` must
+/// not depend on which thread runs it.
+///
+/// # Examples
+///
+/// ```
+/// use ace_engine::pool::plan_parallel;
+/// let squares = plan_parallel(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// // Any worker count gives the same answer.
+/// assert_eq!(plan_parallel(5, 1, |i| i * i), squares);
+/// ```
+pub fn plan_parallel<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n <= 1 || workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock().expect("plan slot lock poisoned") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("plan slot lock poisoned")
+                .expect("every index was planned")
+        })
+        .collect()
+}
+
+/// Resolves a worker-count knob: `0` means one worker per available
+/// hardware thread, anything else is taken literally.
+pub fn effective_workers(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = plan_parallel(64, 8, |i| i as u64 * 3);
+        assert_eq!(out, (0..64).map(|i| i as u64 * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let reference = plan_parallel(33, 1, |i| i.wrapping_mul(0x9e37_79b9));
+        for workers in [2, 3, 4, 7] {
+            assert_eq!(
+                plan_parallel(33, workers, |i| i.wrapping_mul(0x9e37_79b9)),
+                reference,
+                "workers={workers} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        assert_eq!(plan_parallel(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(plan_parallel(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(3), 3);
+    }
+}

@@ -14,6 +14,10 @@
 //!   scope, traffic cost, duplicates and response time, parameterized by a
 //!   [`ForwardPolicy`] (blind [`FloodAll`] here; ACE's tree policy lives
 //!   in `ace-core`);
+//! * [`serve_batch`] — the batched query-serving engine: SoA per-slot
+//!   state, bitset duplicate-drop, worker-sharded execution with
+//!   per-peer inbox accounting, bit-identical to a sequential
+//!   [`run_query_into`] sweep for any worker count;
 //! * content ([`Catalog`], [`Placement`]), churn ([`LifetimeModel`]) and
 //!   workload ([`QueryRate`]) models with the paper's parameters;
 //! * [`IndexCache`] — the response index caching extension of §5.2.
@@ -52,6 +56,7 @@ mod message;
 mod network;
 mod peer;
 mod search;
+mod serve;
 mod two_tier;
 mod walk;
 
@@ -68,6 +73,10 @@ pub use network::{
 pub use peer::PeerId;
 pub use search::{
     run_query, run_query_into, FloodAll, ForwardPolicy, QueryConfig, QueryOutcome, QueryScratch,
+};
+pub use serve::{
+    serve_batch, serve_sequential, zipf_workload, BatchOutcome, LatencyHistogram, QuerySpec,
+    ServeConfig, ServeReport,
 };
 pub use two_tier::{TwoTierConfig, TwoTierNetwork};
 pub use walk::{random_walk_query, WalkConfig, WalkOutcome};

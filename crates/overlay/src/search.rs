@@ -175,12 +175,17 @@ impl QueryOutcome {
 
     /// Reverse path from `peer` back to the source (inclusive), following
     /// first-arrival parents; `None` if `peer` was not reached.
+    ///
+    /// Out-of-range peer ids also answer `None`: an outcome describes the
+    /// overlay *as it was when the query ran*, and callers routinely hold
+    /// outcomes across churn — a peer that joined after the measurement
+    /// simply was not part of it.
     pub fn reverse_path(&self, source: PeerId, peer: PeerId) -> Option<Vec<PeerId>> {
-        self.arrivals[peer.index()]?;
+        (*self.arrivals.get(peer.index())?)?;
         let mut path = vec![peer];
         let mut cur = peer;
         while cur != source {
-            cur = self.parents[cur.index()]?;
+            cur = (*self.parents.get(cur.index())?)?;
             path.push(cur);
         }
         Some(path)
@@ -247,7 +252,12 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `source` is offline or out of range.
+/// Panics if `source` is offline or out of range. This makes a single
+/// query from a dead source a *caller* bug — but a batch driver sweeping
+/// thousands of pre-drawn sources over a churning overlay must not die
+/// because one source crashed mid-sweep. Batch callers should check
+/// [`Overlay::is_alive`] per query (or use [`crate::serve_batch`], which
+/// skips dead sources and reports them in its `skipped` counter).
 #[allow(clippy::too_many_arguments)]
 pub fn run_query_into<P, F>(
     overlay: &Overlay,
@@ -523,6 +533,88 @@ mod tests {
             assert_eq!(out.arrivals, fresh.arrivals);
             assert_eq!(out.parents, fresh.parents);
             assert_eq!(out.sent_by, fresh.sent_by);
+        }
+    }
+
+    /// Regression: `reverse_path` used to index `arrivals`/`parents`
+    /// directly, so asking about a peer id beyond the measured population
+    /// (e.g. a peer that joined after the outcome was recorded) aborted
+    /// the caller instead of answering `None`.
+    #[test]
+    fn reverse_path_answers_none_for_out_of_range_peers() {
+        let (ov, oracle) = line_env();
+        let out = run_query(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &QueryConfig::default(),
+            &FloodAll,
+            |_| false,
+        );
+        // A peer beyond the measured population: not reached, not a panic.
+        assert_eq!(out.reverse_path(PeerId::new(0), PeerId::new(99)), None);
+        // An out-of-range *source* is equally unanswerable, whether asked
+        // about directly or reached by walking parents off the tree root.
+        assert_eq!(out.reverse_path(PeerId::new(99), PeerId::new(99)), None);
+        assert_eq!(out.reverse_path(PeerId::new(99), PeerId::new(3)), None);
+        // A default (empty) outcome holds no paths at all.
+        let empty = QueryOutcome::default();
+        assert_eq!(empty.reverse_path(PeerId::new(0), PeerId::new(0)), None);
+    }
+
+    /// One scratch + outcome pair must serve a whole sweep even when the
+    /// overlays change size mid-sweep: `QueryOutcome::reset` rewrites the
+    /// per-peer vectors, so shrinking to 3 peers and growing back to 6
+    /// leaves no stale `arrivals`/`parents`/`sent_by` entries observable.
+    #[test]
+    fn scratch_reuse_across_different_peer_counts_leaves_no_stale_state() {
+        let sizes = [6u32, 3, 5, 6];
+        let mut scratch = QueryScratch::new();
+        let mut out = QueryOutcome::default();
+        for &n in &sizes {
+            // Line overlay of n peers on a line physical net.
+            let mut g = Graph::new(n as usize);
+            for i in 1..n {
+                g.add_edge(NodeId::new(i - 1), NodeId::new(i), 10).unwrap();
+            }
+            let oracle = DistanceOracle::new(g);
+            let mut ov = Overlay::new((0..n).map(NodeId::new).collect(), None);
+            for i in 1..n {
+                ov.connect(PeerId::new(i - 1), PeerId::new(i)).unwrap();
+            }
+            run_query_into(
+                &ov,
+                &oracle,
+                PeerId::new(0),
+                &QueryConfig::default(),
+                &FloodAll,
+                |_| false,
+                &mut scratch,
+                &mut out,
+            );
+            let fresh = run_query(
+                &ov,
+                &oracle,
+                PeerId::new(0),
+                &QueryConfig::default(),
+                &FloodAll,
+                |_| false,
+            );
+            // Sized exactly to this overlay, not a previous (larger) one.
+            assert_eq!(out.arrivals.len(), n as usize);
+            assert_eq!(out.parents.len(), n as usize);
+            assert_eq!(out.sent_by.len(), n as usize);
+            // And bit-identical to a from-scratch run: nothing leaked.
+            assert_eq!(out.scope, fresh.scope);
+            assert_eq!(out.arrivals, fresh.arrivals);
+            assert_eq!(out.parents, fresh.parents);
+            assert_eq!(out.sent_by, fresh.sent_by);
+            assert_eq!(out.traffic_cost, fresh.traffic_cost);
+            assert_eq!(out.messages, fresh.messages);
+            assert_eq!(out.duplicates, fresh.duplicates);
+            assert_eq!(out.first_response, fresh.first_response);
+            assert_eq!(out.first_responder, fresh.first_responder);
+            assert_eq!(out.responders_hit, fresh.responders_hit);
         }
     }
 

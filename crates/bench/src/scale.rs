@@ -265,6 +265,18 @@ fn sample_hosts<R: Rng + ?Sized>(rng: &mut R, nodes: usize, k: usize) -> Vec<Nod
 /// worlds.
 pub(crate) fn build_world(peers: usize, seed: u64) -> (Graph, Overlay, StdRng) {
     let (as_count, nodes_per_as) = phys_for(peers);
+    build_world_sized(peers, as_count, nodes_per_as, seed)
+}
+
+/// [`build_world`] with explicit physical dimensions, for callers whose
+/// populations are not on the committed curve (the scenario matrix runs
+/// the 800-peer point in CI but much smaller worlds in property tests).
+pub(crate) fn build_world_sized(
+    peers: usize,
+    as_count: usize,
+    nodes_per_as: usize,
+    seed: u64,
+) -> (Graph, Overlay, StdRng) {
     let mut rng = StdRng::seed_from_u64(seed);
     let topo = two_level(
         &TwoLevelConfig {

@@ -18,6 +18,7 @@ use rand::Rng;
 
 use crate::engine::{AceConfig, AceEngine};
 use crate::forwarding::AceForward;
+use crate::policy::{purge_index_cache, LifecycleEvent};
 
 use super::{Scenario, ScenarioConfig};
 
@@ -145,7 +146,7 @@ fn one_query<P: ForwardPolicy + ?Sized>(
 ) -> ace_overlay::QueryOutcome {
     match cache {
         Some(c) => run_query(overlay, oracle, src, qc, policy, |x| {
-            placement.is_holder(obj, x) || c.lookup(x, obj).is_some()
+            placement.is_holder(obj, x) || c.lookup_alive(x, obj, |h| overlay.is_alive(h)).is_some()
         }),
         None => run_query(overlay, oracle, src, qc, policy, |x| {
             placement.is_holder(obj, x)
@@ -229,7 +230,7 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                     let holder = if s.placement.is_holder(obj, responder) {
                         Some(responder)
                     } else {
-                        c.lookup(responder, obj)
+                        c.lookup_alive(responder, obj, |h| s.overlay.is_alive(h))
                     };
                     if let Some(h) = holder {
                         if let Some(path) = outcome.reverse_path(p, responder) {
@@ -287,15 +288,23 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                 let _ = s.overlay.leave(p);
                 epoch[p.index()] += 1;
                 churn_events += 1;
+                // One draw decides how the departure presents; engine state
+                // and index caches then follow the same purge taxonomy, so
+                // a silent crash leaves survivor caches stale (pruned lazily
+                // by `lookup_alive`) exactly as it leaves trees stale.
+                let kind = cfg.departures.sample(&mut s.rng);
                 if let Some(eng) = &mut ace {
-                    match cfg.departures.sample(&mut s.rng) {
+                    match kind {
                         DepartureKind::Graceful => eng.on_leave(p),
                         DepartureKind::Crash => eng.on_crash(p),
                     }
                 }
                 if let Some(c) = &mut cache {
-                    c.purge_holder(p);
-                    c.clear_peer(p);
+                    let ev = match kind {
+                        DepartureKind::Graceful => LifecycleEvent::GracefulLeave,
+                        DepartureKind::Crash => LifecycleEvent::Crash,
+                    };
+                    purge_index_cache(c, p, ev);
                 }
                 // The paper keeps the population constant: one joiner per
                 // leaver, arriving shortly after.
@@ -320,6 +329,11 @@ pub fn dynamic_run(cfg: &DynamicConfig) -> DynamicResult {
                     // A rejoin must purge any references left over from a
                     // crashed previous incarnation of the same peer id.
                     eng.on_join(p);
+                }
+                if let Some(c) = &mut cache {
+                    // Same rule for caches: the new incarnation must not be
+                    // shadowed by pointers at its crashed predecessor.
+                    purge_index_cache(c, p, LifecycleEvent::Rejoin);
                 }
                 let e = epoch[p.index()];
                 queue.push(
@@ -436,6 +450,23 @@ mod tests {
         assert!(r.churn_events > 10, "churn events {}", r.churn_events);
         for w in &r.windows {
             assert!(w.scope_frac > 0.5, "scope fraction {}", w.scope_frac);
+        }
+    }
+
+    /// Crash-only churn with caching on: survivor caches are never purged
+    /// eagerly (the taxonomy forbids it — nobody observed the crash), so
+    /// this run only stays healthy because `lookup_alive` refuses to serve
+    /// the stale pointers and drops them on access.
+    #[test]
+    fn cached_pointers_survive_crash_churn() {
+        let mut cfg = tiny(Some(AceConfig::paper_default()));
+        cfg.departures = DepartureModel::with_crash_fraction(1.0);
+        cfg.index_cache = Some(200);
+        let r = dynamic_run(&cfg);
+        assert_eq!(r.windows.last().unwrap().queries_done, 600);
+        assert!(r.churn_events > 10, "churn events {}", r.churn_events);
+        for w in &r.windows {
+            assert!(w.success > 0.5, "success {}", w.success);
         }
     }
 

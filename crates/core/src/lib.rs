@@ -85,5 +85,5 @@ pub use forwarding::AceForward;
 pub use netem::{NetemConfig, Partition, PartitionKind};
 pub use optrate::{min_effective_depth, optimization_rate};
 pub use overhead::{OverheadKind, OverheadLedger};
-pub use policy::{Figure4Action, LifecycleEvent, WatchVerdict};
+pub use policy::{purge_index_cache, Figure4Action, LifecycleEvent, WatchVerdict};
 pub use probe::ProbeModel;

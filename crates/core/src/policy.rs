@@ -18,7 +18,7 @@
 //! from plan-stage worker threads (PR 1's determinism guarantee) and
 //! property tests alike.
 
-use ace_overlay::{Message, Overlay, PeerId};
+use ace_overlay::{IndexCache, Message, Overlay, PeerId};
 use ace_topology::Delay;
 
 use crate::cost_table::CostTable;
@@ -236,6 +236,24 @@ impl LifecycleEvent {
     /// joiner starts as a plain flooding Gnutella node).
     pub fn clears_own_state(self) -> bool {
         true
+    }
+}
+
+/// Applies the purge taxonomy to a search-plane [`IndexCache`]: the
+/// peer's own cache is cleared whenever the event clears own state
+/// (always), and survivor caches drop their pointers at the departed
+/// peer only when the event was observable ([`LifecycleEvent::Crash`]
+/// purges nothing — survivors shed stale pointers lazily through
+/// [`IndexCache::lookup_alive`]). Keeping this mapping here, next to the
+/// taxonomy, means every driver (round engine, async simulator, scenario
+/// matrix) cleans caches identically instead of each hand-rolling the
+/// rule.
+pub fn purge_index_cache(cache: &mut IndexCache, peer: PeerId, event: LifecycleEvent) {
+    if event.clears_own_state() {
+        cache.clear_peer(peer);
+    }
+    if event.purges_survivor_refs() {
+        cache.purge_holder(peer);
     }
 }
 
@@ -457,6 +475,34 @@ mod tests {
         ] {
             assert!(ev.clears_own_state());
         }
+    }
+
+    #[test]
+    fn purge_index_cache_follows_taxonomy() {
+        let build = || {
+            let mut c = IndexCache::new(3, 4);
+            // Peer 0 caches a pointer at peer 1; peer 1 caches one at 2.
+            c.insert(p(0), 7, p(1));
+            c.insert(p(1), 8, p(2));
+            c
+        };
+        // Graceful leave of 1: survivors purge pointers at 1 AND 1's own
+        // cache empties.
+        let mut c = build();
+        purge_index_cache(&mut c, p(1), LifecycleEvent::GracefulLeave);
+        assert_eq!(c.lookup(p(0), 7), None);
+        assert!(c.is_empty(p(1)));
+        // Crash of 1: own state gone, but peer 0's stale pointer stays
+        // (nobody observed the crash) — the read path drops it lazily.
+        let mut c = build();
+        purge_index_cache(&mut c, p(1), LifecycleEvent::Crash);
+        assert!(c.is_empty(p(1)));
+        assert_eq!(c.lookup(p(0), 7), Some(p(1)));
+        // Rejoin of 1: both stale directions are wiped.
+        let mut c = build();
+        purge_index_cache(&mut c, p(1), LifecycleEvent::Rejoin);
+        assert_eq!(c.lookup(p(0), 7), None);
+        assert!(c.is_empty(p(1)));
     }
 
     #[test]

@@ -111,9 +111,12 @@ impl GiaAdaptation {
         GiaAdaptation { capacities, cfg }
     }
 
-    /// A peer's capacity.
+    /// A peer's capacity. Peers beyond the assigned population (ids
+    /// joined after construction) report the baseline capacity `1.0` —
+    /// the mix's lowest tier — instead of panicking: per-peer state must
+    /// tolerate late joiners like every other scenario module.
     pub fn capacity(&self, p: PeerId) -> f64 {
-        self.capacities[p.index()]
+        self.capacities.get(p.index()).copied().unwrap_or(1.0)
     }
 
     /// Gia's max-degree budget for a peer (scales with log capacity).
@@ -243,6 +246,17 @@ mod tests {
         let ov = random_overlay(hosts, 6, None, &mut rng);
         let caps = assign_capacities(n, &GNUTELLA_CAPACITY_MIX, &mut rng);
         (ov, GiaAdaptation::new(caps, GiaConfig::default()), rng)
+    }
+
+    /// Regression: `capacity()` used to index the fixed-size capacity
+    /// vector directly, panicking for any peer id at or beyond the
+    /// assigned population — e.g. a peer joined after construction.
+    #[test]
+    fn capacity_defaults_for_late_joiners() {
+        let (_, gia, _) = world(10, 2);
+        assert_eq!(gia.capacity(PeerId::new(99)), 1.0);
+        // The derived budgets stay well-defined too.
+        assert!(gia.max_degree(PeerId::new(99)) > 0);
     }
 
     #[test]

@@ -95,6 +95,24 @@ impl Placement {
         Placement { holders }
     }
 
+    /// Builds a placement from explicit holder lists (`lists[object]`);
+    /// each list is sorted and deduplicated. This is how the scenario
+    /// matrix constructs *nested* placements — per object one holder
+    /// permutation whose prefixes give every replication factor, so
+    /// `holders(r)` ⊆ `holders(r')` for `r ≤ r'` and recall is provably
+    /// monotone in replication.
+    pub fn from_lists(lists: Vec<Vec<PeerId>>) -> Self {
+        let holders = lists
+            .into_iter()
+            .map(|mut hs| {
+                hs.sort_unstable();
+                hs.dedup();
+                hs
+            })
+            .collect();
+        Placement { holders }
+    }
+
     /// Number of objects placed.
     pub fn object_count(&self) -> usize {
         self.holders.len()

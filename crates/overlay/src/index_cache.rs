@@ -4,6 +4,15 @@
 //! filled from query hits that pass through it. A peer with a cache hit
 //! answers a query directly instead of relaying it — the "index cache"
 //! the paper combines with ACE to reach ~75% traffic reduction.
+//!
+//! Lifecycle: the per-peer entry table grows on demand, so a cache built
+//! for the initial population keeps working when peers join later. How a
+//! departure is cleaned up follows the `LifecycleEvent` purge taxonomy
+//! (wired in `ace-core`): a graceful leave purges the departed peer from
+//! every survivor's cache immediately ([`IndexCache::purge_holder`]),
+//! while after a silent crash survivors keep their (now stale) pointers
+//! until a lookup touches one — [`IndexCache::lookup_alive`] drops dead
+//! pointers lazily so a crash never produces a dead answer either.
 
 use std::collections::VecDeque;
 
@@ -31,7 +40,9 @@ pub struct IndexCache {
 }
 
 impl IndexCache {
-    /// Creates caches for `peers` peers, `capacity` entries each.
+    /// Creates caches for `peers` peers, `capacity` entries each. The
+    /// peer count is only a pre-allocation hint: peers beyond it (ids
+    /// joined after construction) get their cache lazily.
     ///
     /// # Panics
     ///
@@ -51,10 +62,20 @@ impl IndexCache {
         self.caps
     }
 
+    /// The peer's cache, grown on demand so ids beyond the constructed
+    /// population never index out of bounds.
+    fn slot_mut(&mut self, peer: PeerId) -> &mut VecDeque<(ObjectId, PeerId)> {
+        let i = peer.index();
+        if i >= self.entries.len() {
+            self.entries.resize_with(i + 1, VecDeque::new);
+        }
+        &mut self.entries[i]
+    }
+
     /// Looks up a holder for `object` in `peer`'s cache, refreshing LRU
     /// order on hit.
     pub fn lookup(&mut self, peer: PeerId, object: ObjectId) -> Option<PeerId> {
-        let cache = &mut self.entries[peer.index()];
+        let cache = self.slot_mut(peer);
         if let Some(pos) = cache.iter().position(|&(o, _)| o == object) {
             let entry = cache.remove(pos).expect("position just found");
             cache.push_back(entry);
@@ -66,17 +87,54 @@ impl IndexCache {
         }
     }
 
+    /// Like [`IndexCache::lookup`], but only returns holders that
+    /// `alive` confirms; a dead pointer is dropped on the spot and
+    /// counted as a miss. This is the crash-safe read path: a silent
+    /// crash purges no survivor caches (nobody observed it), so stale
+    /// pointers linger until a lookup touches them.
+    pub fn lookup_alive<F>(&mut self, peer: PeerId, object: ObjectId, alive: F) -> Option<PeerId>
+    where
+        F: Fn(PeerId) -> bool,
+    {
+        let cache = self.slot_mut(peer);
+        let hit = match cache.iter().position(|&(o, _)| o == object) {
+            Some(pos) => {
+                let (_, holder) = cache[pos];
+                if alive(holder) {
+                    let entry = cache.remove(pos).expect("position just found");
+                    cache.push_back(entry);
+                    Some(holder)
+                } else {
+                    cache.remove(pos);
+                    None
+                }
+            }
+            None => None,
+        };
+        match hit {
+            Some(h) => {
+                self.hits += 1;
+                Some(h)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
     /// Records that `holder` has `object` in `peer`'s cache (LRU evict).
     pub fn insert(&mut self, peer: PeerId, object: ObjectId, holder: PeerId) {
         if peer == holder {
             return; // a holder needs no index entry for itself
         }
-        let cache = &mut self.entries[peer.index()];
+        let caps = self.caps;
+        let cache = self.slot_mut(peer);
         if let Some(pos) = cache.iter().position(|&(o, _)| o == object) {
             cache.remove(pos);
         }
         cache.push_back((object, holder));
-        if cache.len() > self.caps {
+        if cache.len() > caps {
             cache.pop_front();
         }
     }
@@ -91,7 +149,9 @@ impl IndexCache {
 
     /// Drops a departing peer's own cache contents.
     pub fn clear_peer(&mut self, peer: PeerId) {
-        self.entries[peer.index()].clear();
+        if let Some(cache) = self.entries.get_mut(peer.index()) {
+            cache.clear();
+        }
     }
 
     /// `(hits, misses)` since construction.
@@ -101,12 +161,12 @@ impl IndexCache {
 
     /// Number of entries currently cached by `peer`.
     pub fn len(&self, peer: PeerId) -> usize {
-        self.entries[peer.index()].len()
+        self.entries.get(peer.index()).map_or(0, VecDeque::len)
     }
 
     /// True when `peer` has no cached entries.
     pub fn is_empty(&self, peer: PeerId) -> bool {
-        self.entries[peer.index()].is_empty()
+        self.len(peer) == 0
     }
 }
 
@@ -173,5 +233,48 @@ mod tests {
         assert_eq!(c.stats(), (1, 1));
         c.clear_peer(p);
         assert!(c.is_empty(p));
+    }
+
+    /// Regression: every accessor used to index `entries[peer.index()]`
+    /// directly, so any peer id at or beyond the constructed population
+    /// (a peer joined after construction) aborted the process with an
+    /// index-out-of-bounds panic instead of getting a cache.
+    #[test]
+    fn late_joiners_grow_the_table_on_demand() {
+        let mut c = IndexCache::new(2, 4);
+        let late = PeerId::new(7);
+        // Read-only accessors answer the empty default without panicking.
+        assert_eq!(c.len(late), 0);
+        assert!(c.is_empty(late));
+        c.clear_peer(late);
+        assert_eq!(c.lookup(late, 1), None);
+        // Writes materialize the slot.
+        c.insert(late, 1, PeerId::new(0));
+        assert_eq!(c.lookup(late, 1), Some(PeerId::new(0)));
+        assert_eq!(c.len(late), 1);
+        // Purge scans still cover the grown region.
+        c.purge_holder(PeerId::new(0));
+        assert!(c.is_empty(late));
+    }
+
+    #[test]
+    fn lookup_alive_drops_dead_pointers_lazily() {
+        let mut c = IndexCache::new(2, 4);
+        let p = PeerId::new(0);
+        c.insert(p, 1, PeerId::new(9));
+        c.insert(p, 2, PeerId::new(8));
+        // Peer 9 crashed silently: nothing was purged, but the read path
+        // refuses to serve the dead pointer and drops the entry.
+        assert_eq!(c.lookup_alive(p, 1, |h| h != PeerId::new(9)), None);
+        assert_eq!(c.len(p), 1, "dead entry dropped on access");
+        // A later lookup of the same object is a plain miss.
+        assert_eq!(c.lookup(p, 1), None);
+        // Live entries still answer and refresh recency.
+        assert_eq!(
+            c.lookup_alive(p, 2, |h| h != PeerId::new(9)),
+            Some(PeerId::new(8))
+        );
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (1, 2));
     }
 }

@@ -52,6 +52,7 @@ mod content;
 mod discovery;
 mod hpf;
 mod index_cache;
+mod link_load;
 mod message;
 mod network;
 mod peer;
@@ -66,6 +67,7 @@ pub use content::{Catalog, ObjectId, Placement};
 pub use discovery::{ping_pong_round, DiscoveryConfig, DiscoveryStats};
 pub use hpf::{HpfWeight, PartialFlood};
 pub use index_cache::IndexCache;
+pub use link_load::{LinkLoad, LinkTally};
 pub use message::{Message, QUERY_BASE_SIZE};
 pub use network::{
     clustered_overlay, pref_attach_overlay, random_overlay, Overlay, OverlayError, ADDR_CACHE_CAP,
@@ -78,5 +80,5 @@ pub use serve::{
     serve_batch, serve_sequential, zipf_workload, BatchOutcome, LatencyHistogram, QuerySpec,
     ServeConfig, ServeReport,
 };
-pub use two_tier::{TwoTierConfig, TwoTierNetwork};
-pub use walk::{random_walk_query, WalkConfig, WalkOutcome};
+pub use two_tier::{TierRole, TwoTierConfig, TwoTierNetwork};
+pub use walk::{random_walk_query, random_walk_query_traced, WalkConfig, WalkOutcome};

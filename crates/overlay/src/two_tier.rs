@@ -39,6 +39,17 @@ impl Default for TwoTierConfig {
     }
 }
 
+/// Role of one input host in a built [`TwoTierNetwork`] — the mapping
+/// from the flat host list passed to [`TwoTierNetwork::build`] back into
+/// the two id spaces it was split into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierRole {
+    /// Promoted into the supernode core, with its core peer id.
+    Supernode(PeerId),
+    /// Attached as a leaf, with its leaf index.
+    Leaf(usize),
+}
+
 /// A built two-tier network.
 #[derive(Clone, Debug)]
 pub struct TwoTierNetwork {
@@ -48,6 +59,8 @@ pub struct TwoTierNetwork {
     leaf_hosts: Vec<NodeId>,
     /// `assignment[leaf] = supernode` (a peer id in `core`).
     assignment: Vec<PeerId>,
+    /// `roles[input host index] = role` — see [`TierRole`].
+    roles: Vec<TierRole>,
 }
 
 impl TwoTierNetwork {
@@ -75,6 +88,17 @@ impl TwoTierNetwork {
         }
         let sn_hosts: Vec<NodeId> = sn_picks.iter().map(|&i| hosts[i]).collect();
         let leaf_hosts: Vec<NodeId> = (0..n).filter(|&i| !is_sn[i]).map(|i| hosts[i]).collect();
+        let mut roles = vec![TierRole::Leaf(usize::MAX); n];
+        for (k, &i) in sn_picks.iter().enumerate() {
+            roles[i] = TierRole::Supernode(PeerId::new(k as u32));
+        }
+        let mut leaf_idx = 0usize;
+        for (i, role) in roles.iter_mut().enumerate() {
+            if !is_sn[i] {
+                *role = TierRole::Leaf(leaf_idx);
+                leaf_idx += 1;
+            }
+        }
 
         let core = clustered_overlay(sn_hosts, cfg.core_degree, 0.7, None, rng);
 
@@ -95,7 +119,62 @@ impl TwoTierNetwork {
             core,
             leaf_hosts,
             assignment,
+            roles,
         }
+    }
+
+    /// The role of an input host by its index in the `hosts` vector
+    /// given to [`TwoTierNetwork::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    pub fn role_of(&self, host: usize) -> TierRole {
+        self.roles[host]
+    }
+
+    /// Re-attaches every leaf of a departed supernode to a surviving
+    /// one — the supernode-state purge of the churn taxonomy: when a
+    /// supernode leaves (or crashes and the loss is detected), its
+    /// leaves' index entries die with it, and each orphan re-publishes
+    /// to a new supernode. Attachment follows `locality_aware` just as
+    /// at build time. Returns the re-attached leaf indices; leaves stay
+    /// orphaned (assignment unchanged) only when no live supernode
+    /// remains.
+    pub fn reattach_leaves<R: Rng + ?Sized>(
+        &mut self,
+        departed: PeerId,
+        locality_aware: bool,
+        oracle: &dyn DistancePlane,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let survivors: Vec<PeerId> = self
+            .core
+            .alive_peers()
+            .filter(|&sn| sn != departed)
+            .collect();
+        if survivors.is_empty() {
+            return Vec::new();
+        }
+        let mut moved = Vec::new();
+        for leaf in 0..self.assignment.len() {
+            if self.assignment[leaf] != departed {
+                continue;
+            }
+            let new_sn = if locality_aware {
+                let h = self.leaf_hosts[leaf];
+                survivors
+                    .iter()
+                    .copied()
+                    .min_by_key(|&sn| (oracle.distance(h, self.core.host(sn)), sn))
+                    .expect("survivors is non-empty")
+            } else {
+                survivors[rng.gen_range(0..survivors.len())]
+            };
+            self.assignment[leaf] = new_sn;
+            moved.push(leaf);
+        }
+        moved
     }
 
     /// Number of leaves.
@@ -236,6 +315,55 @@ mod tests {
         let (outcome, total) = tt.query_from_leaf(&oracle, 0, &qc, &FloodAll, |_| false);
         assert_eq!(outcome.scope, tt.supernode_count(), "core fully covered");
         assert!(total >= outcome.traffic_cost, "access link charged");
+    }
+
+    #[test]
+    fn roles_partition_the_input_hosts() {
+        let (oracle, hosts) = world();
+        let n = hosts.len();
+        let mut rng = StdRng::seed_from_u64(13);
+        let tt = TwoTierNetwork::build(hosts, &TwoTierConfig::default(), &oracle, &mut rng);
+        let mut sn_seen = vec![false; tt.supernode_count()];
+        let mut leaf_seen = vec![false; tt.leaf_count()];
+        for i in 0..n {
+            match tt.role_of(i) {
+                TierRole::Supernode(sn) => {
+                    assert!(!sn_seen[sn.index()], "core id mapped twice");
+                    sn_seen[sn.index()] = true;
+                }
+                TierRole::Leaf(l) => {
+                    assert!(!leaf_seen[l], "leaf index mapped twice");
+                    leaf_seen[l] = true;
+                }
+            }
+        }
+        assert!(sn_seen.into_iter().all(|s| s), "every core id covered");
+        assert!(leaf_seen.into_iter().all(|s| s), "every leaf covered");
+    }
+
+    /// A supernode departure must not leave orphaned leaves: every leaf
+    /// of the departed supernode re-attaches to a live one (the
+    /// supernode-state purge the churn wiring relies on).
+    #[test]
+    fn departed_supernode_leaves_reattach_to_survivors() {
+        let (oracle, hosts) = world();
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut tt = TwoTierNetwork::build(hosts, &TwoTierConfig::default(), &oracle, &mut rng);
+        let dead = tt.supernode_of(0);
+        let orphans = (0..tt.leaf_count())
+            .filter(|&l| tt.supernode_of(l) == dead)
+            .count();
+        assert!(orphans > 0);
+        tt.core.leave(dead).unwrap();
+        let moved = tt.reattach_leaves(dead, true, &oracle, &mut rng);
+        assert_eq!(moved.len(), orphans);
+        for l in 0..tt.leaf_count() {
+            let sn = tt.supernode_of(l);
+            assert_ne!(sn, dead);
+            assert!(tt.core.is_alive(sn), "leaf {l} attached to dead core");
+        }
+        // Idempotent: nothing left to move.
+        assert!(tt.reattach_leaves(dead, true, &oracle, &mut rng).is_empty());
     }
 
     #[test]

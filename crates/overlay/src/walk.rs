@@ -10,7 +10,7 @@
 use rand::Rng;
 
 use ace_engine::SimTime;
-use ace_topology::DistancePlane;
+use ace_topology::{Delay, DistancePlane};
 
 use crate::network::Overlay;
 use crate::peer::PeerId;
@@ -97,12 +97,69 @@ pub fn random_walk_query<R, F>(
     oracle: &dyn DistancePlane,
     source: PeerId,
     cfg: &WalkConfig,
-    mut is_responder: F,
+    is_responder: F,
     rng: &mut R,
 ) -> WalkOutcome
 where
     R: Rng + ?Sized,
     F: FnMut(PeerId) -> bool,
+{
+    random_walk_query_traced(
+        overlay,
+        oracle,
+        source,
+        cfg,
+        is_responder,
+        rng,
+        |_, _, _| {},
+    )
+}
+
+/// Picks a walker's next hop with exactly one RNG draw: uniform over the
+/// neighbors minus `prev`, falling back to uniform over all neighbors
+/// when every candidate equals `prev` (a dead-end where backtracking is
+/// the only move). Selecting from the filtered candidate list directly —
+/// instead of rejection-sampling until a non-`prev` neighbor comes up —
+/// keeps the draw count fixed per hop (determinism) and cannot spin on
+/// degenerate neighbor lists.
+fn choose_step<R: Rng + ?Sized>(nbrs: &[PeerId], prev: Option<PeerId>, rng: &mut R) -> PeerId {
+    debug_assert!(!nbrs.is_empty());
+    let Some(p) = prev else {
+        return nbrs[rng.gen_range(0..nbrs.len())];
+    };
+    let others = nbrs.iter().filter(|&&n| n != p).count();
+    if others == 0 {
+        return nbrs[rng.gen_range(0..nbrs.len())];
+    }
+    let k = rng.gen_range(0..others);
+    nbrs.iter()
+        .copied()
+        .filter(|&n| n != p)
+        .nth(k)
+        .expect("k < candidate count")
+}
+
+/// [`random_walk_query`] with a per-hop tracer: `on_hop(from, to, cost)`
+/// fires for every walker step, in order, so callers can account
+/// per-link message load (the scenario matrix's link-stress metric)
+/// without re-deriving the walk.
+///
+/// # Panics
+///
+/// Panics if `source` is offline or `cfg.walkers == 0`.
+pub fn random_walk_query_traced<R, F, H>(
+    overlay: &Overlay,
+    oracle: &dyn DistancePlane,
+    source: PeerId,
+    cfg: &WalkConfig,
+    mut is_responder: F,
+    rng: &mut R,
+    mut on_hop: H,
+) -> WalkOutcome
+where
+    R: Rng + ?Sized,
+    F: FnMut(PeerId) -> bool,
+    H: FnMut(PeerId, PeerId, Delay),
 {
     assert!(overlay.is_alive(source), "walk source must be online");
     assert!(cfg.walkers > 0, "need at least one walker");
@@ -120,17 +177,13 @@ where
             if nbrs.is_empty() {
                 break;
             }
-            let next = if cfg.avoid_backtrack && nbrs.len() > 1 {
-                loop {
-                    let cand = nbrs[rng.gen_range(0..nbrs.len())];
-                    if Some(cand) != prev {
-                        break cand;
-                    }
-                }
+            let next = if cfg.avoid_backtrack {
+                choose_step(nbrs, prev, rng)
             } else {
                 nbrs[rng.gen_range(0..nbrs.len())]
             };
             let cost = overlay.link_cost(oracle, at, next);
+            on_hop(at, next, cost);
             out.traffic_cost += f64::from(cost);
             out.messages += 1;
             elapsed += u64::from(cost);
@@ -252,6 +305,84 @@ mod tests {
         );
         assert!(out.found());
         assert_eq!(out.messages, 4);
+    }
+
+    /// Regression: `avoid_backtrack` used to rejection-sample (`loop {
+    /// draw; retry if == prev }`), consuming a *variable* number of RNG
+    /// values per hop — on this ring every non-source hop retries with
+    /// probability 1/2, so the stream position after a walk depended on
+    /// the walk's outcomes. Selecting from the filtered candidate list
+    /// pins consumption to exactly one draw per hop: after the walk, the
+    /// RNG must sit precisely `messages` draws past its starting state.
+    #[test]
+    fn backtrack_selection_draws_exactly_one_value_per_hop() {
+        let (ov, oracle) = ring(3, 1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut probe = rng.clone();
+        let cfg = WalkConfig {
+            walkers: 4,
+            max_hops: 25,
+            avoid_backtrack: true,
+        };
+        let out = random_walk_query(&ov, &oracle, PeerId::new(0), &cfg, |_| false, &mut rng);
+        assert_eq!(out.messages, 100);
+        for _ in 0..out.messages {
+            probe.gen::<u64>();
+        }
+        assert_eq!(
+            rng.gen::<u64>(),
+            probe.gen::<u64>(),
+            "walk consumed a different number of RNG draws than hops taken"
+        );
+    }
+
+    /// Regression: with a neighbor list where every candidate equals
+    /// `prev`, the pre-fix rejection loop spun forever. The filtered
+    /// selection falls back to backtracking — the only legal move.
+    #[test]
+    fn choose_step_backtracks_only_when_unavoidable() {
+        let p = PeerId::new(7);
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(choose_step(&[p, p], Some(p), &mut rng), p);
+        assert_eq!(choose_step(&[p], Some(p), &mut rng), p);
+    }
+
+    #[test]
+    fn choose_step_never_picks_prev_when_alternatives_exist() {
+        let prev = PeerId::new(1);
+        let nbrs = [PeerId::new(0), prev, PeerId::new(2)];
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            assert_ne!(choose_step(&nbrs, Some(prev), &mut rng), prev);
+        }
+    }
+
+    #[test]
+    fn traced_walk_reports_every_hop() {
+        let (ov, oracle) = ring(8, 3);
+        let mut rng = StdRng::seed_from_u64(14);
+        let cfg = WalkConfig {
+            walkers: 2,
+            max_hops: 12,
+            avoid_backtrack: true,
+        };
+        let mut hops = 0u64;
+        let mut cost = 0.0f64;
+        let out = random_walk_query_traced(
+            &ov,
+            &oracle,
+            PeerId::new(0),
+            &cfg,
+            |_| false,
+            &mut rng,
+            |from, to, c| {
+                assert!(ov.are_neighbors(from, to));
+                hops += 1;
+                cost += f64::from(c);
+            },
+        );
+        assert_eq!(hops, out.messages);
+        assert_eq!(cost, out.traffic_cost);
     }
 
     #[test]

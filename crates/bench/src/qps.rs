@@ -94,10 +94,13 @@ impl QpsSide {
         QpsSide {
             qps: r.qps(),
             elapsed_s: r.elapsed.as_secs_f64(),
-            hop_p50_ms: r.hop_latency.quantile_ms(0.5),
-            hop_p99_ms: r.hop_latency.quantile_ms(0.99),
-            response_p50_ms: r.response_latency.quantile_ms(0.5),
-            response_p99_ms: r.response_latency.quantile_ms(0.99),
+            // Serving sweeps always propagate; an empty histogram can
+            // only mean zero served queries, where 0 ms is the honest
+            // sentinel for the JSON schema.
+            hop_p50_ms: r.hop_latency.quantile_ms(0.5).unwrap_or(0.0),
+            hop_p99_ms: r.hop_latency.quantile_ms(0.99).unwrap_or(0.0),
+            response_p50_ms: r.response_latency.quantile_ms(0.5).unwrap_or(0.0),
+            response_p99_ms: r.response_latency.quantile_ms(0.99).unwrap_or(0.0),
             mean_scope: r.mean_scope,
             traffic_per_query: r.traffic_cost / served,
             duplicates_per_query: r.duplicates as f64 / served,

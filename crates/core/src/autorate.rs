@@ -1,0 +1,856 @@
+//! Autonomic optimization-rate control (ROADMAP item 5).
+//!
+//! The paper treats the frequency ratio `R` — how often a peer re-runs
+//! the optimization relative to the query load it serves — as one global
+//! constant chosen offline. A long-running overlay cannot: churn and
+//! query load drift over hours, and a fixed `R` either wastes control
+//! traffic in quiet periods or lets the overlay decay under bursts. This
+//! module turns `R` into a bounded per-peer control loop:
+//!
+//! * each peer keeps EWMA estimates of its local query arrivals, the
+//!   churn events it observed, and the realized per-round gain (the
+//!   §4.2 [`optimization rate`](crate::optimization_rate) evaluated on
+//!   *measured* flood-vs-ACE traffic through the non-panicking
+//!   [`optimization_rate_checked`]);
+//! * from those estimates the shared decision rule
+//!   [`policy::next_opt_interval`] schedules the peer's next
+//!   optimization round inside a clamped `[r_min, r_max]` window, with a
+//!   hysteresis dead-band around break-even (gain ≈ 1) and multiplicative
+//!   backoff when retry pressure says the control plane is already
+//!   stressed;
+//! * all controller soft state is memory-bounded: entries idle past
+//!   [`AutoRateConfig::idle_evict`] periods are evicted, and a hard
+//!   [`AutoRateConfig::byte_budget`] is enforced by oldest-first
+//!   eviction. Lifecycle events purge entries through the shared
+//!   [`LifecycleEvent`] taxonomy, so controller state never outlives the
+//!   incarnation it observed.
+//!
+//! Determinism contract: the controller is fed only per-peer observation
+//! streams that both drivers compute serially (round stats, ledger
+//! deltas, externally supplied query counts), and all updates iterate in
+//! peer-id order — so engine digests stay bit-identical across worker
+//! counts with the controller enabled, and the invariant auditors can
+//! check its state like any other protocol state.
+
+use std::collections::BTreeMap;
+
+use ace_overlay::PeerId;
+
+use crate::audit::{ConfigError, InvariantViolation, ViolationKind};
+use crate::optrate::optimization_rate_checked;
+use crate::policy::{self, LifecycleEvent, RateObservation};
+
+/// Bounds and gains of the per-peer optimization-rate control loop.
+///
+/// `r_min`/`r_max` are measured in *base periods* — engine rounds for
+/// the sync driver, cycle periods for the async simulator — so an
+/// interval of `1.0` reproduces the static every-period schedule and
+/// `r_max` is the longest a peer may coast without re-optimizing.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoRateConfig {
+    /// Shortest allowed optimization interval, in base periods (≥ 1).
+    pub r_min: f64,
+    /// Longest allowed optimization interval, in base periods
+    /// (≥ `r_min`).
+    pub r_max: f64,
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest sample.
+    pub ewma_alpha: f64,
+    /// Hysteresis dead-band half-width around the break-even demand of
+    /// 1.0 — inside it the interval is left alone, preventing flapping.
+    pub hysteresis: f64,
+    /// Multiplicative interval adjustment per decision (> 1): divide
+    /// when optimization pays, multiply when it does not.
+    pub step: f64,
+    /// Multiplicative interval stretch applied when the control plane is
+    /// stressed (> 1); dominates the demand signal.
+    pub backoff: f64,
+    /// Retry-pressure fraction (retry overhead / total overhead) above
+    /// which the backoff fires, in `(0, 1]`.
+    pub stress_threshold: f64,
+    /// Weight of the churn EWMA in the demand signal (≥ 0): a churning
+    /// neighborhood decays the tree faster than gain alone reveals.
+    pub churn_weight: f64,
+    /// Hard byte budget for controller soft state (> 0); enforced by
+    /// oldest-first eviction, audited by the invariant checkers.
+    pub byte_budget: usize,
+    /// Evict entries untouched for this many periods (> 0) — a peer the
+    /// driver stopped observing must not pin memory forever.
+    pub idle_evict: u64,
+}
+
+impl Default for AutoRateConfig {
+    fn default() -> Self {
+        AutoRateConfig {
+            r_min: 1.0,
+            r_max: 8.0,
+            ewma_alpha: 0.3,
+            hysteresis: 0.25,
+            step: 1.5,
+            backoff: 2.0,
+            stress_threshold: 0.2,
+            churn_weight: 0.5,
+            byte_budget: 64 * 1024,
+            idle_evict: 16,
+        }
+    }
+}
+
+impl AutoRateConfig {
+    /// Validates every field, naming the offending parameter.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let finite = |name: &'static str, v: f64| {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(ConfigError::new(name, format!("must be finite, got {v}")))
+            }
+        };
+        finite("r_min", self.r_min)?;
+        finite("r_max", self.r_max)?;
+        finite("ewma_alpha", self.ewma_alpha)?;
+        finite("hysteresis", self.hysteresis)?;
+        finite("step", self.step)?;
+        finite("backoff", self.backoff)?;
+        finite("stress_threshold", self.stress_threshold)?;
+        finite("churn_weight", self.churn_weight)?;
+        if self.r_min < 1.0 {
+            return Err(ConfigError::new(
+                "r_min",
+                format!("must be >= 1 base period, got {}", self.r_min),
+            ));
+        }
+        if self.r_max < self.r_min {
+            return Err(ConfigError::new(
+                "r_max",
+                format!("must be >= r_min ({}), got {}", self.r_min, self.r_max),
+            ));
+        }
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(ConfigError::new(
+                "ewma_alpha",
+                format!("must be in (0, 1], got {}", self.ewma_alpha),
+            ));
+        }
+        if self.hysteresis < 0.0 {
+            return Err(ConfigError::new(
+                "hysteresis",
+                format!("must be >= 0, got {}", self.hysteresis),
+            ));
+        }
+        if self.step <= 1.0 {
+            return Err(ConfigError::new(
+                "step",
+                format!("must be > 1, got {}", self.step),
+            ));
+        }
+        if self.backoff <= 1.0 {
+            return Err(ConfigError::new(
+                "backoff",
+                format!("must be > 1, got {}", self.backoff),
+            ));
+        }
+        if !(self.stress_threshold > 0.0 && self.stress_threshold <= 1.0) {
+            return Err(ConfigError::new(
+                "stress_threshold",
+                format!("must be in (0, 1], got {}", self.stress_threshold),
+            ));
+        }
+        if self.churn_weight < 0.0 {
+            return Err(ConfigError::new(
+                "churn_weight",
+                format!("must be >= 0, got {}", self.churn_weight),
+            ));
+        }
+        if self.byte_budget == 0 {
+            return Err(ConfigError::new("byte_budget", "must be > 0".into()));
+        }
+        if self.idle_evict == 0 {
+            return Err(ConfigError::new("idle_evict", "must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One observation window's raw measurements for a peer, fed by the
+/// driver at the end of every period. All values are *measured*, so the
+/// controller sanitizes them instead of asserting: a non-finite
+/// component is dropped (counted in [`ControllerStats::rejected`]) and
+/// the previous estimate survives.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RateSample {
+    /// Query arrivals observed at the peer this period.
+    pub queries: f64,
+    /// Lifecycle events (crash/leave/rejoin) observed this period.
+    pub churn_events: f64,
+    /// Measured mean per-query traffic under blind flooding.
+    pub flood_traffic: f64,
+    /// Measured mean per-query traffic under ACE forwarding.
+    pub ace_traffic: f64,
+    /// Control overhead attributed to the peer this period.
+    pub overhead: f64,
+    /// Retry overhead / total overhead this period, in `[0, 1]`.
+    pub retry_pressure: f64,
+}
+
+/// Per-peer controller soft state. `Copy` and fixed-size on purpose:
+/// the byte accounting below is exact multiplication, not a guess.
+#[derive(Clone, Copy, Debug)]
+struct RateEntry {
+    incarnation: u32,
+    ewma_queries: f64,
+    ewma_churn: f64,
+    ewma_gain: f64,
+    interval: f64,
+    next_due: u64,
+    last_touch: u64,
+}
+
+impl RateEntry {
+    /// A fresh entry at the static schedule: due now, interval `r_min`,
+    /// with a demand-neutral gain prior (inside the hysteresis dead
+    /// band) so a peer with no evidence yet holds the floor instead of
+    /// coasting away before its overlay has even converged.
+    fn fresh(cfg: &AutoRateConfig, incarnation: u32, period: u64) -> RateEntry {
+        RateEntry {
+            incarnation,
+            ewma_queries: 0.0,
+            ewma_churn: 0.0,
+            ewma_gain: 1.0,
+            interval: cfg.r_min,
+            next_due: period,
+            last_touch: period,
+        }
+    }
+}
+
+/// Accounted bytes per controller entry: key + entry + map-node
+/// overhead. The budget is enforced against this explicit model so the
+/// auditors can check it exactly, independent of allocator behavior.
+const ENTRY_BYTES: usize = std::mem::size_of::<u32>() + std::mem::size_of::<RateEntry>() + 24;
+
+/// Controller bookkeeping counters, reported by the soak harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Live soft-state entries.
+    pub entries: usize,
+    /// Current soft-state bytes under the explicit accounting model.
+    pub soft_state_bytes: usize,
+    /// Highest soft-state byte count ever observed (post-enforcement,
+    /// so always ≤ the budget).
+    pub high_water_bytes: usize,
+    /// Entries evicted for idleness or budget pressure.
+    pub evictions: u64,
+    /// Entries purged by lifecycle events.
+    pub purges: u64,
+    /// Non-finite sample components dropped at the door.
+    pub rejected: u64,
+}
+
+/// The per-peer optimization-rate controller shared by both drivers.
+///
+/// Entries live in a `BTreeMap` keyed by raw peer id so every iteration
+/// (updates, eviction scans, digest) is in deterministic peer-id order.
+#[derive(Clone, Debug)]
+pub struct RateController {
+    cfg: AutoRateConfig,
+    entries: BTreeMap<u32, RateEntry>,
+    high_water: usize,
+    evictions: u64,
+    purges: u64,
+    rejected: u64,
+}
+
+impl RateController {
+    /// Creates an empty controller. The config must already be valid —
+    /// drivers validate at their own construction sites.
+    pub fn new(cfg: AutoRateConfig) -> Self {
+        debug_assert!(cfg.validate().is_ok(), "invalid AutoRateConfig");
+        RateController {
+            cfg,
+            entries: BTreeMap::new(),
+            high_water: 0,
+            evictions: 0,
+            purges: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AutoRateConfig {
+        &self.cfg
+    }
+
+    /// Whether `peer` should run its optimization in `period`. Unknown
+    /// peers are due immediately — a fresh node starts at `r_min`, the
+    /// static schedule, and earns a longer interval by observation.
+    pub fn is_due(&self, peer: PeerId, period: u64) -> bool {
+        self.entries
+            .get(&peer.raw())
+            .is_none_or(|e| period >= e.next_due)
+    }
+
+    /// The peer's current interval in base periods, if it has state.
+    pub fn interval_of(&self, peer: PeerId) -> Option<f64> {
+        self.entries.get(&peer.raw()).map(|e| e.interval)
+    }
+
+    /// Folds one period's sample into `peer`'s estimates and — when the
+    /// peer actually ran its optimization this period (`ran`) — decides
+    /// its next interval through [`policy::next_opt_interval`] and
+    /// schedules the next due period. Returns the current interval.
+    ///
+    /// The gain estimate routes through [`optimization_rate_checked`]
+    /// with the EWMA query arrivals × interval as the frequency ratio
+    /// `R` (queries served per exchange period); a sample the checked
+    /// formula rejects leaves the previous estimate standing.
+    pub fn observe(
+        &mut self,
+        peer: PeerId,
+        incarnation: u32,
+        period: u64,
+        sample: &RateSample,
+        ran: bool,
+    ) -> f64 {
+        let cfg = self.cfg;
+        let entry = self
+            .entries
+            .entry(peer.raw())
+            .or_insert_with(|| RateEntry::fresh(&cfg, incarnation, period));
+        if entry.incarnation != incarnation {
+            // A new incarnation must not inherit its predecessor's
+            // estimates (or its schedule).
+            *entry = RateEntry::fresh(&cfg, incarnation, period);
+        }
+        let alpha = cfg.ewma_alpha;
+        let mut rejected = 0u64;
+        let mut fold = |est: &mut f64, x: f64| {
+            if x.is_finite() && x >= 0.0 {
+                *est = alpha * x + (1.0 - alpha) * *est;
+            } else {
+                rejected += 1;
+            }
+        };
+        fold(&mut entry.ewma_queries, sample.queries);
+        fold(&mut entry.ewma_churn, sample.churn_events);
+        // No traffic measurement at all (both sides zero) is absence of
+        // evidence, not evidence of zero gain: the estimate stands. A
+        // *present* but invalid measurement is rejected below.
+        if sample.flood_traffic != 0.0 || sample.ace_traffic != 0.0 {
+            let frequency_ratio = entry.ewma_queries * entry.interval;
+            match optimization_rate_checked(
+                sample.flood_traffic,
+                sample.ace_traffic,
+                sample.overhead,
+                frequency_ratio,
+            ) {
+                Ok(gain) if gain.is_finite() => {
+                    entry.ewma_gain = alpha * gain + (1.0 - alpha) * entry.ewma_gain;
+                }
+                // Zero-overhead windows report infinite gain; treat them
+                // as maximal demand without poisoning the EWMA.
+                Ok(_) => entry.ewma_gain = entry.ewma_gain.max(1.0 + cfg.hysteresis + 1e-9),
+                Err(_) => rejected += 1,
+            }
+        }
+        entry.last_touch = period;
+        if ran {
+            let obs = RateObservation {
+                ewma_churn: entry.ewma_churn,
+                ewma_gain: entry.ewma_gain,
+                retry_pressure: sample.retry_pressure,
+                current_interval: entry.interval,
+            };
+            entry.interval = policy::next_opt_interval(&cfg, &obs);
+            let wait = entry.interval.round().max(1.0) as u64;
+            entry.next_due = period + wait;
+        }
+        let interval = entry.interval;
+        self.rejected += rejected;
+        self.enforce_budget(Some(peer));
+        interval
+    }
+
+    /// Snaps `peer`'s schedule back to the floor: interval `r_min`, due
+    /// immediately. Drivers call this on the *neighbors* of a peer that
+    /// just churned — a disturbed neighborhood needs repair now, which
+    /// the static schedule gets for free by always running. Estimates
+    /// survive (the demand signal is still honest); only the schedule
+    /// snaps. A peer with no entry (or a stale incarnation) gets a fresh
+    /// one, which is already at the floor and due.
+    pub fn snap_to_floor(&mut self, peer: PeerId, incarnation: u32, period: u64) {
+        let cfg = self.cfg;
+        let entry = self
+            .entries
+            .entry(peer.raw())
+            .or_insert_with(|| RateEntry::fresh(&cfg, incarnation, period));
+        if entry.incarnation != incarnation {
+            *entry = RateEntry::fresh(&cfg, incarnation, period);
+        }
+        entry.interval = cfg.r_min;
+        entry.next_due = period;
+        entry.last_touch = period;
+        self.enforce_budget(Some(peer));
+    }
+
+    /// End-of-period maintenance: evict idle entries, enforce the byte
+    /// budget, and advance the high-water mark.
+    pub fn end_period(&mut self, period: u64) {
+        let idle = self.cfg.idle_evict;
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| period.saturating_sub(e.last_touch) <= idle);
+        self.evictions += (before - self.entries.len()) as u64;
+        self.enforce_budget(None);
+    }
+
+    /// Evicts oldest-touched entries (ties: lowest peer id) until the
+    /// byte budget holds, never evicting `keep` (the entry just
+    /// touched). Updates the high-water mark afterwards, so the mark is
+    /// always a value that actually fit under the budget.
+    fn enforce_budget(&mut self, keep: Option<PeerId>) {
+        while self.soft_state_bytes() > self.cfg.byte_budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(&id, _)| keep.map(PeerId::raw) != Some(id))
+                .min_by_key(|(&id, e)| (e.last_touch, id))
+                .map(|(&id, _)| id);
+            match victim {
+                Some(id) => {
+                    self.entries.remove(&id);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        self.high_water = self.high_water.max(self.soft_state_bytes());
+    }
+
+    /// Applies the shared purge taxonomy: every lifecycle event clears
+    /// the peer's own controller entry ([`LifecycleEvent::
+    /// clears_own_state`] is unconditionally true — a rejoining
+    /// incarnation starts from the static schedule, and a departed
+    /// peer's schedule dies with it).
+    pub fn on_lifecycle(&mut self, peer: PeerId, event: LifecycleEvent) {
+        if event.clears_own_state() && self.entries.remove(&peer.raw()).is_some() {
+            self.purges += 1;
+        }
+    }
+
+    /// Soft-state bytes under the explicit accounting model.
+    pub fn soft_state_bytes(&self) -> usize {
+        self.entries.len() * ENTRY_BYTES
+    }
+
+    /// Bookkeeping counters for reports and gates.
+    pub fn stats(&self) -> ControllerStats {
+        ControllerStats {
+            entries: self.entries.len(),
+            soft_state_bytes: self.soft_state_bytes(),
+            high_water_bytes: self.high_water,
+            evictions: self.evictions,
+            purges: self.purges,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Audits controller state: no entry may reference a dead peer or a
+    /// stale incarnation (the purge taxonomy should have cleared it),
+    /// and the soft-state bytes must fit the budget. Drivers fold this
+    /// into their `check_invariants`.
+    pub fn audit(
+        &self,
+        mut is_alive: impl FnMut(PeerId) -> bool,
+        mut incarnation_of: impl FnMut(PeerId) -> u32,
+    ) -> Result<(), InvariantViolation> {
+        for (&id, e) in &self.entries {
+            let peer = PeerId::new(id);
+            if !is_alive(peer) {
+                return Err(InvariantViolation::new(
+                    ViolationKind::OfflineReference,
+                    Some(peer),
+                    None,
+                    format!("controller entry for offline peer {peer}"),
+                ));
+            }
+            if e.incarnation != incarnation_of(peer) {
+                return Err(InvariantViolation::new(
+                    ViolationKind::OfflineReference,
+                    Some(peer),
+                    None,
+                    format!(
+                        "controller entry for peer {peer} references dead incarnation {}",
+                        e.incarnation
+                    ),
+                ));
+            }
+        }
+        if self.soft_state_bytes() > self.cfg.byte_budget {
+            return Err(InvariantViolation::new(
+                ViolationKind::LedgerAccounting,
+                None,
+                None,
+                format!(
+                    "controller soft state {} bytes exceeds budget {}",
+                    self.soft_state_bytes(),
+                    self.cfg.byte_budget
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deterministic digest over every entry and counter, mixed into the
+    /// drivers' state digests when the controller is enabled.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0x5AA5_0FF0_C0DE_CAFE;
+        let mut mix = |v: u64| {
+            h = splitmix64(h ^ v);
+        };
+        for (&id, e) in &self.entries {
+            mix(u64::from(id));
+            mix(u64::from(e.incarnation));
+            mix(e.ewma_queries.to_bits());
+            mix(e.ewma_churn.to_bits());
+            mix(e.ewma_gain.to_bits());
+            mix(e.interval.to_bits());
+            mix(e.next_due);
+            mix(e.last_touch);
+        }
+        mix(self.evictions);
+        mix(self.purges);
+        mix(self.rejected);
+        h
+    }
+}
+
+/// `splitmix64` finalizer — the workspace's standard deterministic hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PeerId {
+        PeerId::new(i)
+    }
+
+    fn busy_sample() -> RateSample {
+        RateSample {
+            queries: 10.0,
+            churn_events: 0.0,
+            flood_traffic: 100.0,
+            ace_traffic: 40.0,
+            overhead: 50.0,
+            retry_pressure: 0.0,
+        }
+    }
+
+    fn quiet_sample() -> RateSample {
+        RateSample {
+            queries: 0.0,
+            churn_events: 0.0,
+            flood_traffic: 100.0,
+            ace_traffic: 40.0,
+            overhead: 50.0,
+            retry_pressure: 0.0,
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        AutoRateConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_names_offending_parameters() {
+        let cases = [
+            (
+                AutoRateConfig {
+                    r_min: 0.5,
+                    ..Default::default()
+                },
+                "r_min",
+            ),
+            (
+                AutoRateConfig {
+                    r_max: 0.5,
+                    ..Default::default()
+                },
+                "r_max",
+            ),
+            (
+                AutoRateConfig {
+                    ewma_alpha: 0.0,
+                    ..Default::default()
+                },
+                "ewma_alpha",
+            ),
+            (
+                AutoRateConfig {
+                    step: 1.0,
+                    ..Default::default()
+                },
+                "step",
+            ),
+            (
+                AutoRateConfig {
+                    backoff: 0.9,
+                    ..Default::default()
+                },
+                "backoff",
+            ),
+            (
+                AutoRateConfig {
+                    stress_threshold: 0.0,
+                    ..Default::default()
+                },
+                "stress_threshold",
+            ),
+            (
+                AutoRateConfig {
+                    byte_budget: 0,
+                    ..Default::default()
+                },
+                "byte_budget",
+            ),
+            (
+                AutoRateConfig {
+                    idle_evict: 0,
+                    ..Default::default()
+                },
+                "idle_evict",
+            ),
+            (
+                AutoRateConfig {
+                    churn_weight: f64::NAN,
+                    ..Default::default()
+                },
+                "churn_weight",
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate().unwrap_err().parameter(), want);
+        }
+    }
+
+    #[test]
+    fn quiet_peer_stretches_to_r_max_and_busy_peer_returns_to_r_min() {
+        let cfg = AutoRateConfig::default();
+        let mut c = RateController::new(cfg);
+        for period in 0..40 {
+            c.observe(p(0), 0, period, &quiet_sample(), true);
+        }
+        assert_eq!(c.interval_of(p(0)), Some(cfg.r_max), "quiet peer coasts");
+        for period in 40..80 {
+            c.observe(p(0), 0, period, &busy_sample(), true);
+        }
+        assert_eq!(
+            c.interval_of(p(0)),
+            Some(cfg.r_min),
+            "load pulls the schedule back"
+        );
+    }
+
+    #[test]
+    fn interval_never_escapes_the_window() {
+        let cfg = AutoRateConfig {
+            r_min: 2.0,
+            r_max: 5.0,
+            ..Default::default()
+        };
+        let mut c = RateController::new(cfg);
+        for period in 0..100 {
+            let s = if period % 3 == 0 {
+                busy_sample()
+            } else {
+                quiet_sample()
+            };
+            let iv = c.observe(p(1), 0, period, &s, true);
+            assert!((cfg.r_min..=cfg.r_max).contains(&iv), "interval {iv}");
+        }
+    }
+
+    #[test]
+    fn stress_backs_off_multiplicatively() {
+        let cfg = AutoRateConfig::default();
+        let mut c = RateController::new(cfg);
+        // Load would keep the interval at r_min…
+        for period in 0..10 {
+            c.observe(p(0), 0, period, &busy_sample(), true);
+        }
+        assert_eq!(c.interval_of(p(0)), Some(cfg.r_min));
+        // …but retry pressure above the threshold stretches it anyway.
+        let stressed = RateSample {
+            retry_pressure: 0.5,
+            ..busy_sample()
+        };
+        c.observe(p(0), 0, 10, &stressed, true);
+        assert_eq!(c.interval_of(p(0)), Some(cfg.r_min * cfg.backoff));
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_propagated() {
+        let mut c = RateController::new(AutoRateConfig::default());
+        c.observe(p(0), 0, 0, &busy_sample(), true);
+        let bad = RateSample {
+            queries: f64::NAN,
+            flood_traffic: f64::INFINITY,
+            ..busy_sample()
+        };
+        let iv = c.observe(p(0), 0, 1, &bad, true);
+        assert!(iv.is_finite());
+        assert!(c.stats().rejected >= 2, "{:?}", c.stats());
+        let iv2 = c.observe(p(0), 0, 2, &busy_sample(), true);
+        assert!(iv2.is_finite());
+    }
+
+    #[test]
+    fn due_schedule_follows_the_interval() {
+        let mut c = RateController::new(AutoRateConfig::default());
+        assert!(c.is_due(p(0), 0), "unknown peers are due immediately");
+        for period in 0..40 {
+            c.observe(p(0), 0, period, &quiet_sample(), true);
+        }
+        // Interval is r_max = 8: not due again until 8 periods pass.
+        assert!(!c.is_due(p(0), 40));
+        assert!(!c.is_due(p(0), 46));
+        assert!(c.is_due(p(0), 47));
+    }
+
+    #[test]
+    fn skipped_periods_keep_the_schedule() {
+        let mut c = RateController::new(AutoRateConfig::default());
+        for period in 0..40 {
+            c.observe(p(0), 0, period, &quiet_sample(), true);
+        }
+        // EWMA-only updates (ran = false) must not push the due period.
+        for period in 40..45 {
+            c.observe(p(0), 0, period, &quiet_sample(), false);
+        }
+        assert!(c.is_due(p(0), 47));
+    }
+
+    #[test]
+    fn idle_entries_are_evicted() {
+        let cfg = AutoRateConfig {
+            idle_evict: 4,
+            ..Default::default()
+        };
+        let mut c = RateController::new(cfg);
+        c.observe(p(0), 0, 0, &quiet_sample(), true);
+        c.observe(p(1), 0, 0, &quiet_sample(), true);
+        for period in 1..=10 {
+            c.observe(p(1), 0, period, &quiet_sample(), true);
+            c.end_period(period);
+        }
+        assert_eq!(c.interval_of(p(0)), None, "idle entry evicted");
+        assert!(c.interval_of(p(1)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_is_enforced_oldest_first() {
+        let cfg = AutoRateConfig {
+            byte_budget: 4 * ENTRY_BYTES,
+            idle_evict: 1000,
+            ..Default::default()
+        };
+        let mut c = RateController::new(cfg);
+        for i in 0..10u32 {
+            c.observe(p(i), 0, u64::from(i), &quiet_sample(), true);
+            assert!(c.soft_state_bytes() <= cfg.byte_budget);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.evictions, 6);
+        assert!(stats.high_water_bytes <= cfg.byte_budget);
+        // Oldest-touched went first: the survivors are the newest four.
+        for i in 0..6u32 {
+            assert_eq!(c.interval_of(p(i)), None, "peer {i} should be evicted");
+        }
+        for i in 6..10u32 {
+            assert!(c.interval_of(p(i)).is_some(), "peer {i} should survive");
+        }
+    }
+
+    #[test]
+    fn lifecycle_purges_and_incarnation_resets() {
+        let mut c = RateController::new(AutoRateConfig::default());
+        for period in 0..40 {
+            c.observe(p(0), 0, period, &quiet_sample(), true);
+        }
+        let stretched = c.interval_of(p(0)).unwrap();
+        assert!(stretched > 1.0);
+        for ev in [
+            LifecycleEvent::GracefulLeave,
+            LifecycleEvent::Crash,
+            LifecycleEvent::Rejoin,
+        ] {
+            let mut c2 = c.clone();
+            c2.on_lifecycle(p(0), ev);
+            assert_eq!(c2.interval_of(p(0)), None, "{ev:?} purges the entry");
+            assert_eq!(c2.stats().purges, 1);
+        }
+        // A new incarnation observed without an explicit purge still
+        // starts fresh: estimates never cross incarnations, so one quiet
+        // decision from the r_min baseline lands at r_min × step, not
+        // anywhere near the predecessor's stretched schedule.
+        let cfg = AutoRateConfig::default();
+        c.observe(p(0), 1, 40, &quiet_sample(), true);
+        assert_eq!(c.interval_of(p(0)), Some(cfg.r_min * cfg.step));
+    }
+
+    #[test]
+    fn snap_to_floor_makes_a_stretched_peer_due_now() {
+        let cfg = AutoRateConfig::default();
+        let mut c = RateController::new(cfg);
+        for period in 0..40 {
+            c.observe(p(0), 0, period, &quiet_sample(), true);
+        }
+        assert_eq!(c.interval_of(p(0)), Some(cfg.r_max));
+        assert!(!c.is_due(p(0), 41));
+        c.snap_to_floor(p(0), 0, 41);
+        assert_eq!(c.interval_of(p(0)), Some(cfg.r_min), "schedule snapped");
+        assert!(c.is_due(p(0), 41), "due immediately after a snap");
+        // Estimates survived: the very next quiet decision coasts again
+        // (demand is still far below break-even), unlike a fresh entry
+        // whose neutral prior would hold the floor.
+        c.observe(p(0), 0, 41, &quiet_sample(), true);
+        assert!(c.interval_of(p(0)).unwrap() > cfg.r_min);
+        // A snap for an unknown peer just creates a fresh floor entry;
+        // a stale incarnation is reset rather than inherited.
+        c.snap_to_floor(p(7), 2, 41);
+        assert_eq!(c.interval_of(p(7)), Some(cfg.r_min));
+        c.snap_to_floor(p(0), 1, 42);
+        assert!(c.is_due(p(0), 42));
+        assert_eq!(c.interval_of(p(0)), Some(cfg.r_min));
+    }
+
+    #[test]
+    fn audit_catches_dead_refs_and_budget_breach() {
+        let mut c = RateController::new(AutoRateConfig::default());
+        c.observe(p(3), 7, 0, &quiet_sample(), true);
+        c.audit(|_| true, |_| 7).unwrap();
+        let dead = c.audit(|_| false, |_| 7).unwrap_err();
+        assert_eq!(dead.kind(), ViolationKind::OfflineReference);
+        let stale = c.audit(|_| true, |_| 8).unwrap_err();
+        assert_eq!(stale.kind(), ViolationKind::OfflineReference);
+    }
+
+    #[test]
+    fn digest_tracks_state_and_is_deterministic() {
+        let mut a = RateController::new(AutoRateConfig::default());
+        let mut b = RateController::new(AutoRateConfig::default());
+        assert_eq!(a.digest(), b.digest());
+        a.observe(p(0), 0, 0, &busy_sample(), true);
+        assert_ne!(a.digest(), b.digest());
+        b.observe(p(0), 0, 0, &busy_sample(), true);
+        assert_eq!(a.digest(), b.digest());
+    }
+}

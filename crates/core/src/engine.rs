@@ -29,6 +29,7 @@ use ace_overlay::{DepartureKind, Message, Overlay, OverlayError, PeerId};
 use ace_topology::{Delay, DistancePlane};
 
 use crate::audit::{InvariantViolation, ViolationKind};
+use crate::autorate::{AutoRateConfig, ControllerStats, RateController, RateSample};
 use crate::closure::Closure;
 use crate::cost_table::CostTable;
 use crate::fault::FaultConfig;
@@ -81,6 +82,14 @@ pub struct AceConfig {
     /// hashes, so they preserve the parallel pipeline's bit-identical
     /// worker-count guarantee.
     pub faults: Option<FaultConfig>,
+    /// Autonomic per-peer optimization-rate control
+    /// ([`crate::autorate`]); `None` keeps the static every-round
+    /// schedule (and leaves digests byte-identical to controller-free
+    /// builds). When set, each round only peers the controller marks
+    /// *due* run phases 1–3; the controller is fed deterministic
+    /// observation streams at round end, so the worker-count digest
+    /// guarantee still holds.
+    pub autorate: Option<AutoRateConfig>,
 }
 
 impl AceConfig {
@@ -95,6 +104,7 @@ impl AceConfig {
             parallel: false,
             workers: 0,
             faults: None,
+            autorate: None,
         }
     }
 }
@@ -215,6 +225,15 @@ pub struct AceEngine {
     connect_units: f64,
     disconnect_units: f64,
     notify_units: f64,
+    /// Autonomic `R` controller ([`AceConfig::autorate`]); `None` keeps
+    /// the static schedule.
+    controller: Option<RateController>,
+    /// Query arrivals reported via [`AceEngine::note_queries`] since the
+    /// last round — the controller's per-peer load observation stream.
+    pending_queries: Vec<f64>,
+    /// Latest measured per-query traffic (flood, ace) reported via
+    /// [`AceEngine::note_traffic`]; feeds the realized-gain estimate.
+    pending_traffic: Option<(f64, f64)>,
 }
 
 impl AceEngine {
@@ -224,7 +243,8 @@ impl AceEngine {
     /// # Panics
     ///
     /// Panics if [`AceConfig::faults`] is set to an invalid
-    /// [`FaultConfig`] (see [`FaultConfig::validate`]).
+    /// [`FaultConfig`] (see [`FaultConfig::validate`]) or
+    /// [`AceConfig::autorate`] to an invalid [`AutoRateConfig`].
     pub fn new(peer_count: usize, cfg: AceConfig) -> Self {
         let mut cfg = cfg;
         if cfg.depth == 0 {
@@ -235,10 +255,18 @@ impl AceEngine {
                 panic!("invalid fault config: {e}");
             }
         }
+        if let Some(a) = cfg.autorate {
+            if let Err(e) = a.validate() {
+                panic!("invalid autorate config: {e}");
+            }
+        }
         let states = (0..peer_count)
             .map(|i| PeerState::new(PeerId::new(i as u32)))
             .collect();
         AceEngine {
+            controller: cfg.autorate.map(RateController::new),
+            pending_queries: vec![0.0; peer_count],
+            pending_traffic: None,
             cfg,
             states,
             core_cache: HashMap::new(),
@@ -266,6 +294,100 @@ impl AceEngine {
     /// Zeroes the overhead ledger (e.g. between measurement windows).
     pub fn reset_ledger(&mut self) {
         self.ledger = OverheadLedger::new();
+    }
+
+    /// Reports `count` query arrivals observed at `peer` since the last
+    /// round — the controller's per-peer load stream (harnesses feed it
+    /// from per-peer inbox accounting). No-op without
+    /// [`AceConfig::autorate`]; counts are consumed by the next round.
+    pub fn note_queries(&mut self, peer: PeerId, count: f64) {
+        if self.controller.is_none() {
+            return;
+        }
+        if let Some(q) = self.pending_queries.get_mut(peer.index()) {
+            if count.is_finite() && count >= 0.0 {
+                *q += count;
+            }
+        }
+    }
+
+    /// Reports the latest measured mean per-query traffic under blind
+    /// flooding vs. ACE forwarding; the controller's realized-gain
+    /// inputs. Sticky until replaced. No-op without
+    /// [`AceConfig::autorate`].
+    pub fn note_traffic(&mut self, flood_per_query: f64, ace_per_query: f64) {
+        if self.controller.is_some() {
+            self.pending_traffic = Some((flood_per_query, ace_per_query));
+        }
+    }
+
+    /// The autonomic `R` controller, when enabled.
+    pub fn controller(&self) -> Option<&RateController> {
+        self.controller.as_ref()
+    }
+
+    /// Controller bookkeeping counters; all-zero when disabled.
+    pub fn controller_stats(&self) -> ControllerStats {
+        self.controller
+            .as_ref()
+            .map(RateController::stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether `peer` runs its optimization in the upcoming round
+    /// (always true without a controller).
+    fn peer_due(&self, peer: PeerId) -> bool {
+        self.controller
+            .as_ref()
+            .is_none_or(|c| c.is_due(peer, self.rounds_run))
+    }
+
+    /// Feeds the controller one round's observations, in peer-id order
+    /// (all inputs are computed serially, preserving the worker-count
+    /// digest guarantee), and runs its end-of-period maintenance.
+    /// `ran` says which peers actually optimized this round.
+    fn feed_controller(&mut self, ov: &Overlay, stats: &RoundStats, ran: &[bool]) {
+        let Some(ctrl) = self.controller.as_mut() else {
+            return;
+        };
+        let period = self.rounds_run;
+        let churn = (stats.crashed + stats.left + stats.rejoined) as f64;
+        let total = stats.overhead.total_cost();
+        let retry = stats.overhead.cost_of(OverheadKind::ProbeRetry)
+            + stats.overhead.cost_of(OverheadKind::ControlRetry);
+        let retry_pressure = if total > 0.0 { retry / total } else { 0.0 };
+        let (flood, ace) = self.pending_traffic.unwrap_or((0.0, 0.0));
+        let alive: Vec<PeerId> = ov.alive_peers().collect();
+        let per_peer_overhead = if alive.is_empty() {
+            0.0
+        } else {
+            total / alive.len() as f64
+        };
+        for p in alive {
+            let queries = self.pending_queries.get(p.index()).copied().unwrap_or(0.0);
+            let sample = RateSample {
+                queries,
+                churn_events: churn,
+                flood_traffic: flood,
+                ace_traffic: ace,
+                overhead: per_peer_overhead,
+                retry_pressure,
+            };
+            // The engine has no incarnation numbers: lifecycle purges
+            // already cleared departed entries, so incarnation 0 stands
+            // for "the current life of this peer".
+            ctrl.observe(
+                p,
+                0,
+                period,
+                &sample,
+                ran.get(p.index()).copied().unwrap_or(false),
+            );
+        }
+        ctrl.end_period(period);
+        for q in &mut self.pending_queries {
+            *q = 0.0;
+        }
     }
 
     /// True once `peer` has built a spanning tree.
@@ -345,6 +467,31 @@ impl AceEngine {
         }
         if event.clears_own_state() {
             self.clear_own_state(peer);
+        }
+        if let Some(c) = self.controller.as_mut() {
+            c.on_lifecycle(peer, event);
+        }
+        if let Some(q) = self.pending_queries.get_mut(peer.index()) {
+            *q = 0.0;
+        }
+    }
+
+    /// Local churn response: snaps each disturbed neighbor's controller
+    /// schedule back to the floor ([`RateController::snap_to_floor`])
+    /// so the next round re-optimizes the churned neighborhood instead
+    /// of coasting through it on a stretched interval — the static
+    /// schedule gets exactly that for free by always running. No-op
+    /// without a controller. The sync engine has a single incarnation
+    /// (0) per peer; fault injection runs serially in both round paths,
+    /// so the snaps are worker-count invariant.
+    fn snap_neighbors(&mut self, ov: &Overlay, neighbors: &[PeerId]) {
+        let Some(c) = self.controller.as_mut() else {
+            return;
+        };
+        for &n in neighbors {
+            if ov.is_alive(n) {
+                c.snap_to_floor(n, 0, self.rounds_run);
+            }
         }
     }
 
@@ -871,19 +1018,26 @@ impl AceEngine {
         }
         let before = self.ledger;
         let mut stats = RoundStats::default();
-        let mut alive: Vec<PeerId> = ov.alive_peers().collect();
-        for p in &alive {
+        // The controller's due-gating: without one, every alive peer is
+        // due and the round is byte-identical to the static schedule.
+        let mut due: Vec<PeerId> = ov.alive_peers().filter(|&p| self.peer_due(p)).collect();
+        let mut ran = vec![false; self.states.len()];
+        for p in &due {
+            ran[p.index()] = true;
             self.phase1_probe(ov, oracle, *p);
         }
         // Random execution order models asynchronous, independent peers.
-        for i in (1..alive.len()).rev() {
-            alive.swap(i, rng.gen_range(0..=i));
+        for i in (1..due.len()).rev() {
+            due.swap(i, rng.gen_range(0..=i));
         }
         // Injected departures/rejoins strike once halfway through the
         // optimization sweep — peers that already optimized saw the old
         // population, the rest see the new one, like real churn would.
-        let fault_point = alive.len() / 2;
-        for (i, p) in alive.into_iter().enumerate() {
+        if due.is_empty() {
+            self.apply_mid_round_faults(ov, &mut stats);
+        }
+        let fault_point = due.len() / 2;
+        for (i, p) in due.into_iter().enumerate() {
             if i == fault_point {
                 self.apply_mid_round_faults(ov, &mut stats);
             }
@@ -898,6 +1052,7 @@ impl AceEngine {
             stats.trees_built += 1;
         }
         stats.overhead = self.ledger.since(&before);
+        self.feed_controller(ov, &stats, &ran);
         self.rounds_run += 1;
         debug_assert!(ov.check_invariants().is_ok());
         debug_assert_eq!(self.check_invariants(ov), Ok(()));
@@ -1300,8 +1455,12 @@ impl AceEngine {
     ) -> RoundStats {
         let before = self.ledger;
         let mut stats = RoundStats::default();
-        let alive: Vec<PeerId> = ov.alive_peers().collect();
-        for &p in &alive {
+        // Due-gating is decided serially before any plan runs, so the
+        // plan stages see an identical work list for every worker count.
+        let due: Vec<PeerId> = ov.alive_peers().filter(|&p| self.peer_due(p)).collect();
+        let mut ran = vec![false; self.states.len()];
+        for &p in &due {
+            ran[p.index()] = true;
             self.phase1_probe(ov, oracle, p);
         }
         let workers = self.effective_workers();
@@ -1309,8 +1468,8 @@ impl AceEngine {
         let tree_plans: Vec<TreePlan> = {
             let this = &*self;
             let ov_ref = &*ov;
-            plan_parallel(alive.len(), workers, |i| {
-                this.plan_tree(ov_ref, oracle, alive[i])
+            plan_parallel(due.len(), workers, |i| {
+                this.plan_tree(ov_ref, oracle, due[i])
             })
         };
         self.commit_trees(ov, oracle, &tree_plans, &mut stats);
@@ -1321,16 +1480,14 @@ impl AceEngine {
         // round's halfway fault point. Decisions are pure hashes of
         // (fault seed, round, peer), so worker count stays irrelevant.
         self.apply_mid_round_faults(ov, &mut stats);
-        let survivors: Vec<usize> = (0..alive.len())
-            .filter(|&i| ov.is_alive(alive[i]))
-            .collect();
+        let survivors: Vec<usize> = (0..due.len()).filter(|&i| ov.is_alive(due[i])).collect();
 
         let adapt_plans: Vec<AdaptPlan> = {
             let this = &*self;
             let ov_ref = &*ov;
             plan_parallel(survivors.len(), workers, |k| {
                 let i = survivors[k];
-                let peer = alive[i];
+                let peer = due[i];
                 let mut rng = StdRng::seed_from_u64(Self::peer_stream_seed(round_seed, peer));
                 this.plan_adapt(ov_ref, oracle, peer, &tree_plans[i].known, &mut rng)
             })
@@ -1339,6 +1496,7 @@ impl AceEngine {
         self.commit_adaptations(ov, oracle, adapt_plans, &mut stats);
 
         stats.overhead = self.ledger.since(&before);
+        self.feed_controller(ov, &stats, &ran);
         self.rounds_run += 1;
         debug_assert!(ov.check_invariants().is_ok());
         debug_assert_eq!(self.check_invariants(ov), Ok(()));
@@ -1362,13 +1520,17 @@ impl AceEngine {
                 }
                 match f.departure(round, p) {
                     Some(DepartureKind::Crash) => {
+                        let nbrs: Vec<PeerId> = ov.neighbors(p).to_vec();
                         ov.leave(p).expect("alive peer can leave");
                         self.on_crash(p);
+                        self.snap_neighbors(ov, &nbrs);
                         stats.crashed += 1;
                     }
                     Some(DepartureKind::Graceful) => {
+                        let nbrs: Vec<PeerId> = ov.neighbors(p).to_vec();
                         ov.leave(p).expect("alive peer can leave");
                         self.on_leave(p);
+                        self.snap_neighbors(ov, &nbrs);
                         stats.left += 1;
                     }
                     None => {}
@@ -1377,6 +1539,8 @@ impl AceEngine {
                 let mut rng = StdRng::seed_from_u64(f.rejoin_seed(round, p));
                 if ov.join(p, f.rejoin_attach, &mut rng).is_ok() {
                     self.on_join(p);
+                    let nbrs: Vec<PeerId> = ov.neighbors(p).to_vec();
+                    self.snap_neighbors(ov, &nbrs);
                     stats.rejoined += 1;
                 }
             }
@@ -1546,6 +1710,13 @@ impl AceEngine {
                 );
             }
         }
+        // 6. **Controller hygiene** — autorate soft state never
+        //    references a departed peer (the purge taxonomy clears
+        //    entries on every lifecycle event) and never exceeds its
+        //    byte budget.
+        if let Some(c) = &self.controller {
+            c.audit(|p| ov.is_alive(p), |_| 0)?;
+        }
         Ok(())
     }
 
@@ -1572,6 +1743,12 @@ impl AceEngine {
             }
             self.ledger.cost_of(kind).to_bits().hash(&mut h);
             self.ledger.count_of(kind).hash(&mut h);
+        }
+        // Mixed only when the controller exists, so every digest
+        // committed before autorate landed is reproduced byte-for-byte
+        // by controller-free configs.
+        if let Some(c) = &self.controller {
+            c.digest().hash(&mut h);
         }
         h.finish()
     }

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod autorate;
 mod closure;
 mod cost_table;
 mod engine;
@@ -77,13 +78,17 @@ pub mod protocol;
 pub use audit::{
     ConfigError, EquivalenceKind, EquivalenceViolation, InvariantViolation, ViolationKind,
 };
+pub use autorate::{AutoRateConfig, ControllerStats, RateController, RateSample};
 pub use closure::Closure;
 pub use cost_table::CostTable;
 pub use engine::{AceConfig, AceEngine, AdaptOutcome, ReplacePolicy, RoundStats};
 pub use fault::FaultConfig;
 pub use forwarding::AceForward;
 pub use netem::{NetemConfig, Partition, PartitionKind};
-pub use optrate::{min_effective_depth, optimization_rate};
+pub use optrate::{min_effective_depth, optimization_rate, optimization_rate_checked};
 pub use overhead::{OverheadKind, OverheadLedger};
-pub use policy::{purge_index_cache, Figure4Action, LifecycleEvent, WatchVerdict};
+pub use policy::{
+    next_opt_interval, purge_index_cache, Figure4Action, LifecycleEvent, RateObservation,
+    WatchVerdict,
+};
 pub use probe::ProbeModel;

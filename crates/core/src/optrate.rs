@@ -16,6 +16,8 @@
 //!
 //! ACE is worth running exactly when the rate exceeds 1.
 
+use crate::audit::ConfigError;
+
 /// Computes the gain/penalty optimization rate.
 ///
 /// * `flood_traffic` — average per-query traffic cost under blind flooding;
@@ -61,6 +63,49 @@ pub fn optimization_rate(
         return if gain > 0.0 { f64::INFINITY } else { 0.0 };
     }
     gain / overhead_per_round
+}
+
+/// Non-panicking variant of [`optimization_rate`] for runtime callers fed
+/// by measured values (EWMAs, ledger deltas) that must never abort the
+/// process: a negative or non-finite input comes back as a typed
+/// [`ConfigError`] naming the offending parameter instead of a panic.
+///
+/// The [`crate::autorate`] controller routes all of its gain estimates
+/// through this; the panicking variant stays for tests and doc examples
+/// where a bad input *is* a bug.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::optimization_rate_checked;
+/// assert!((optimization_rate_checked(100.0, 50.0, 75.0, 1.5).unwrap() - 1.0).abs() < 1e-12);
+/// assert!(optimization_rate_checked(f64::NAN, 50.0, 75.0, 1.5).is_err());
+/// ```
+pub fn optimization_rate_checked(
+    flood_traffic: f64,
+    ace_traffic: f64,
+    overhead_per_round: f64,
+    frequency_ratio: f64,
+) -> Result<f64, ConfigError> {
+    for (name, v) in [
+        ("flood_traffic", flood_traffic),
+        ("ace_traffic", ace_traffic),
+        ("overhead_per_round", overhead_per_round),
+        ("frequency_ratio", frequency_ratio),
+    ] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(ConfigError::new(
+                name,
+                format!("must be non-negative and finite, got {v}"),
+            ));
+        }
+    }
+    Ok(optimization_rate(
+        flood_traffic,
+        ace_traffic,
+        overhead_per_round,
+        frequency_ratio,
+    ))
 }
 
 /// The minimal closure depth whose optimization rate exceeds 1 for the
@@ -129,6 +174,30 @@ mod tests {
     #[should_panic(expected = "must be non-negative")]
     fn rejects_negative_inputs() {
         optimization_rate(-1.0, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn checked_agrees_with_panicking_variant_on_valid_inputs() {
+        for (f, a, o, r) in [
+            (200.0, 120.0, 40.0, 1.0),
+            (100.0, 100.0, 50.0, 2.0),
+            (100.0, 50.0, 0.0, 1.0),
+        ] {
+            assert_eq!(
+                optimization_rate_checked(f, a, o, r).unwrap(),
+                optimization_rate(f, a, o, r)
+            );
+        }
+    }
+
+    #[test]
+    fn checked_names_the_offending_parameter() {
+        let err = optimization_rate_checked(1.0, f64::NAN, 1.0, 1.0).unwrap_err();
+        assert_eq!(err.parameter(), "ace_traffic");
+        let err = optimization_rate_checked(1.0, 1.0, 1.0, -0.5).unwrap_err();
+        assert_eq!(err.parameter(), "frequency_ratio");
+        let err = optimization_rate_checked(f64::INFINITY, 1.0, 1.0, 1.0).unwrap_err();
+        assert_eq!(err.parameter(), "flood_traffic");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use ace_overlay::{IndexCache, Message, Overlay, PeerId};
 use ace_topology::Delay;
 
+use crate::autorate::AutoRateConfig;
 use crate::cost_table::CostTable;
 use crate::fault::FaultConfig;
 use crate::mst::{prim_heap, ClosureEdge};
@@ -318,6 +319,66 @@ pub fn probe_exchange_survives_faults(
     true
 }
 
+/// One peer's smoothed observations, as seen by the optimization-rate
+/// controller ([`crate::autorate::RateController`]) when it decides the
+/// peer's next interval. All fields are *measured* EWMA values, so the
+/// decision rule below sanitizes instead of asserting.
+#[derive(Clone, Copy, Debug)]
+pub struct RateObservation {
+    /// EWMA of lifecycle events observed per period.
+    pub ewma_churn: f64,
+    /// EWMA of the realized §4.2 optimization rate (gain/penalty).
+    pub ewma_gain: f64,
+    /// Retry overhead / total overhead this period, in `[0, 1]` — the
+    /// ARQ/netem pressure signal.
+    pub retry_pressure: f64,
+    /// The interval currently in force, in base periods.
+    pub current_interval: f64,
+}
+
+/// The shared interval decision of the autonomic `R` control loop, used
+/// identically by the round engine's due-gating and the async
+/// simulator's cycle-timer rescheduling (the same one-rule-one-place
+/// argument as every other function in this module).
+///
+/// In priority order:
+///
+/// 1. **Stress backoff** — when `retry_pressure` exceeds the threshold
+///    the control plane is already struggling; stretch the interval
+///    multiplicatively regardless of demand.
+/// 2. **Hysteresis dead-band** — demand (`ewma_gain` + weighted churn)
+///    within `±hysteresis` of the break-even 1.0 keeps the current
+///    interval: a marginal signal must not flap the schedule.
+/// 3. **Multiplicative adjustment** — demand above the band divides the
+///    interval by `step` (optimization pays, run more often); below it
+///    multiplies (coast).
+///
+/// The result is always clamped to `[r_min, r_max]`, and non-finite
+/// observations degrade safely: a broken estimate falls back to zero
+/// demand and a broken current interval restarts from `r_max` (the
+/// cheap end — a confused controller must not spend control traffic).
+pub fn next_opt_interval(cfg: &AutoRateConfig, obs: &RateObservation) -> f64 {
+    let clamp = |v: f64| v.clamp(cfg.r_min, cfg.r_max);
+    let sane = |v: f64| if v.is_finite() && v >= 0.0 { v } else { 0.0 };
+    let current = if obs.current_interval.is_finite() {
+        clamp(obs.current_interval)
+    } else {
+        cfg.r_max
+    };
+    if sane(obs.retry_pressure) > cfg.stress_threshold {
+        return clamp(current * cfg.backoff);
+    }
+    let demand = sane(obs.ewma_gain) + cfg.churn_weight * sane(obs.ewma_churn);
+    if (demand - 1.0).abs() <= cfg.hysteresis {
+        return current;
+    }
+    if demand > 1.0 {
+        clamp(current / cfg.step)
+    } else {
+        clamp(current * cfg.step)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +564,46 @@ mod tests {
         purge_index_cache(&mut c, p(1), LifecycleEvent::Rejoin);
         assert_eq!(c.lookup(p(0), 7), None);
         assert!(c.is_empty(p(1)));
+    }
+
+    #[test]
+    fn interval_decision_clamps_dead_bands_and_backs_off() {
+        let cfg = AutoRateConfig {
+            r_min: 1.0,
+            r_max: 8.0,
+            hysteresis: 0.25,
+            step: 2.0,
+            backoff: 3.0,
+            stress_threshold: 0.2,
+            churn_weight: 0.5,
+            ..Default::default()
+        };
+        let obs = |gain: f64, churn: f64, pressure: f64, cur: f64| RateObservation {
+            ewma_churn: churn,
+            ewma_gain: gain,
+            retry_pressure: pressure,
+            current_interval: cur,
+        };
+        // High gain halves the interval; low gain doubles it; both clamp.
+        assert_eq!(next_opt_interval(&cfg, &obs(3.0, 0.0, 0.0, 4.0)), 2.0);
+        assert_eq!(next_opt_interval(&cfg, &obs(3.0, 0.0, 0.0, 1.5)), 1.0);
+        assert_eq!(next_opt_interval(&cfg, &obs(0.0, 0.0, 0.0, 4.0)), 8.0);
+        assert_eq!(next_opt_interval(&cfg, &obs(0.0, 0.0, 0.0, 7.0)), 8.0);
+        // Dead-band: demand within ±0.25 of break-even keeps the current.
+        assert_eq!(next_opt_interval(&cfg, &obs(1.2, 0.0, 0.0, 4.0)), 4.0);
+        assert_eq!(next_opt_interval(&cfg, &obs(0.8, 0.0, 0.0, 4.0)), 4.0);
+        // Churn contributes weighted demand: gain 0.5 + 0.5×2 = 1.5 > band.
+        assert_eq!(next_opt_interval(&cfg, &obs(0.5, 2.0, 0.0, 4.0)), 2.0);
+        // Stress backoff dominates even maximal demand.
+        assert_eq!(next_opt_interval(&cfg, &obs(10.0, 5.0, 0.3, 2.0)), 6.0);
+        assert_eq!(next_opt_interval(&cfg, &obs(10.0, 5.0, 0.3, 7.0)), 8.0);
+        // Non-finite observations degrade safely.
+        assert_eq!(
+            next_opt_interval(&cfg, &obs(f64::NAN, f64::NAN, f64::NAN, f64::NAN)),
+            8.0
+        );
+        assert!((cfg.r_min..=cfg.r_max)
+            .contains(&next_opt_interval(&cfg, &obs(f64::INFINITY, 0.0, 0.0, 0.0))));
     }
 
     #[test]

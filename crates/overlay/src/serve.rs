@@ -326,25 +326,35 @@ impl LatencyHistogram {
     }
 
     /// The `q`-quantile (`0 < q <= 1`) in ticks, as the upper bound of
-    /// the bucket holding that rank; `0` when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// the bucket holding that rank.
+    ///
+    /// An empty histogram has **no** quantiles: every percentile of zero
+    /// samples is undefined, so the answer is `None` rather than a silent
+    /// `0` a caller could mistake for "all samples were instant". This
+    /// matters to consumers that merge per-window histograms (the soak
+    /// harness) where quiet windows are legitimately empty — merging any
+    /// number of empty histograms stays empty, and `quantile` keeps
+    /// reporting `None` until a real sample lands.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_upper(idx);
+                return Some(Self::bucket_upper(idx));
             }
         }
-        Self::bucket_upper(BUCKETS - 1)
+        Some(Self::bucket_upper(BUCKETS - 1))
     }
 
-    /// The `q`-quantile in milliseconds.
-    pub fn quantile_ms(&self, q: f64) -> f64 {
-        SimTime::from_ticks(self.quantile(q)).as_millis_f64()
+    /// The `q`-quantile in milliseconds; `None` when the histogram is
+    /// empty (see [`LatencyHistogram::quantile`]).
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        self.quantile(q)
+            .map(|t| SimTime::from_ticks(t).as_millis_f64())
     }
 }
 
@@ -853,7 +863,7 @@ mod tests {
         assert_eq!(report.hop_latency.count(), 3);
         // Hop latencies on the line are 10, 20, 30 ticks; p50 rounds into
         // the 20-tick bucket, which is exact at this magnitude.
-        assert_eq!(report.hop_latency.quantile(0.5), 20);
+        assert_eq!(report.hop_latency.quantile(0.5), Some(20));
     }
 
     #[test]
@@ -876,9 +886,31 @@ mod tests {
         for t in 1..=1000u64 {
             h.record(t);
         }
-        let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
         assert!((480..=540).contains(&p50), "p50 {p50}");
         assert!((950..=1024).contains(&p99), "p99 {p99}");
-        assert!(h.quantile(1.0) >= p99);
+        assert!(h.quantile(1.0).unwrap() >= p99);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_undefined_not_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.quantile_ms(0.5), None);
+
+        // Merging empties keeps them empty: quiet measurement windows
+        // folded into a run-level histogram must not invent samples.
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&h);
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged.count(), 0);
+        assert_eq!(merged.quantile(0.5), None);
+
+        // The first real sample makes quantiles defined again.
+        merged.record(7);
+        assert_eq!(merged.quantile(0.5), Some(7));
+        assert_eq!(merged.quantile(1.0), Some(7));
     }
 }

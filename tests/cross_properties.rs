@@ -331,6 +331,141 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The worker-count bit-identical guarantee survives the autonomic
+    /// `R` controller: its decisions derive only from observation
+    /// streams every worker schedule computes identically, so digests
+    /// (protocol *and* controller), stats and ledger all match — under
+    /// fault injection, which also exercises the churn snap-to-floor.
+    #[test]
+    fn adaptive_controller_rounds_are_worker_count_invariant(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use ace_core::AutoRateConfig;
+        let scenario = ScenarioConfig {
+            phys: PhysKind::TwoLevel { as_count: 3, nodes_per_as: 40 },
+            peers: 50,
+            avg_degree: 5,
+            objects: 20,
+            replicas: 4,
+            seed,
+            ..ScenarioConfig::default()
+        };
+        let faults = FaultConfig {
+            probe_loss: 0.15,
+            max_retries: 2,
+            backoff: 1.5,
+            crash: 0.03,
+            leave: 0.03,
+            rejoin: 0.5,
+            rejoin_attach: 3,
+            seed: fault_seed,
+        };
+        let run = |workers: usize| {
+            let mut s = Scenario::build(&scenario);
+            let cfg = AceConfig {
+                parallel: true,
+                workers,
+                faults: Some(faults),
+                autorate: Some(AutoRateConfig::default()),
+                ..AceConfig::paper_default()
+            };
+            let mut ace = AceEngine::new(s.overlay.peer_count(), cfg);
+            ace.note_traffic(100.0, 40.0);
+            let mut digests = Vec::new();
+            for r in 0..6 {
+                for p in s.overlay.alive_peers() {
+                    // Deterministic, peer- and round-varying load.
+                    ace.note_queries(p, f64::from((p.raw() + r) % 7));
+                }
+                ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+                digests.push(ace.state_digest());
+            }
+            ace.check_invariants(&s.overlay).unwrap();
+            s.overlay.check_invariants().unwrap();
+            let ctrl = ace.controller().expect("controller enabled").digest();
+            (digests, ctrl, ace.ledger().total_cost(), ace.ledger().total_count())
+        };
+        let one = run(1);
+        let four = run(4);
+        prop_assert_eq!(one, four);
+    }
+
+    /// Whatever churn interleaving hits the controller, its soft state
+    /// stays bounded: every interval inside the clamped `[r_min, r_max]`
+    /// window, bytes never past the budget, and the invariant auditor
+    /// (dead-incarnation refs, budget accounting) stays green.
+    #[test]
+    fn controller_state_stays_bounded_under_churn(
+        cfg in arb_scenario(),
+        ops in arb_churn_ops(),
+    ) {
+        use ace_core::AutoRateConfig;
+        let auto = AutoRateConfig::default();
+        let mut s = Scenario::build(&cfg);
+        let mut ace = AceEngine::new(
+            s.overlay.peer_count(),
+            AceConfig { autorate: Some(auto), ..AceConfig::paper_default() },
+        );
+        ace.note_traffic(100.0, 40.0);
+        ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+        for op in ops {
+            match op {
+                ChurnOp::Round => {
+                    for p in s.overlay.alive_peers() {
+                        ace.note_queries(p, f64::from(p.raw() % 5));
+                    }
+                    ace.round(&mut s.overlay, &s.oracle, &mut s.rng);
+                }
+                ChurnOp::GracefulLeave(sel) => {
+                    let alive: Vec<PeerId> = s.overlay.alive_peers().collect();
+                    if alive.len() > 2 {
+                        let p = alive[sel % alive.len()];
+                        s.overlay.leave(p).unwrap();
+                        ace.on_leave(p);
+                    }
+                }
+                ChurnOp::Crash(sel) => {
+                    let alive: Vec<PeerId> = s.overlay.alive_peers().collect();
+                    if alive.len() > 2 {
+                        let p = alive[sel % alive.len()];
+                        s.overlay.leave(p).unwrap();
+                        ace.on_crash(p);
+                    }
+                }
+                ChurnOp::Rejoin(sel) => {
+                    let dead: Vec<PeerId> =
+                        s.overlay.peers().filter(|&p| !s.overlay.is_alive(p)).collect();
+                    if !dead.is_empty() {
+                        let p = dead[sel % dead.len()];
+                        if s.overlay.join(p, 3, &mut s.rng).is_ok() {
+                            ace.on_join(p);
+                        }
+                    }
+                }
+            }
+            let ctrl = ace.controller().expect("controller enabled");
+            for p in s.overlay.peers() {
+                if let Some(iv) = ctrl.interval_of(p) {
+                    prop_assert!(
+                        (auto.r_min..=auto.r_max).contains(&iv),
+                        "interval {} escaped [{}, {}]", iv, auto.r_min, auto.r_max
+                    );
+                }
+            }
+            let stats = ace.controller_stats();
+            prop_assert!(stats.soft_state_bytes <= auto.byte_budget);
+            prop_assert!(stats.high_water_bytes <= auto.byte_budget);
+            if let Err(e) = ace.check_invariants(&s.overlay) {
+                prop_assert!(false, "engine auditor failed: {}", e);
+            }
+        }
+    }
+}
+
 fn arb_diff_churn() -> impl Strategy<Value = Vec<ChurnStep>> {
     let step = (1u64..=5, 0u8..2, 0usize..64).prop_map(|(step, kind, sel)| ChurnStep {
         step,

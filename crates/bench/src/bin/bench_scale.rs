@@ -8,9 +8,13 @@
 //!   cross-plane band and writes `BENCH_scale.json`.
 //! * `--point N [--json]` — measure one population in this process;
 //!   `--json` prints the point as JSON on stdout (the parent↔child wire).
-//! * `--point N --check BENCH_scale.json` — CI smoke: measure `N` and
-//!   fail (exit 1) if its mean round wall time regressed more than
-//!   [`REGRESSION_TOLERANCE`] over the committed baseline's same point.
+//! * `--point N [--workers W] --check BENCH_scale.json` — CI smoke:
+//!   measure `N` (at `W` worker threads; default one per core) and fail
+//!   (exit 1) if its mean round wall time regressed more than
+//!   [`REGRESSION_TOLERANCE`] over the committed baseline's same point,
+//!   **or** if its engine state digest drifted from the baseline's —
+//!   rounds are seeded and worker-count invariant, so any drift is a
+//!   behavior change, not noise.
 
 use ace_bench::scale::{self, ScaleBench, ScalePoint, SCALE_POINTS};
 
@@ -28,8 +32,15 @@ fn main() {
 
     if let Some(peers) = flag_value("--point") {
         let peers: usize = peers.parse().expect("--point takes a peer count");
-        let point = run_one(peers);
-        if let Some(baseline_path) = flag_value("--check") {
+        let workers: usize = flag_value("--workers")
+            .map(|w| w.parse().expect("--workers takes a thread count"))
+            .unwrap_or(0);
+        let check = flag_value("--check");
+        // CI smoke stays lean: no worker sweep under --check (the
+        // sweep's digest-invariance claim is covered by the drift gate
+        // plus the dirty-planning differential suite).
+        let point = run_one(peers, workers, check.is_none());
+        if let Some(baseline_path) = check {
             check_regression(&point, &baseline_path);
         }
         if args.iter().any(|a| a == "--json") {
@@ -94,13 +105,24 @@ fn main() {
     eprintln!("[saved BENCH_scale.json]");
 }
 
-fn run_one(peers: usize) -> ScalePoint {
+fn run_one(peers: usize, workers: usize, sweep: bool) -> ScalePoint {
     eprintln!("[bench_scale: measuring {peers} peers]");
-    let point = scale::run_point(peers);
+    let point = scale::run_point_workers(peers, workers, sweep);
     eprintln!(
-        "[bench_scale: {peers} peers — world {:.0} ms, oracle build {:.0} ms, mean round {:.1} ms]",
-        point.world_ms, point.oracle_build_ms, point.mean_round_ms
+        "[bench_scale: {peers} peers — world {:.0} ms, oracle build {:.0} ms, mean round {:.1} ms, \
+         plan-skip rate {:.3}, state digest {:#018x}]",
+        point.world_ms,
+        point.oracle_build_ms,
+        point.mean_round_ms,
+        point.plan_skip_rate,
+        point.state_digest
     );
+    for leg in &point.workers_sweep {
+        eprintln!(
+            "[bench_scale:   workers={} — mean round {:.1} ms, plan-skip rate {:.3} (digest ok)]",
+            leg.workers, leg.mean_round_ms, leg.plan_skip_rate
+        );
+    }
     point
 }
 
@@ -111,15 +133,33 @@ fn check_regression(point: &ScalePoint, baseline_path: &str) {
     let base = baseline
         .point(point.peers)
         .unwrap_or_else(|| panic!("baseline has no {}-peer point", point.peers));
-    let limit = base.mean_round_ms * (1.0 + REGRESSION_TOLERANCE);
+    // Compare like with like: a --workers run measures against the
+    // baseline's matching sweep leg when one exists.
+    let base_mean = base
+        .workers_sweep
+        .iter()
+        .find(|leg| leg.workers == point.workers)
+        .map_or(base.mean_round_ms, |leg| leg.mean_round_ms);
+    let limit = base_mean * (1.0 + REGRESSION_TOLERANCE);
     eprintln!(
         "[bench_scale: {} peers — measured {:.1} ms vs baseline {:.1} ms (limit {:.1} ms)]",
-        point.peers, point.mean_round_ms, base.mean_round_ms, limit
+        point.peers, point.mean_round_ms, base_mean, limit
     );
     if point.mean_round_ms > limit {
         eprintln!(
             "[bench_scale: REGRESSION — round wall time grew more than {:.0}%]",
             REGRESSION_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    // Digest drift: the rounds are fully seeded and worker-count
+    // invariant, so the measured digest must equal the committed one
+    // bit for bit. Baselines predating the field carry 0 — skip those.
+    if base.state_digest != 0 && point.state_digest != base.state_digest {
+        eprintln!(
+            "[bench_scale: DIGEST DRIFT — measured {:#018x}, baseline {:#018x}; \
+             round behavior changed]",
+            point.state_digest, base.state_digest
         );
         std::process::exit(1);
     }

@@ -33,8 +33,9 @@ fn main() {
         // stale tree entries
         let mut stale = 0usize;
         let mut empty_fwd = 0usize;
+        let mut f = Vec::new();
         for p in s.overlay.alive_peers() {
-            let f = ace.flooding_neighbors(p);
+            ace.flooding_neighbors_into(p, &mut f);
             let live: Vec<_> = f
                 .iter()
                 .filter(|&&n| s.overlay.are_neighbors(p, n))
@@ -74,8 +75,10 @@ fn main() {
     // Check union-graph connectivity: undirected U
     let n = s.overlay.peer_count();
     let mut adj = vec![vec![]; n];
+    let mut fl = Vec::new();
     for p in s.overlay.alive_peers() {
-        for q in ace.flooding_neighbors(p) {
+        ace.flooding_neighbors_into(p, &mut fl);
+        for &q in &fl {
             if s.overlay.are_neighbors(p, q) {
                 adj[p.index()].push(q.index());
                 adj[q.index()].push(p.index());

@@ -44,6 +44,12 @@ pub const SCALE_POINTS: [(usize, usize, usize); 4] = [
 /// ACE rounds timed at every point.
 pub const SCALE_ROUNDS: usize = 5;
 
+/// Worker counts the per-point sweep re-runs the same rounds with. The
+/// round pipeline is bit-identical across worker counts (pinned by the
+/// dirty-planning differential suite), so every leg must land on the
+/// same [`AceEngine::state_digest`] — the sweep asserts it.
+pub const WORKER_SWEEP: [usize; 3] = [1, 4, 8];
+
 /// Overlay degree used across the curve (the paper's default C = 6).
 const AVG_DEGREE: usize = 6;
 
@@ -94,6 +100,20 @@ pub struct CalibrationOut {
     pub p90: f64,
 }
 
+/// One worker-count leg of a point's sweep: the same seeded rounds on a
+/// pristine clone of the point's world.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WorkerRun {
+    /// Worker threads for the plan stages (`0` = one per core).
+    pub workers: usize,
+    /// Mean wall time over the timed rounds.
+    pub mean_round_ms: f64,
+    /// Plans replayed from the dirty-set cache ÷ plans examined.
+    pub plan_skip_rate: f64,
+    /// Engine state digest after the timed rounds.
+    pub state_digest: u64,
+}
+
 /// One population on the curve.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ScalePoint {
@@ -119,6 +139,22 @@ pub struct ScalePoint {
     pub tiers: TierShares,
     /// Coordinate accuracy at build time.
     pub calibration: CalibrationOut,
+    /// Worker threads the main timed run used (`0` = one per core).
+    /// Defaulted fields below are absent from pre-sweep baselines.
+    #[serde(default)]
+    pub workers: usize,
+    /// Plans replayed from the dirty-set cache ÷ plans examined over
+    /// the timed rounds.
+    #[serde(default)]
+    pub plan_skip_rate: f64,
+    /// Engine state digest after the timed rounds. Bit-stable across
+    /// worker counts — the CI drift gate; `0` in old baselines.
+    #[serde(default)]
+    pub state_digest: u64,
+    /// The same rounds re-run at each [`WORKER_SWEEP`] count; every leg
+    /// asserted digest-identical to the main run.
+    #[serde(default)]
+    pub workers_sweep: Vec<WorkerRun>,
 }
 
 /// The 800-peer cross-plane quality check: one world, optimized on each
@@ -292,11 +328,55 @@ pub(crate) fn build_world_sized(
     (topo.graph, overlay, rng)
 }
 
+/// Runs [`SCALE_ROUNDS`] timed rounds on `overlay` with a fresh engine
+/// at `workers` threads. Returns per-round wall times, the plan-skip
+/// rate (replayed ÷ examined; `trees_built` counts both) and the final
+/// engine state digest.
+fn timed_run(
+    overlay: &mut Overlay,
+    plane: &dyn DistancePlane,
+    rng: &mut StdRng,
+    workers: usize,
+) -> (Vec<f64>, f64, u64) {
+    let mut ace = AceEngine::new(
+        overlay.peer_count(),
+        AceConfig {
+            parallel: true,
+            workers,
+            ..AceConfig::paper_default()
+        },
+    );
+    let mut round_wall_ms = Vec::with_capacity(SCALE_ROUNDS);
+    let (mut skipped, mut examined) = (0usize, 0usize);
+    for _ in 0..SCALE_ROUNDS {
+        let t = Instant::now();
+        let s = ace.round(overlay, plane, rng);
+        round_wall_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        skipped += s.plans_skipped;
+        examined += s.trees_built;
+    }
+    let skip_rate = skipped as f64 / examined.max(1) as f64;
+    (round_wall_ms, skip_rate, ace.state_digest())
+}
+
 /// Measures one population: builds the world and the hybrid plane, runs
 /// [`SCALE_ROUNDS`] ACE rounds, and reports timings, tier traffic and
 /// this process's peak RSS (run each point in a fresh process for
-/// honest RSS numbers).
+/// honest RSS numbers). [`run_point_workers`] with default workers and
+/// the full [`WORKER_SWEEP`].
 pub fn run_point(peers: usize) -> ScalePoint {
+    run_point_workers(peers, 0, true)
+}
+
+/// [`run_point`] with an explicit worker count for the main timed run
+/// and an optional worker sweep. Every sweep leg replays the identical
+/// seeded rounds on a pristine clone of the world and must land on the
+/// main run's state digest (the pipeline is worker-count invariant).
+///
+/// # Panics
+///
+/// Panics if any sweep leg's state digest diverges from the main run.
+pub fn run_point_workers(peers: usize, workers: usize, sweep: bool) -> ScalePoint {
     let t0 = Instant::now();
     let (graph, mut overlay, mut rng) = build_world(peers, SEED);
     let world_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -308,22 +388,38 @@ pub fn run_point(peers: usize) -> ScalePoint {
     let oracle_build_ms = t1.elapsed().as_secs_f64() * 1e3;
     let cal = plane.calibration();
 
-    let mut ace = AceEngine::new(
-        overlay.peer_count(),
-        AceConfig {
-            parallel: true,
-            ..AceConfig::paper_default()
-        },
-    );
-    let mut round_wall_ms = Vec::with_capacity(SCALE_ROUNDS);
-    for _ in 0..SCALE_ROUNDS {
-        let t = Instant::now();
-        ace.round(&mut overlay, &plane, &mut rng);
-        round_wall_ms.push(t.elapsed().as_secs_f64() * 1e3);
-    }
-    let mean_round_ms = round_wall_ms.iter().sum::<f64>() / round_wall_ms.len() as f64;
+    // Pristine copies for the sweep legs: same start state, same seeds.
+    let (overlay0, rng0) = (overlay.clone(), rng.clone());
 
+    let (round_wall_ms, plan_skip_rate, state_digest) =
+        timed_run(&mut overlay, &plane, &mut rng, workers);
+    let mean_round_ms = round_wall_ms.iter().sum::<f64>() / round_wall_ms.len() as f64;
+    // Tier counters snapshot now so sweep traffic does not dilute the
+    // main run's shares.
     let stats = plane.plane_stats();
+
+    let workers_sweep = if sweep {
+        WORKER_SWEEP
+            .iter()
+            .map(|&w| {
+                let (mut ov, mut r) = (overlay0.clone(), rng0.clone());
+                let (wall, skip, digest) = timed_run(&mut ov, &plane, &mut r, w);
+                assert_eq!(
+                    digest, state_digest,
+                    "{peers} peers: workers={w} diverged from the main run"
+                );
+                WorkerRun {
+                    workers: w,
+                    mean_round_ms: wall.iter().sum::<f64>() / wall.len() as f64,
+                    plan_skip_rate: skip,
+                    state_digest: digest,
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     ScalePoint {
         peers,
         phys_nodes,
@@ -346,6 +442,10 @@ pub fn run_point(peers: usize) -> ScalePoint {
             median: cal.median,
             p90: cal.p90,
         },
+        workers,
+        plan_skip_rate,
+        state_digest,
+        workers_sweep,
     }
 }
 
@@ -424,6 +524,21 @@ mod tests {
     }
 
     #[test]
+    fn worker_sweep_is_digest_invariant_at_800() {
+        // run_point_workers itself asserts every sweep leg's digest
+        // against the main run; this pins that the sweep actually ran
+        // and that the skip rate is a sane fraction.
+        let point = run_point_workers(800, 0, true);
+        assert_eq!(point.workers_sweep.len(), WORKER_SWEEP.len());
+        for leg in &point.workers_sweep {
+            assert_eq!(leg.state_digest, point.state_digest);
+            assert!((0.0..=1.0).contains(&leg.plan_skip_rate));
+        }
+        assert!(point.state_digest != 0);
+        assert!((0.0..=1.0).contains(&point.plan_skip_rate));
+    }
+
+    #[test]
     fn band_holds_at_the_smallest_point() {
         let band = run_band();
         assert!(band.within_band, "cross-plane band violated: {band:?}");
@@ -453,6 +568,10 @@ mod tests {
                 median: 0.0,
                 p90: 0.0,
             },
+            workers: 0,
+            plan_skip_rate: 0.0,
+            state_digest: 0,
+            workers_sweep: Vec::new(),
         };
         let bench = ScaleBench::assemble(
             vec![point(800, 4_000, 10.0), point(8_000, 40_000, 250.0)],

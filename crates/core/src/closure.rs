@@ -107,13 +107,27 @@ impl Closure {
     /// both), i.e. the hops a member's cost table travels during closure
     /// collection. `None` when `peer` is not a member.
     pub fn relay_path(&self, peer: PeerId) -> Option<Vec<PeerId>> {
-        let mut idx = *self.index.get(&peer)?;
-        let mut path = vec![self.members[idx]];
+        let mut path = Vec::new();
+        self.relay_path_into(peer, &mut path).then_some(path)
+    }
+
+    /// Like [`Closure::relay_path`], but writes into a caller buffer
+    /// (cleared first) instead of allocating; returns `false` (leaving
+    /// the buffer empty) when `peer` is not a member. The invariant
+    /// auditor walks one relay path per closure member per debug round,
+    /// so the reuse keeps the audit cheap.
+    pub fn relay_path_into(&self, peer: PeerId, out: &mut Vec<PeerId>) -> bool {
+        out.clear();
+        let Some(&start) = self.index.get(&peer) else {
+            return false;
+        };
+        let mut idx = start;
+        out.push(self.members[idx]);
         while let Some(p) = self.parents[idx] {
-            path.push(p);
+            out.push(p);
             idx = self.index[&p];
         }
-        Some(path)
+        true
     }
 
     /// All overlay edges with both endpoints in the closure, as member

@@ -43,6 +43,13 @@ impl CostTable {
         self.owner
     }
 
+    /// The entries as a slice, in insertion order (matches
+    /// [`iter`](Self::iter)). Exposed so hot paths can reach the
+    /// backing storage, e.g. to prefetch it before a walk.
+    pub fn as_slice(&self) -> &[(PeerId, Delay)] {
+        &self.entries
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -105,6 +112,20 @@ impl CostTable {
             entries: self.entries.clone(),
         }
     }
+
+    /// The exchange message's size in overhead units, computed
+    /// arithmetically from the wire layout (1 tag + 4 owner + 2 length
+    /// + 8 bytes per entry, in [`QUERY_BASE_SIZE`] units) — identical
+    /// to `to_message().size_units()` without cloning the entries into
+    /// a throwaway message. The hot path charges one table exchange per
+    /// closure member per planning peer per round, so the clone showed
+    /// up at scale.
+    ///
+    /// [`QUERY_BASE_SIZE`]: ace_overlay::QUERY_BASE_SIZE
+    pub fn message_size_units(&self) -> f64 {
+        let wire = 7 + 8 * self.entries.len();
+        (wire as f64 / ace_overlay::QUERY_BASE_SIZE as f64).max(0.25)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +168,19 @@ mod tests {
         t.set(PeerId::new(3), 10);
         assert_eq!(t.most_expensive(), Some((PeerId::new(2), 50)));
         assert_eq!(CostTable::new(PeerId::new(0)).most_expensive(), None);
+    }
+
+    #[test]
+    fn arithmetic_size_units_match_encoded_message() {
+        let mut t = CostTable::new(PeerId::new(99));
+        for n in 0..12u32 {
+            assert_eq!(
+                t.message_size_units(),
+                t.to_message().size_units(),
+                "with {n} entries"
+            );
+            t.set(PeerId::new(n + 1), n * 3 + 1);
+        }
     }
 
     #[test]

@@ -17,13 +17,12 @@
 //! and exchanged tables, exactly as in the distributed protocol.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ace_engine::pool::{self, plan_parallel};
+use ace_engine::pool::{self, plan_parallel_scratch, ScratchPool};
 
 use ace_overlay::{DepartureKind, Message, Overlay, OverlayError, PeerId};
 use ace_topology::{Delay, DistancePlane};
@@ -31,10 +30,12 @@ use ace_topology::{Delay, DistancePlane};
 use crate::audit::{InvariantViolation, ViolationKind};
 use crate::autorate::{AutoRateConfig, ControllerStats, RateController, RateSample};
 use crate::closure::Closure;
+use crate::core_cache::{CoreCache, CoreCacheStats, FxHasher};
 use crate::cost_table::CostTable;
 use crate::fault::FaultConfig;
-use crate::mst::ClosureEdge;
+use crate::mst::SlotEdge;
 use crate::overhead::{OverheadKind, OverheadLedger};
+use crate::plan::{KnownSnap, PlanScratch};
 use crate::policy::{self, Figure4Action, LifecycleEvent, WatchVerdict};
 use crate::probe::ProbeModel;
 
@@ -90,6 +91,24 @@ pub struct AceConfig {
     /// observation streams at round end, so the worker-count digest
     /// guarantee still holds.
     pub autorate: Option<AutoRateConfig>,
+    /// Convergence-aware dirty-set planning for the parallel pipeline:
+    /// each committed plan is cached with a digest of its inputs
+    /// (closure membership and adjacency, member tables, pairwise-core
+    /// cache state), and a peer whose digest is unchanged — and whose
+    /// cached plan needed no probes — replays the cached decision
+    /// instead of replanning. Behavior-invisible by construction (the
+    /// differential proptest pins it): digests, ledgers and overlay
+    /// wiring are bit-identical with the flag off. Lifecycle events and
+    /// autorate snap-to-floor invalidate the affected peers' caches.
+    /// Has no effect on the serial path, whose interleaved ledger
+    /// charges cannot be replayed from a cache without reordering
+    /// float sums.
+    pub dirty_planning: bool,
+    /// Byte budget for the pairwise-core probe cache
+    /// ([`crate::core_cache`]); `0` selects the 256 MiB default. When
+    /// the budget is exceeded, oldest-inserted pairs are evicted and
+    /// will be re-probed (and re-charged) if needed again.
+    pub core_cache_budget: usize,
 }
 
 impl AceConfig {
@@ -105,6 +124,8 @@ impl AceConfig {
             workers: 0,
             faults: None,
             autorate: None,
+            dirty_planning: true,
+            core_cache_budget: 0,
         }
     }
 }
@@ -145,6 +166,15 @@ pub struct RoundStats {
     pub rejoined: usize,
     /// Control-traffic overhead incurred during the round.
     pub overhead: OverheadLedger,
+    /// Plans served from the dirty-set cache instead of replanned
+    /// ([`AceConfig::dirty_planning`]); always 0 on the serial path.
+    /// Each skipped plan still counts in `trees_built` — the peer's
+    /// tree was refreshed, just without recomputing it.
+    pub plans_skipped: usize,
+    /// Cumulative pairwise-core cache counters as of the end of the
+    /// round (hits/misses/evictions are totals since engine
+    /// construction, mirroring [`ControllerStats`]' style).
+    pub core_cache: CoreCacheStats,
 }
 
 impl RoundStats {
@@ -215,7 +245,20 @@ pub struct AceEngine {
     /// re-probed: once known, the value rides along in the periodic table
     /// exchange instead of costing a fresh round trip. This is what keeps
     /// the steady-state optimization overhead at the paper's level.
-    core_cache: HashMap<(PeerId, PeerId), Delay>,
+    /// Bounded by [`AceConfig::core_cache_budget`], oldest pair first.
+    core_cache: CoreCache,
+    /// Per-peer dirty-set plan cache ([`AceConfig::dirty_planning`]).
+    plan_caches: Vec<PlanCache>,
+    /// Reusable per-worker plan arenas, shared by the parallel pipeline
+    /// and the serial round path.
+    scratch: ScratchPool<PlanScratch>,
+    /// Per-peer state hashes ([`Self::peer_state_hash`]), refreshed once
+    /// per planned round right before stage A. Peer state is frozen for
+    /// the whole plan stage, and every closure containing a peer hashes
+    /// the same state — memoizing turns the digest's per-member
+    /// adjacency-and-table walk into one array read. Recomputed from
+    /// live state each round, so it can never go stale.
+    state_hashes: Vec<u64>,
     ledger: OverheadLedger,
     /// Completed optimization rounds; indexes the fault hash streams so
     /// every round draws fresh (but reproducible) fault decisions.
@@ -263,13 +306,22 @@ impl AceEngine {
         let states = (0..peer_count)
             .map(|i| PeerState::new(PeerId::new(i as u32)))
             .collect();
+        let mut core_cache = CoreCache::with_budget(cfg.core_cache_budget);
+        // Steady-state pair population: each peer's h-closure contributes
+        // ~C(degree_cap, 2) non-adjacent pairs shared between endpoints;
+        // 48 per peer covers the committed worlds with slack, and the
+        // budget clamp keeps tiny-budget configurations tiny.
+        core_cache.reserve_pairs(peer_count.saturating_mul(48));
         AceEngine {
             controller: cfg.autorate.map(RateController::new),
             pending_queries: vec![0.0; peer_count],
             pending_traffic: None,
+            core_cache,
+            plan_caches: vec![PlanCache::default(); peer_count],
+            scratch: ScratchPool::new(),
+            state_hashes: Vec::new(),
             cfg,
             states,
-            core_cache: HashMap::new(),
             ledger: OverheadLedger::new(),
             rounds_run: 0,
             probe_units: Message::Probe { nonce: 0 }.size_units()
@@ -399,6 +451,11 @@ impl AceEngine {
     /// requested forwarding because their trees attach through `peer`.
     /// May contain stale entries after topology changes; forwarding
     /// filters against current neighbors.
+    ///
+    /// Hidden: allocates a fresh `Vec` per call. Use
+    /// [`AceEngine::flooding_neighbors_into`] with a reused buffer on any
+    /// path that runs per peer or per query.
+    #[doc(hidden)]
     pub fn flooding_neighbors(&self, peer: PeerId) -> Vec<PeerId> {
         let mut out = Vec::new();
         self.flooding_neighbors_into(peer, &mut out);
@@ -462,6 +519,11 @@ impl AceEngine {
 
     /// Applies the shared purge taxonomy ([`LifecycleEvent`]) to `peer`.
     fn apply_lifecycle(&mut self, peer: PeerId, event: LifecycleEvent) {
+        // Every lifecycle event makes the peer's cached plan meaningless
+        // (its state resets, or a new incarnation appears).
+        if let Some(c) = self.plan_caches.get_mut(peer.index()) {
+            c.valid = false;
+        }
         if event.purges_survivor_refs() {
             self.purge_peer_refs(peer);
         }
@@ -476,20 +538,24 @@ impl AceEngine {
         }
     }
 
-    /// Local churn response: snaps each disturbed neighbor's controller
-    /// schedule back to the floor ([`RateController::snap_to_floor`])
-    /// so the next round re-optimizes the churned neighborhood instead
-    /// of coasting through it on a stretched interval — the static
-    /// schedule gets exactly that for free by always running. No-op
-    /// without a controller. The sync engine has a single incarnation
-    /// (0) per peer; fault injection runs serially in both round paths,
-    /// so the snaps are worker-count invariant.
+    /// Local churn response: each disturbed neighbor's dirty-set plan
+    /// cache is dropped (a churned neighborhood must be replanned from
+    /// scratch, never replayed) and, with a controller, its schedule
+    /// snaps back to the floor ([`RateController::snap_to_floor`]) so
+    /// the next round re-optimizes the neighborhood instead of coasting
+    /// through it on a stretched interval — the static schedule gets
+    /// exactly that for free by always running. The sync engine has a
+    /// single incarnation (0) per peer; fault injection runs serially
+    /// in both round paths, so the snaps are worker-count invariant.
     fn snap_neighbors(&mut self, ov: &Overlay, neighbors: &[PeerId]) {
-        let Some(c) = self.controller.as_mut() else {
-            return;
-        };
         for &n in neighbors {
-            if ov.is_alive(n) {
+            if !ov.is_alive(n) {
+                continue;
+            }
+            if let Some(cache) = self.plan_caches.get_mut(n.index()) {
+                cache.valid = false;
+            }
+            if let Some(c) = self.controller.as_mut() {
                 c.snap_to_floor(n, 0, self.rounds_run);
             }
         }
@@ -504,7 +570,7 @@ impl AceEngine {
             s.watches.retain(|&(far, near)| far != peer && near != peer);
             s.table.remove(peer);
         }
-        self.core_cache.retain(|&(a, b), _| a != peer && b != peer);
+        self.core_cache.purge_endpoint(peer);
     }
 
     /// Resets `peer`'s own protocol state to the fresh-node default.
@@ -594,13 +660,13 @@ impl AceEngine {
     /// Panics if `peer` is offline.
     pub fn phase1_probe(&mut self, ov: &Overlay, oracle: &dyn DistancePlane, peer: PeerId) {
         assert!(ov.is_alive(peer), "cannot probe from an offline peer");
-        let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
+        let nbrs = ov.neighbors(peer);
         {
             let s = &mut self.states[peer.index()];
-            s.table.retain_neighbors(&nbrs);
+            s.table.retain_neighbors(nbrs);
             s.requested.retain(|r| nbrs.contains(r));
         }
-        for n in nbrs {
+        for &n in nbrs {
             // Only the lower-id endpoint pays for the shared probe; both
             // ends learn the (symmetric) RTT from the same exchange.
             let measured = if peer < n || self.states[n.index()].table.get(peer).is_none() {
@@ -619,63 +685,31 @@ impl AceEngine {
         }
     }
 
-    /// Collects the closure's cost tables, charging table-exchange and
-    /// relay overhead, and returns `(closure, tables by member)`.
-    fn collect_closure(
-        &mut self,
+    /// Charges the table-exchange/relay overhead for collecting the
+    /// closure in `scratch` into `ledger`: one message of the member's
+    /// table size per relay hop, in member (BFS) order — hop-1 members
+    /// are plain [`OverheadKind::TableExchange`], deeper members are
+    /// [`OverheadKind::ClosureRelay`].
+    fn charge_closure_exchange(
+        &self,
         ov: &Overlay,
         oracle: &dyn DistancePlane,
-        peer: PeerId,
-    ) -> (Closure, HashMap<PeerId, CostTable>) {
-        let closure = Closure::collect(ov, peer, self.cfg.depth);
-        let mut known: HashMap<PeerId, CostTable> = HashMap::with_capacity(closure.len());
-        known.insert(peer, self.states[peer.index()].table.clone());
-        // Gather (member, table, relay path) without holding borrows.
-        let gathered: Vec<(PeerId, CostTable, Vec<PeerId>)> = closure
-            .members()
-            .iter()
-            .filter(|&&w| w != peer)
-            .map(|&w| {
-                let table = self.states[w.index()].table.clone();
-                let path = closure.relay_path(w).expect("member has a relay path");
-                (w, table, path)
-            })
-            .collect();
-        for (w, table, path) in gathered {
-            let units = table.to_message().size_units();
-            let kind = if path.len() <= 2 {
+        scratch: &PlanScratch,
+        ledger: &mut OverheadLedger,
+    ) {
+        for i in 1..scratch.members.len() {
+            let w = scratch.members[i];
+            let units = self.states[w.index()].table.message_size_units();
+            let kind = if scratch.hops[i] <= 1 {
                 OverheadKind::TableExchange
             } else {
                 OverheadKind::ClosureRelay
             };
-            for hop in path.windows(2) {
-                let cost = ov.link_cost(oracle, hop[0], hop[1]);
-                self.ledger.charge(kind, f64::from(cost) * units);
+            for (from, to) in scratch.relay_hops(i as u32) {
+                let cost = ov.link_cost(oracle, from, to);
+                ledger.charge(kind, f64::from(cost) * units);
             }
-            known.insert(w, table);
         }
-        (closure, known)
-    }
-
-    /// Cost of closure edge `a-b` as seen from collected tables, falling
-    /// back to a charged probe when neither endpoint has reported it yet.
-    /// `None` when the fallback probe was lost to fault injection — the
-    /// edge is simply unknown this round and the MST routes around it.
-    fn edge_cost(
-        &mut self,
-        ov: &Overlay,
-        oracle: &dyn DistancePlane,
-        known: &HashMap<PeerId, CostTable>,
-        a: PeerId,
-        b: PeerId,
-    ) -> Option<Delay> {
-        if let Some(c) = known.get(&a).and_then(|t| t.get(b)) {
-            return Some(c);
-        }
-        if let Some(c) = known.get(&b).and_then(|t| t.get(a)) {
-            return Some(c);
-        }
-        self.probe_and_charge(ov, oracle, a, b)
     }
 
     /// Phases 2+3 for one peer: build the closure spanning tree, classify
@@ -692,89 +726,131 @@ impl AceEngine {
         peer: PeerId,
         rng: &mut R,
     ) -> AdaptOutcome {
-        let known = self.build_tree(ov, oracle, peer);
+        self.build_tree(ov, oracle, peer);
 
         // §3.3 follow-up of the keep-both case: once the watched far
         // neighbor has dropped its link to the peer we adopted, cut the
         // far link too. Safe: the link is non-flooding (not on our fresh
         // MST), so the tree provides an alternate path to `far`.
-        self.process_watches(ov, oracle, peer, &known);
+        self.process_watches(ov, oracle, peer);
 
         // Phase 3: adaptive connection establishment.
-        self.phase3_adapt(ov, oracle, peer, &known, rng)
+        self.phase3_adapt(ov, oracle, peer, rng)
     }
 
     /// Phase 2 only: collect the closure tables, build the spanning tree
     /// and reclassify flooding/non-flooding neighbors — without any
-    /// phase-3 adaptation. Returns the collected tables by member. Useful
-    /// for the trees-only ablation and the paper's Table 1/2 examples.
+    /// phase-3 adaptation. Useful for the trees-only ablation and the
+    /// paper's Table 1/2 examples.
+    ///
+    /// The serial path charges probes and exchanges interleaved into the
+    /// engine ledger (fixing the float summation order the committed
+    /// digests pin), so it never replays from the dirty-set cache — it
+    /// only shares the dense closure arenas with the plan pipeline.
     ///
     /// # Panics
     ///
     /// Panics if `peer` is offline.
-    pub fn build_tree(
-        &mut self,
-        ov: &Overlay,
-        oracle: &dyn DistancePlane,
-        peer: PeerId,
-    ) -> HashMap<PeerId, CostTable> {
+    pub fn build_tree(&mut self, ov: &Overlay, oracle: &dyn DistancePlane, peer: PeerId) {
         assert!(ov.is_alive(peer), "cannot optimize an offline peer");
-        let (closure, known) = self.collect_closure(ov, oracle, peer);
+        let mut scratch = self.scratch.take().unwrap_or_default();
+        scratch.collect_closure(ov, peer, self.cfg.depth);
+        let mut ledger = self.ledger;
+        self.charge_closure_exchange(ov, oracle, &scratch, &mut ledger);
+        self.ledger = ledger;
 
-        // Phase 2: Prim MST over the closure subgraph. Besides the logical
-        // links (costs from exchanged tables), the peer knows the cost
-        // between *any pair* of its direct neighbors (§3.3 phase 1): it
-        // ships its neighbor list to each neighbor, which probes the
-        // others and reports back — the O(m²) pairwise core that lets the
-        // tree bypass expensive neighbors even when they share no logical
-        // link.
-        let mut edges: Vec<ClosureEdge> = Vec::new();
-        for (a, b) in closure.internal_edges(ov) {
-            if let Some(cost) = self.edge_cost(ov, oracle, &known, a, b) {
-                edges.push(ClosureEdge { a, b, cost });
-            }
-        }
-        let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
+        // Phase 2: Prim MST over the closure subgraph. Edge costs come
+        // from the members' exchanged tables, falling back to a charged
+        // probe when neither endpoint has reported the link yet (`None` —
+        // probe lost to fault injection — drops the edge and the MST
+        // routes around it).
+        scratch.collect_internal_edges(ov, |a, b| {
+            self.states[a.index()]
+                .table
+                .get(b)
+                .or_else(|| self.states[b.index()].table.get(a))
+                .or_else(|| self.probe_and_charge(ov, oracle, a, b))
+        });
+        // Besides the logical links, the peer knows the cost between *any
+        // pair* of its direct neighbors (§3.3 phase 1): it ships its
+        // neighbor list to each neighbor, which probes the others and
+        // reports back — the O(m²) pairwise core that lets the tree
+        // bypass expensive neighbors even when they share no logical
+        // link. Physical distances are stable, so measured pairs come
+        // from the bounded core cache.
+        let nbrs = ov.neighbors(peer);
         for i in 0..nbrs.len() {
             for j in (i + 1)..nbrs.len() {
                 let (a, b) = (nbrs[i], nbrs[j]);
                 if ov.are_neighbors(a, b) {
                     continue; // already covered by its exchanged table cost
                 }
-                let key = if a <= b { (a, b) } else { (b, a) };
-                let cost = match self.core_cache.get(&key) {
-                    Some(&c) => Some(c), // stable measurement, refreshed via tables
+                let cost = match self.core_cache.get(a, b) {
+                    Some(c) => Some(c), // stable measurement, refreshed via tables
                     None => {
                         let c = self.probe_and_charge(ov, oracle, a, b);
                         if let Some(c) = c {
-                            self.core_cache.insert(key, c);
+                            self.core_cache.insert_if_absent(a, b, c);
                         }
                         c
                     }
                 };
                 if let Some(cost) = cost {
-                    edges.push(ClosureEdge { a, b, cost });
+                    let sa = scratch.slot(a).expect("direct neighbor is a member");
+                    let sb = scratch.slot(b).expect("direct neighbor is a member");
+                    scratch.edges.push(SlotEdge { a: sa, b: sb, cost });
                 }
             }
         }
-        let new_tree = policy::tree_with_scope_guard(
-            peer,
-            closure.members(),
-            &edges,
-            &nbrs,
-            self.cfg.min_flooding,
-            |n| {
-                Some(self.states[peer.index()].table.get(n).unwrap_or_else(|| {
-                    self.cfg
-                        .probe
-                        .perturb(peer, n, ov.link_cost(oracle, peer, n))
-                }))
-            },
-        );
-        // Diff against the previous tree and (un)subscribe forwarding with
-        // the affected partners; each notification is one tiny control
-        // message on that logical link.
-        let old_tree = std::mem::take(&mut self.states[peer.index()].own_tree);
+        {
+            let PlanScratch {
+                members,
+                edges,
+                prim,
+                extras,
+                tree,
+                ..
+            } = &mut scratch;
+            let states = &self.states;
+            let cfg = &self.cfg;
+            policy::tree_with_scope_guard_scratch(
+                peer,
+                members,
+                edges,
+                nbrs,
+                cfg.min_flooding,
+                |n| {
+                    Some(states[peer.index()].table.get(n).unwrap_or_else(|| {
+                        cfg.probe.perturb(peer, n, ov.link_cost(oracle, peer, n))
+                    }))
+                },
+                prim,
+                extras,
+                tree,
+            );
+        }
+        self.apply_tree_diff(ov, oracle, peer, &scratch.tree);
+        // A serially built tree bypassed the digest bookkeeping, so the
+        // peer must not replay a stale cached plan in a later parallel
+        // round.
+        if let Some(c) = self.plan_caches.get_mut(peer.index()) {
+            c.valid = false;
+        }
+        self.scratch.put(scratch);
+    }
+
+    /// Diffs `new_tree` against `peer`'s previous tree and (un)subscribes
+    /// forwarding with the affected partners; each notification is one
+    /// tiny control message on that logical link. Shared by the serial
+    /// path and the pipeline's tree commit, so both charge identically.
+    fn apply_tree_diff(
+        &mut self,
+        ov: &Overlay,
+        oracle: &dyn DistancePlane,
+        peer: PeerId,
+        new_tree: &[PeerId],
+    ) {
+        let mut old_tree = std::mem::take(&mut self.states[peer.index()].own_tree);
         for &f in new_tree.iter().filter(|f| !old_tree.contains(f)) {
             let req = &mut self.states[f.index()].requested;
             if !req.contains(&peer) {
@@ -794,29 +870,30 @@ impl AceEngine {
                 f64::from(cost) * self.notify_units,
             );
         }
-        {
-            let s = &mut self.states[peer.index()];
-            s.own_tree = new_tree;
-            s.tree_built = true;
-        }
-
-        known
+        // Reuse the old tree's allocation for the new one.
+        old_tree.clear();
+        old_tree.extend_from_slice(new_tree);
+        let s = &mut self.states[peer.index()];
+        s.own_tree = old_tree;
+        s.tree_built = true;
     }
 
-    fn process_watches(
-        &mut self,
-        ov: &mut Overlay,
-        oracle: &dyn DistancePlane,
-        peer: PeerId,
-        known: &HashMap<PeerId, CostTable>,
-    ) {
+    fn process_watches(&mut self, ov: &mut Overlay, oracle: &dyn DistancePlane, peer: PeerId) {
         let watches = std::mem::take(&mut self.states[peer.index()].watches);
         let own_tree = self.states[peer.index()].own_tree.clone();
         let mut keep = Vec::new();
         for (far, near) in watches {
-            // We only see `far`'s table when it is in our closure; the
-            // triage keeps watching until fresh information arrives.
-            match policy::triage_watch(ov, peer, far, near, &own_tree, known.get(&far)) {
+            // We only see `far`'s table when it is a current neighbor
+            // (its table arrived with the closure exchange); the triage
+            // keeps watching until fresh information arrives. Triage
+            // checks adjacency before reading the table, so the live
+            // lookup is equivalent to the historical cloned-table map.
+            let verdict = {
+                let far_table = (far == peer || ov.are_neighbors(peer, far))
+                    .then(|| &self.states[far.index()].table);
+                policy::triage_watch(ov, peer, far, near, &own_tree, far_table)
+            };
+            match verdict {
                 WatchVerdict::Expire => {}
                 WatchVerdict::Keep => keep.push((far, near)),
                 WatchVerdict::Cut => {
@@ -835,12 +912,12 @@ impl AceEngine {
         ov: &mut Overlay,
         oracle: &dyn DistancePlane,
         peer: PeerId,
-        known: &HashMap<PeerId, CostTable>,
         rng: &mut R,
     ) -> AdaptOutcome {
         // Non-flooding neighbors = current neighbors not on the tree (and
         // not requested by a partner's tree).
-        let flooding = self.flooding_neighbors(peer);
+        let mut flooding = Vec::new();
+        self.flooding_neighbors_into(peer, &mut flooding);
         let non_flooding: Vec<PeerId> = ov
             .neighbors(peer)
             .iter()
@@ -871,11 +948,9 @@ impl AceEngine {
         };
 
         // Candidates: B's neighbors (from its table) that we don't already
-        // know directly.
-        let Some(far_table) = known.get(&far) else {
-            return AdaptOutcome::KeptAll;
-        };
-        let candidates = policy::phase3_candidates(ov, peer, far_table);
+        // know directly. `far` is a current neighbor, so its live table is
+        // exactly what the closure exchange delivered this round.
+        let candidates = policy::phase3_candidates(ov, peer, &self.states[far.index()].table);
         if candidates.is_empty() {
             return AdaptOutcome::KeptAll;
         }
@@ -1052,6 +1127,7 @@ impl AceEngine {
             stats.trees_built += 1;
         }
         stats.overhead = self.ledger.since(&before);
+        stats.core_cache = self.core_cache.stats();
         self.feed_controller(ov, &stats, &ran);
         self.rounds_run += 1;
         debug_assert!(ov.check_invariants().is_ok());
@@ -1075,6 +1151,7 @@ impl AceEngine {
             stats.trees_built += 1;
         }
         stats.overhead = self.ledger.since(&before);
+        stats.core_cache = self.core_cache.stats();
         self.rounds_run += 1;
         stats
     }
@@ -1108,130 +1185,273 @@ impl AceEngine {
         self.probe_with_faults(ov, oracle, ledger, a, b)
     }
 
-    /// Stage A: plan one peer's phase 2 against the round-start snapshot.
-    /// Read-only on `self`; every side effect is recorded in the plan.
-    fn plan_tree(&self, ov: &Overlay, oracle: &dyn DistancePlane, peer: PeerId) -> TreePlan {
-        let mut ledger = OverheadLedger::new();
-        let closure = Closure::collect(ov, peer, self.cfg.depth);
-        let mut known: HashMap<PeerId, CostTable> = HashMap::with_capacity(closure.len());
-        known.insert(peer, self.states[peer.index()].table.clone());
-        for &w in closure.members().iter().filter(|&&w| w != peer) {
-            let table = self.states[w.index()].table.clone();
-            let path = closure.relay_path(w).expect("member has a relay path");
-            let units = table.to_message().size_units();
-            let kind = if path.len() <= 2 {
-                OverheadKind::TableExchange
-            } else {
-                OverheadKind::ClosureRelay
-            };
-            for hop in path.windows(2) {
-                let cost = ov.link_cost(oracle, hop[0], hop[1]);
-                ledger.charge(kind, f64::from(cost) * units);
-            }
-            known.insert(w, table);
+    /// Hash of one peer's planner-visible state: its adjacency list
+    /// (relay paths and internal edges are functions of it) and its
+    /// cost table. [`Self::refresh_state_hashes`] memoizes this per
+    /// round; [`plan_digest`](Self::plan_digest) computes it inline
+    /// when no memo table is supplied, so both paths produce identical
+    /// digests by construction.
+    fn peer_state_hash(&self, ov: &Overlay, m: PeerId) -> u64 {
+        let mut h = FxHasher::default();
+        let nbrs = ov.neighbors(m);
+        h.write_usize(nbrs.len());
+        for &nb in nbrs {
+            h.write_u32(nb.raw());
         }
+        let table = &self.states[m.index()].table;
+        h.write_usize(table.len());
+        for &(nb, c) in table.as_slice() {
+            h.write_u32(nb.raw());
+            h.write_u32(c);
+        }
+        h.finish()
+    }
 
-        let mut edges: Vec<ClosureEdge> = Vec::new();
-        let mut core_probes: Vec<((PeerId, PeerId), Delay)> = Vec::new();
-        for (a, b) in closure.internal_edges(ov) {
-            let cost = known
-                .get(&a)
-                .and_then(|t| t.get(b))
-                .or_else(|| known.get(&b).and_then(|t| t.get(a)))
-                .or_else(|| self.plan_probe(ov, oracle, &mut ledger, a, b));
-            if let Some(cost) = cost {
-                edges.push(ClosureEdge { a, b, cost });
-            }
+    /// Recomputes every peer's [`Self::peer_state_hash`] into
+    /// `state_hashes`. Called once per planned round, after phase 1 and
+    /// before stage A: peer state is frozen for the whole plan stage,
+    /// and each peer sits in every closure that contains it (~closure
+    /// size of them), so hashing it once here replaces that many full
+    /// adjacency-and-table walks inside the parallel digest passes.
+    /// Rebuilding from live state each round means the memo can never
+    /// go stale, no matter what commits, faults, or lifecycle events
+    /// did in between.
+    fn refresh_state_hashes(&mut self, ov: &Overlay) {
+        let n = self.states.len();
+        let mut hashes = std::mem::take(&mut self.state_hashes);
+        hashes.clear();
+        hashes.reserve(n);
+        for i in 0..n {
+            hashes.push(self.peer_state_hash(ov, PeerId::new(i as u32)));
         }
-        let nbrs: Vec<PeerId> = ov.neighbors(peer).to_vec();
+        self.state_hashes = hashes;
+    }
+
+    /// Digest of every input that determines `plan_tree_scratch`'s
+    /// output and plan-stage ledger for `peer`: the closure membership
+    /// with hop depths, every member's planner-visible state
+    /// ([`Self::peer_state_hash`], read from `hashes` when the caller
+    /// refreshed the per-round memo table, recomputed inline
+    /// otherwise), and the pairwise-core cache state for the peer's
+    /// non-adjacent neighbor pairs (filled into `scratch.core_costs`
+    /// as a side effect, so the plan pass consults the cache exactly
+    /// once per pair whether or not the plan is replayed). Config
+    /// knobs and the static distance oracle are engine constants and
+    /// need no hashing; `rounds_run` is deliberately absent — it only
+    /// feeds the fault hashes, which is why only probe-free plans are
+    /// replayable.
+    fn plan_digest(
+        &self,
+        ov: &Overlay,
+        peer: PeerId,
+        hashes: Option<&[u64]>,
+        scratch: &mut PlanScratch,
+    ) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u32(peer.raw());
+        // The plan body touches, per member, four lines scattered
+        // across peer-count-sized vecs (state header, table data,
+        // neighbor-list header and data). Left to the walk itself those
+        // misses serialize behind each pointer chase; two batched
+        // opaque-read sweeps — headers first, then the data the headers
+        // point at — overlap them across the whole member set instead.
+        for &m in &scratch.members {
+            std::hint::black_box(self.states[m.index()].table.len());
+            ov.prefetch_neighbors(m);
+        }
+        for &m in &scratch.members {
+            std::hint::black_box(ov.neighbors(m).first().copied());
+            std::hint::black_box(self.states[m.index()].table.as_slice().first().copied());
+        }
+        for (i, &m) in scratch.members.iter().enumerate() {
+            h.write_u32(m.raw());
+            h.write_u8(scratch.hops[i]);
+            h.write_u64(match hashes {
+                Some(hs) => hs[m.index()],
+                None => self.peer_state_hash(ov, m),
+            });
+        }
+        // Same batching for the pairwise-core probes: stage the
+        // non-adjacent pairs (the adjacency tests hit the neighbor
+        // lists the member walk just pulled in) with a prefetch each,
+        // then resolve them against lines already in flight.
+        scratch.core_costs.clear();
+        scratch.pairs.clear();
+        let nbrs = ov.neighbors(peer);
         for i in 0..nbrs.len() {
             for j in (i + 1)..nbrs.len() {
                 let (a, b) = (nbrs[i], nbrs[j]);
                 if ov.are_neighbors(a, b) {
                     continue;
                 }
-                let key = if a <= b { (a, b) } else { (b, a) };
-                let cost = match self.core_cache.get(&key) {
-                    Some(&c) => Some(c),
-                    None => {
-                        // Concurrent planners may both pay for the same
-                        // missing pair (as real concurrent peers would);
-                        // commit keeps the first value so the cache stays
-                        // deterministic.
-                        let c = self.plan_probe(ov, oracle, &mut ledger, a, b);
-                        if let Some(c) = c {
-                            core_probes.push((key, c));
-                        }
-                        c
-                    }
-                };
-                if let Some(cost) = cost {
-                    edges.push(ClosureEdge { a, b, cost });
+                self.core_cache.prefetch(a, b);
+                scratch.pairs.push((a, b));
+            }
+        }
+        for k in 0..scratch.pairs.len() {
+            let (a, b) = scratch.pairs[k];
+            match self.core_cache.get(a, b) {
+                Some(c) => {
+                    h.write_u8(1);
+                    h.write_u32(c);
+                    scratch.core_costs.push(Some(c));
+                }
+                None => {
+                    h.write_u8(0);
+                    scratch.core_costs.push(None);
                 }
             }
         }
-        let new_tree = policy::tree_with_scope_guard(
-            peer,
-            closure.members(),
-            &edges,
-            &nbrs,
-            self.cfg.min_flooding,
-            |n| {
-                Some(self.states[peer.index()].table.get(n).unwrap_or_else(|| {
-                    self.cfg
-                        .probe
-                        .perturb(peer, n, ov.link_cost(oracle, peer, n))
-                }))
-            },
-        );
-        TreePlan {
+        h.finish()
+    }
+
+    /// Stage A: plan one peer's phase 2 against the round-start snapshot,
+    /// using the worker's reusable arenas. Read-only on `self`; every
+    /// side effect is recorded in the plan.
+    ///
+    /// With [`AceConfig::dirty_planning`], a peer whose input digest
+    /// matches its cached committed plan — and whose cached plan needed
+    /// no probes, so no fault stream would be consumed — skips the whole
+    /// plan pass and replays the cached decision at commit.
+    /// `want_snap` (set when faults are configured) captures the closure
+    /// tables for stage B, which must read what stage A saw.
+    fn plan_tree_scratch(
+        &self,
+        ov: &Overlay,
+        oracle: &dyn DistancePlane,
+        peer: PeerId,
+        hashes: Option<&[u64]>,
+        want_snap: bool,
+        scratch: &mut PlanScratch,
+    ) -> TreeOutcome {
+        scratch.collect_closure(ov, peer, self.cfg.depth);
+        let digest = self.plan_digest(ov, peer, hashes, scratch);
+        let cache = &self.plan_caches[peer.index()];
+        if self.cfg.dirty_planning && cache.valid && cache.probe_free && cache.digest == digest {
+            let known =
+                want_snap.then(|| KnownSnap::capture(scratch, |w| self.states[w.index()].table.clone()));
+            return TreeOutcome::Replayed { peer, known };
+        }
+
+        let mut ledger = OverheadLedger::new();
+        self.charge_closure_exchange(ov, oracle, scratch, &mut ledger);
+        let known =
+            want_snap.then(|| KnownSnap::capture(scratch, |w| self.states[w.index()].table.clone()));
+
+        scratch.collect_internal_edges(ov, |a, b| {
+            self.states[a.index()]
+                .table
+                .get(b)
+                .or_else(|| self.states[b.index()].table.get(a))
+                .or_else(|| self.plan_probe(ov, oracle, &mut ledger, a, b))
+        });
+        let mut core_probes: Vec<((PeerId, PeerId), Delay)> = Vec::new();
+        let nbrs = ov.neighbors(peer);
+        // The digest pass already staged the non-adjacent neighbor
+        // pairs (same (i, j) loop order) in `scratch.pairs`, parallel
+        // to `core_costs` — walk that instead of re-running the
+        // adjacency scans.
+        for pair in 0..scratch.pairs.len() {
+            let (a, b) = scratch.pairs[pair];
+            let cost = match scratch.core_costs[pair] {
+                Some(c) => Some(c),
+                None => {
+                    // Concurrent planners may both pay for the same
+                    // missing pair (as real concurrent peers would);
+                    // commit keeps the first value so the cache stays
+                    // deterministic.
+                    let c = self.plan_probe(ov, oracle, &mut ledger, a, b);
+                    if let Some(c) = c {
+                        core_probes.push((if a <= b { (a, b) } else { (b, a) }, c));
+                    }
+                    c
+                }
+            };
+            if let Some(cost) = cost {
+                let sa = scratch.slot(a).expect("direct neighbor is a member");
+                let sb = scratch.slot(b).expect("direct neighbor is a member");
+                scratch.edges.push(SlotEdge { a: sa, b: sb, cost });
+            }
+        }
+        {
+            let PlanScratch {
+                members,
+                edges,
+                prim,
+                extras,
+                tree,
+                ..
+            } = &mut *scratch;
+            policy::tree_with_scope_guard_scratch(
+                peer,
+                members,
+                edges,
+                nbrs,
+                self.cfg.min_flooding,
+                |n| {
+                    Some(self.states[peer.index()].table.get(n).unwrap_or_else(|| {
+                        self.cfg
+                            .probe
+                            .perturb(peer, n, ov.link_cost(oracle, peer, n))
+                    }))
+                },
+                prim,
+                extras,
+                tree,
+            );
+        }
+        let probe_free = ledger.count_of(OverheadKind::Probe) == 0
+            && ledger.count_of(OverheadKind::ProbeRetry) == 0;
+        TreeOutcome::Planned(TreePlan {
             peer,
             known,
-            new_tree,
+            new_tree: scratch.tree.clone(),
             core_probes,
             ledger,
-        }
+            digest,
+            probe_free,
+        })
     }
 
     /// Serial commit of stage A: merge plan ledgers, fill the pairwise
     /// core cache (first value wins), and apply each tree diff — all in
     /// plan (peer-id) order, which also fixes float summation order.
+    /// Replayed outcomes merge the cached ledger and re-apply the cached
+    /// tree; the diff always runs against the *current* own-tree, so a
+    /// partner's intervening rewiring is handled identically either way.
     fn commit_trees(
         &mut self,
         ov: &Overlay,
         oracle: &dyn DistancePlane,
-        plans: &[TreePlan],
+        outcomes: &[TreeOutcome],
         stats: &mut RoundStats,
     ) {
-        for plan in plans {
-            self.ledger.merge(&plan.ledger);
-            for &(key, c) in &plan.core_probes {
-                self.core_cache.entry(key).or_insert(c);
-            }
-            let peer = plan.peer;
-            let old_tree = std::mem::take(&mut self.states[peer.index()].own_tree);
-            for &f in plan.new_tree.iter().filter(|f| !old_tree.contains(f)) {
-                let req = &mut self.states[f.index()].requested;
-                if !req.contains(&peer) {
-                    req.push(peer);
+        for outcome in outcomes {
+            match outcome {
+                TreeOutcome::Replayed { peer, .. } => {
+                    let peer = *peer;
+                    let cached_ledger = self.plan_caches[peer.index()].ledger;
+                    self.ledger.merge(&cached_ledger);
+                    let new_tree = std::mem::take(&mut self.plan_caches[peer.index()].tree);
+                    self.apply_tree_diff(ov, oracle, peer, &new_tree);
+                    self.plan_caches[peer.index()].tree = new_tree;
+                    stats.plans_skipped += 1;
                 }
-                let cost = ov.link_cost(oracle, peer, f);
-                self.ledger.charge(
-                    OverheadKind::TableExchange,
-                    f64::from(cost) * self.notify_units,
-                );
+                TreeOutcome::Planned(plan) => {
+                    self.ledger.merge(&plan.ledger);
+                    for &((a, b), c) in &plan.core_probes {
+                        self.core_cache.insert_if_absent(a, b, c);
+                    }
+                    self.apply_tree_diff(ov, oracle, plan.peer, &plan.new_tree);
+                    let cache = &mut self.plan_caches[plan.peer.index()];
+                    cache.valid = true;
+                    cache.digest = plan.digest;
+                    cache.probe_free = plan.probe_free;
+                    cache.ledger = plan.ledger;
+                    cache.tree.clear();
+                    cache.tree.extend_from_slice(&plan.new_tree);
+                }
             }
-            for &f in old_tree.iter().filter(|f| !plan.new_tree.contains(f)) {
-                self.states[f.index()].requested.retain(|&p| p != peer);
-                let cost = ov.link_cost(oracle, peer, f);
-                self.ledger.charge(
-                    OverheadKind::TableExchange,
-                    f64::from(cost) * self.notify_units,
-                );
-            }
-            let s = &mut self.states[peer.index()];
-            s.own_tree = plan.new_tree.clone();
-            s.tree_built = true;
             stats.trees_built += 1;
         }
     }
@@ -1244,7 +1464,8 @@ impl AceEngine {
         ov: &Overlay,
         oracle: &dyn DistancePlane,
         peer: PeerId,
-        known: &HashMap<PeerId, CostTable>,
+        known: &KnownView<'_>,
+        scratch: &mut PlanScratch,
         rng: &mut StdRng,
     ) -> AdaptPlan {
         let mut ledger = OverheadLedger::new();
@@ -1255,14 +1476,14 @@ impl AceEngine {
         let mut watch_cuts = Vec::new();
         let mut watch_keeps = Vec::new();
         for &(far, near) in &state.watches {
-            match policy::triage_watch(ov, peer, far, near, &state.own_tree, known.get(&far)) {
+            match policy::triage_watch(ov, peer, far, near, &state.own_tree, known.get(far)) {
                 WatchVerdict::Expire => {}
                 WatchVerdict::Keep => watch_keeps.push((far, near)),
                 WatchVerdict::Cut => watch_cuts.push((far, near)),
             }
         }
 
-        let proposal = self.plan_phase3(ov, oracle, peer, known, &mut ledger, rng);
+        let proposal = self.plan_phase3(ov, oracle, peer, known, scratch, &mut ledger, rng);
         AdaptPlan {
             peer,
             watch_cuts,
@@ -1274,23 +1495,33 @@ impl AceEngine {
 
     /// Read-only twin of `phase3_adapt`: same Figure-4 decision rules, but
     /// probes charge the plan ledger and the chosen action is returned as
-    /// a proposal instead of being applied.
+    /// a proposal instead of being applied. Selection buffers live in the
+    /// worker's reusable arenas.
+    #[allow(clippy::too_many_arguments)]
     fn plan_phase3(
         &self,
         ov: &Overlay,
         oracle: &dyn DistancePlane,
         peer: PeerId,
-        known: &HashMap<PeerId, CostTable>,
+        known: &KnownView<'_>,
+        scratch: &mut PlanScratch,
         ledger: &mut OverheadLedger,
         rng: &mut StdRng,
     ) -> Proposal {
-        let flooding = self.flooding_neighbors(peer);
-        let non_flooding: Vec<PeerId> = ov
-            .neighbors(peer)
-            .iter()
-            .copied()
-            .filter(|n| !flooding.contains(n))
-            .collect();
+        let PlanScratch {
+            flooding,
+            non_flooding,
+            candidates,
+            ..
+        } = &mut *scratch;
+        self.flooding_neighbors_into(peer, flooding);
+        non_flooding.clear();
+        non_flooding.extend(
+            ov.neighbors(peer)
+                .iter()
+                .copied()
+                .filter(|n| !flooding.contains(n)),
+        );
         if non_flooding.is_empty() {
             return Proposal::Keep;
         }
@@ -1299,7 +1530,7 @@ impl AceEngine {
             ReplacePolicy::Random => non_flooding[rng.gen_range(0..non_flooding.len())],
             ReplacePolicy::Naive | ReplacePolicy::Closest => {
                 let mut best: Option<(Delay, PeerId)> = None;
-                for &b in &non_flooding {
+                for &b in non_flooding.iter() {
                     let c = self.states[peer.index()].table.get(b).unwrap_or_else(|| {
                         self.cfg
                             .probe
@@ -1313,10 +1544,10 @@ impl AceEngine {
             }
         };
 
-        let Some(far_table) = known.get(&far) else {
+        let Some(far_table) = known.get(far) else {
             return Proposal::Keep;
         };
-        let candidates = policy::phase3_candidates(ov, peer, far_table);
+        policy::phase3_candidates_into(ov, peer, far_table, candidates);
         if candidates.is_empty() {
             return Proposal::Keep;
         }
@@ -1324,7 +1555,7 @@ impl AceEngine {
         let (near, near_cost, far_near_cost) = match self.cfg.policy {
             ReplacePolicy::Closest => {
                 let mut best: Option<(Delay, PeerId, Delay)> = None;
-                for &(h, bh) in &candidates {
+                for &(h, bh) in candidates.iter() {
                     let Some(ch) = self.plan_probe(ov, oracle, ledger, peer, h) else {
                         continue;
                     };
@@ -1463,16 +1694,34 @@ impl AceEngine {
             ran[p.index()] = true;
             self.phase1_probe(ov, oracle, p);
         }
+        self.refresh_state_hashes(ov);
         let workers = self.effective_workers();
+        // Table snapshots are only needed when mid-round faults can
+        // mutate tables between the tree commit and the adaptation
+        // stage; faultless rounds read live tables in stage B instead.
+        let want_snap = self.cfg.faults.is_some();
 
-        let tree_plans: Vec<TreePlan> = {
+        let outcomes: Vec<TreeOutcome> = {
             let this = &*self;
             let ov_ref = &*ov;
-            plan_parallel(due.len(), workers, |i| {
-                this.plan_tree(ov_ref, oracle, due[i])
-            })
+            plan_parallel_scratch(
+                &this.scratch,
+                due.len(),
+                workers,
+                PlanScratch::default,
+                |scratch, i| {
+                    this.plan_tree_scratch(
+                        ov_ref,
+                        oracle,
+                        due[i],
+                        Some(&this.state_hashes),
+                        want_snap,
+                        scratch,
+                    )
+                },
+            )
         };
-        self.commit_trees(ov, oracle, &tree_plans, &mut stats);
+        self.commit_trees(ov, oracle, &outcomes, &mut stats);
 
         // Injected departures/rejoins strike between the tree commit and
         // the adaptation stage: stage B plans only the survivors, against
@@ -1485,17 +1734,30 @@ impl AceEngine {
         let adapt_plans: Vec<AdaptPlan> = {
             let this = &*self;
             let ov_ref = &*ov;
-            plan_parallel(survivors.len(), workers, |k| {
-                let i = survivors[k];
-                let peer = due[i];
-                let mut rng = StdRng::seed_from_u64(Self::peer_stream_seed(round_seed, peer));
-                this.plan_adapt(ov_ref, oracle, peer, &tree_plans[i].known, &mut rng)
-            })
+            plan_parallel_scratch(
+                &this.scratch,
+                survivors.len(),
+                workers,
+                PlanScratch::default,
+                |scratch, k| {
+                    let i = survivors[k];
+                    let peer = due[i];
+                    let known = if want_snap {
+                        KnownView::Snap(outcomes[i].snapshot())
+                    } else {
+                        KnownView::Live(this, ov_ref, peer)
+                    };
+                    let mut rng =
+                        StdRng::seed_from_u64(Self::peer_stream_seed(round_seed, peer));
+                    this.plan_adapt(ov_ref, oracle, peer, &known, scratch, &mut rng)
+                },
+            )
         };
-        drop(tree_plans);
+        drop(outcomes);
         self.commit_adaptations(ov, oracle, adapt_plans, &mut stats);
 
         stats.overhead = self.ledger.since(&before);
+        stats.core_cache = self.core_cache.stats();
         self.feed_controller(ov, &stats, &ran);
         self.rounds_run += 1;
         debug_assert!(ov.check_invariants().is_ok());
@@ -1717,7 +1979,70 @@ impl AceEngine {
         if let Some(c) = &self.controller {
             c.audit(|p| ov.is_alive(p), |_| 0)?;
         }
+        // 7. **Closure coherence** — the dense BFS arenas reproduce the
+        //    canonical `Closure` exactly (members, order), and every
+        //    member's relay path is well-formed: it starts at the member,
+        //    ends at the source, and each hop crosses a live overlay
+        //    edge. Walked with one reused buffer per audit.
+        let mut scratch = self.scratch.take().unwrap_or_default();
+        let mut path = Vec::new();
+        for p in ov.alive_peers() {
+            let closure = Closure::collect(ov, p, self.cfg.depth);
+            scratch.collect_closure(ov, p, self.cfg.depth);
+            if scratch.members != closure.members() {
+                return viol(
+                    ViolationKind::ListCorrupt,
+                    Some(p),
+                    None,
+                    format!("peer {p}: dense closure BFS diverged from Closure::collect"),
+                );
+            }
+            for &m in closure.members() {
+                if !closure.relay_path_into(m, &mut path) {
+                    return viol(
+                        ViolationKind::ListCorrupt,
+                        Some(p),
+                        Some(m),
+                        format!("peer {p}: member {m} has no relay path"),
+                    );
+                }
+                let hop = closure.hop_of(m).expect("member has a hop depth") as usize;
+                if path.len() != hop + 1 || path[0] != m || *path.last().unwrap() != p {
+                    return viol(
+                        ViolationKind::ListCorrupt,
+                        Some(p),
+                        Some(m),
+                        format!("peer {p}: member {m} relay path malformed: {path:?}"),
+                    );
+                }
+                for w in path.windows(2) {
+                    if !ov.are_neighbors(w[0], w[1]) {
+                        return viol(
+                            ViolationKind::StaleLink,
+                            Some(w[0]),
+                            Some(w[1]),
+                            format!("peer {p}: relay hop {}-{} is not an edge", w[0], w[1]),
+                        );
+                    }
+                }
+            }
+        }
+        self.scratch.put(scratch);
         Ok(())
+    }
+
+    /// Test hook: runs one stage-A plan pass for `peer` with pooled
+    /// arenas and reports whether dirty-set planning replayed the cached
+    /// decision. On a converged, faultless engine this performs zero
+    /// heap allocations once the arenas are warm — the zero-alloc
+    /// micro-benchmark pins that.
+    #[doc(hidden)]
+    pub fn dirty_plan_check(&self, ov: &Overlay, oracle: &dyn DistancePlane, peer: PeerId) -> bool {
+        let mut scratch = self.scratch.take().unwrap_or_default();
+        let outcome = self.plan_tree_scratch(ov, oracle, peer, None, false, &mut scratch);
+        let replayed = matches!(outcome, TreeOutcome::Replayed { .. });
+        self.scratch.put(scratch);
+        replayed
     }
 
     /// Order-independent digest of all per-peer ACE state plus the ledger
@@ -1754,14 +2079,87 @@ impl AceEngine {
     }
 }
 
-/// One peer's planned phase 2: the tree it wants, the tables it gathered,
-/// the core probes it had to pay for, and the overhead it incurred.
+/// One peer's planned phase 2: the tree it wants, the table snapshot it
+/// gathered (fault configs only), the core probes it had to pay for, and
+/// the overhead it incurred.
 struct TreePlan {
     peer: PeerId,
-    known: HashMap<PeerId, CostTable>,
+    known: Option<KnownSnap>,
     new_tree: Vec<PeerId>,
     core_probes: Vec<((PeerId, PeerId), Delay)>,
     ledger: OverheadLedger,
+    /// Digest of every input the plan read; keyed into [`PlanCache`].
+    digest: u64,
+    /// True when the plan charged no probes — the only plans eligible
+    /// for dirty-set replay (probe charges consume fault-hash draws
+    /// keyed by `rounds_run`, so replaying them would not be
+    /// behavior-invisible).
+    probe_free: bool,
+}
+
+/// Stage-A result per due peer: either a fresh plan or a replay of the
+/// peer's cached committed decision (dirty-set planning hit).
+enum TreeOutcome {
+    Replayed {
+        peer: PeerId,
+        known: Option<KnownSnap>,
+    },
+    Planned(TreePlan),
+}
+
+impl TreeOutcome {
+    fn snapshot(&self) -> &KnownSnap {
+        match self {
+            TreeOutcome::Replayed { known, .. } => known,
+            TreeOutcome::Planned(plan) => &plan.known,
+        }
+        .as_ref()
+        .expect("fault configs snapshot the closure tables")
+    }
+}
+
+/// Per-peer memo of the last committed tree plan, keyed by a digest of
+/// every input the planner read. While the digest is unchanged (and the
+/// plan was probe-free), stage A replays the cached decision instead of
+/// re-planning — the convergence-aware fast path.
+#[derive(Clone, Debug)]
+struct PlanCache {
+    valid: bool,
+    digest: u64,
+    probe_free: bool,
+    ledger: OverheadLedger,
+    tree: Vec<PeerId>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            valid: false,
+            digest: 0,
+            probe_free: false,
+            ledger: OverheadLedger::new(),
+            tree: Vec::new(),
+        }
+    }
+}
+
+/// Stage B's view of the closure tables stage A gathered: a fault-time
+/// snapshot, or (faultless rounds) the live tables — nothing mutates
+/// them between the stages, so the live read is provably identical and
+/// skips the per-peer clone entirely.
+enum KnownView<'a> {
+    Live(&'a AceEngine, &'a Overlay, PeerId),
+    Snap(&'a KnownSnap),
+}
+
+impl KnownView<'_> {
+    fn get(&self, w: PeerId) -> Option<&CostTable> {
+        match self {
+            KnownView::Live(eng, ov, peer) => (w == *peer || ov.are_neighbors(*peer, w))
+                .then(|| &eng.states[w.index()].table),
+            KnownView::Snap(snap) => snap.get(w),
+        }
+    }
 }
 
 /// One peer's planned phase 3 plus watch triage.
@@ -1873,9 +2271,11 @@ mod tests {
         let mut ace = AceEngine::new(4, AceConfig::paper_default());
         let mut rng = StdRng::seed_from_u64(7);
         ace.round(&mut ov, &oracle, &mut rng);
+        let mut fl = Vec::new();
         for p in ov.alive_peers() {
             assert!(ace.tree_built(p));
-            for f in ace.flooding_neighbors(p) {
+            ace.flooding_neighbors_into(p, &mut fl);
+            for f in &fl {
                 // Tree neighbors were real neighbors when the tree was built;
                 // a later phase-3 cut can invalidate them, which forwarding
                 // tolerates — but right after a round most should be live.
@@ -1892,7 +2292,9 @@ mod tests {
         ace.round(&mut ov, &oracle, &mut rng);
         ace.reset_peer(PeerId::new(0));
         assert!(!ace.tree_built(PeerId::new(0)));
-        assert!(ace.flooding_neighbors(PeerId::new(0)).is_empty());
+        let mut fl = vec![PeerId::new(9)];
+        ace.flooding_neighbors_into(PeerId::new(0), &mut fl);
+        assert!(fl.is_empty());
         assert_eq!(ace.probed_cost(PeerId::new(0), PeerId::new(2)), None);
     }
 
@@ -2217,9 +2619,11 @@ mod tests {
         ov.leave(victim).unwrap();
         ace.on_leave(victim);
         assert!(!ace.tree_built(victim));
+        let mut fl = Vec::new();
         for p in ov.alive_peers() {
             assert!(!ace.tree_neighbors_of(p).contains(&victim));
-            assert!(!ace.flooding_neighbors(p).contains(&victim));
+            ace.flooding_neighbors_into(p, &mut fl);
+            assert!(!fl.contains(&victim));
             assert_eq!(ace.probed_cost(p, victim), None);
         }
         ace.check_invariants(&ov).unwrap();

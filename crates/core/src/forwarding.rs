@@ -174,10 +174,11 @@ mod tests {
             },
         );
         ace.round(&mut ov, &oracle, &mut rng);
+        let mut fl = Vec::new();
         let peer = ov
             .alive_peers()
             .find(|&p| {
-                let fl = ace.flooding_neighbors(p);
+                ace.flooding_neighbors_into(p, &mut fl);
                 !fl.is_empty() && ov.neighbors(p).iter().any(|n| !fl.contains(n))
             })
             .expect("some peer keeps a non-flooding link");
@@ -189,7 +190,9 @@ mod tests {
         let (mut ov, oracle, ace, peer) = churn_env();
         // Churn cuts every one of the peer's flooding links behind the
         // engine's back; only non-flooding links survive.
-        for f in ace.flooding_neighbors(peer) {
+        let mut fl = Vec::new();
+        ace.flooding_neighbors_into(peer, &mut fl);
+        for f in fl {
             if ov.are_neighbors(peer, f) {
                 ov.disconnect(peer, f).unwrap();
             }
@@ -224,11 +227,9 @@ mod tests {
         let (mut ov, _oracle, ace, peer) = churn_env();
         // Keep exactly one live flooding link: the peer becomes a tree
         // leaf whose only tree partner is the query's sender.
-        let live: Vec<PeerId> = ace
-            .flooding_neighbors(peer)
-            .into_iter()
-            .filter(|&f| ov.are_neighbors(peer, f))
-            .collect();
+        let mut live = Vec::new();
+        ace.flooding_neighbors_into(peer, &mut live);
+        live.retain(|&f| ov.are_neighbors(peer, f));
         for &f in &live[1..] {
             ov.disconnect(peer, f).unwrap();
         }
@@ -250,7 +251,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         ace.round(&mut ov, &oracle, &mut rng);
         // Cut an edge behind the engine's back; forwarding must not use it.
-        let flooding: Vec<PeerId> = ace.flooding_neighbors(PeerId::new(1));
+        let mut flooding = Vec::new();
+        ace.flooding_neighbors_into(PeerId::new(1), &mut flooding);
         if let Some(&victim) = flooding.first() {
             ov.disconnect(PeerId::new(1), victim).unwrap();
             let targets = AceForward::new(&ace).forward_targets(&ov, PeerId::new(1), None);

@@ -61,6 +61,7 @@
 pub mod audit;
 pub mod autorate;
 mod closure;
+mod core_cache;
 mod cost_table;
 mod engine;
 pub mod experiments;
@@ -71,6 +72,7 @@ pub mod mst;
 pub mod netem;
 mod optrate;
 mod overhead;
+mod plan;
 pub mod policy;
 mod probe;
 pub mod protocol;
@@ -80,6 +82,7 @@ pub use audit::{
 };
 pub use autorate::{AutoRateConfig, ControllerStats, RateController, RateSample};
 pub use closure::Closure;
+pub use core_cache::CoreCacheStats;
 pub use cost_table::CostTable;
 pub use engine::{AceConfig, AceEngine, AdaptOutcome, ReplacePolicy, RoundStats};
 pub use fault::FaultConfig;

@@ -247,6 +247,128 @@ pub fn kruskal(members: &[PeerId], edges: &[ClosureEdge]) -> SpanningTree {
     tree
 }
 
+/// A closure edge in dense slot space: both endpoints are indices into
+/// the closure's `members` vector. The round-plan hot path works in slot
+/// space so no per-peer `HashMap<PeerId, usize>` index is ever built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotEdge {
+    /// Slot of one endpoint.
+    pub a: u32,
+    /// Slot of the other endpoint.
+    pub b: u32,
+    /// Probed cost of the logical link.
+    pub cost: Delay,
+}
+
+/// Reusable state for the slot-space Prim. One instance lives in each
+/// worker's `PlanScratch`; arenas are cleared (keeping capacity)
+/// between peers instead of reallocated.
+///
+/// Closures are small (a dozen to a few dozen members), so the MST
+/// uses a *dense* Prim — per-slot best-candidate arrays and an
+/// `O(members)` argmin scan per step — instead of a binary heap: at
+/// this size the heap's allocation-free push/pop traffic still costs
+/// several times the flat scans, and the plan stage runs one MST per
+/// planning peer per round.
+#[derive(Clone, Debug, Default)]
+pub struct PrimScratch {
+    adj: Vec<Vec<(u32, Delay)>>,
+    /// Cheapest known connecting edge per slot: cost and tree-side
+    /// endpoint, lexicographically minimal as `(cost, from)` —
+    /// [`NO_EDGE`] `from` means none seen yet.
+    best_cost: Vec<Delay>,
+    best_from: Vec<u32>,
+    in_tree: Vec<bool>,
+}
+
+/// `best_from` sentinel: no candidate edge reaches the slot yet.
+const NO_EDGE: u32 = u32::MAX;
+
+impl PrimScratch {
+    /// Dense Prim from slot `root` over `members`/`edges`, appending
+    /// (sorted) the members adjacent to the root in the resulting tree —
+    /// exactly [`prim_heap`]`(..).tree_neighbors(members[root])`,
+    /// including its `(cost, raw peer id)` tie-breaking, without the
+    /// per-call index map, adjacency list and tree allocations.
+    ///
+    /// The heap pops the globally least `(cost, raw, slot, from)`
+    /// entry among slots not yet in the tree; keeping only the per-slot
+    /// `(cost, from)`-minimal candidate and scanning for the least
+    /// `(cost, raw, slot, from)` key selects the identical sequence,
+    /// because `raw` and `slot` are constants of the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge slot is out of `members`' range.
+    pub fn root_tree_neighbors(
+        &mut self,
+        members: &[PeerId],
+        edges: &[SlotEdge],
+        root: u32,
+        out: &mut Vec<PeerId>,
+    ) {
+        let n = members.len();
+        for a in self.adj.iter_mut().take(n) {
+            a.clear();
+        }
+        if self.adj.len() < n {
+            self.adj.resize_with(n, Vec::new);
+        }
+        self.in_tree.clear();
+        self.in_tree.resize(n, false);
+        self.best_cost.clear();
+        self.best_cost.resize(n, Delay::MAX);
+        self.best_from.clear();
+        self.best_from.resize(n, NO_EDGE);
+        for e in edges {
+            let (i, j) = (e.a as usize, e.b as usize);
+            assert!(i < n && j < n, "edge slot out of range");
+            self.adj[i].push((e.b, e.cost));
+            self.adj[j].push((e.a, e.cost));
+        }
+        let Self {
+            adj,
+            best_cost,
+            best_from,
+            in_tree,
+        } = self;
+        in_tree[root as usize] = true;
+        for &(j, c) in &adj[root as usize] {
+            let j = j as usize;
+            if (c, root) < (best_cost[j], best_from[j]) {
+                best_cost[j] = c;
+                best_from[j] = root;
+            }
+        }
+        let start = out.len();
+        loop {
+            let mut pick: Option<(Delay, u32, u32, u32)> = None;
+            for j in 0..n {
+                if in_tree[j] || best_from[j] == NO_EDGE {
+                    continue;
+                }
+                let key = (best_cost[j], members[j].raw(), j as u32, best_from[j]);
+                if pick.is_none_or(|p| key < p) {
+                    pick = Some(key);
+                }
+            }
+            let Some((_, _, j, from)) = pick else { break };
+            in_tree[j as usize] = true;
+            if from == root {
+                out.push(members[j as usize]);
+            }
+            for &(k, c) in &adj[j as usize] {
+                let k = k as usize;
+                if !in_tree[k] && (c, j) < (best_cost[k], best_from[k]) {
+                    best_cost[k] = c;
+                    best_from[k] = j;
+                }
+            }
+        }
+        out[start..].sort_unstable();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,7 +24,7 @@ use ace_topology::Delay;
 use crate::autorate::AutoRateConfig;
 use crate::cost_table::CostTable;
 use crate::fault::FaultConfig;
-use crate::mst::{prim_heap, ClosureEdge};
+use crate::mst::{prim_heap, ClosureEdge, PrimScratch, SlotEdge};
 use crate::overhead::{OverheadKind, OverheadLedger};
 
 /// What the paper's Figure-4 rules decided for a probed candidate `H`
@@ -79,10 +79,26 @@ pub fn phase3_candidates(
     peer: PeerId,
     far_table: &CostTable,
 ) -> Vec<(PeerId, Delay)> {
-    far_table
-        .iter()
-        .filter(|&(h, _)| h != peer && ov.is_alive(h) && !ov.are_neighbors(peer, h))
-        .collect()
+    let mut out = Vec::new();
+    phase3_candidates_into(ov, peer, far_table, &mut out);
+    out
+}
+
+/// [`phase3_candidates`] into a caller buffer (cleared first) — the
+/// plan-stage hot path runs this once per due peer per round, so the
+/// reuse matters at scale.
+pub fn phase3_candidates_into(
+    ov: &Overlay,
+    peer: PeerId,
+    far_table: &CostTable,
+    out: &mut Vec<(PeerId, Delay)>,
+) {
+    out.clear();
+    out.extend(
+        far_table
+            .iter()
+            .filter(|&(h, _)| h != peer && ov.is_alive(h) && !ov.are_neighbors(peer, h)),
+    );
 }
 
 /// Phase 2: Prim MST over the closure members, reduced to `peer`'s own
@@ -117,6 +133,45 @@ pub fn tree_with_scope_guard(
         }
     }
     new_tree
+}
+
+/// Slot-space twin of [`tree_with_scope_guard`]: same tree, same
+/// padding, same `(cost, peer id)` tie-breaking — but edges come in
+/// dense closure slots, Prim state lives in the caller's reusable
+/// [`PrimScratch`], and the result is appended to a reusable buffer.
+/// The source peer must be slot 0 (`members[0] == peer`), which the
+/// closure BFS guarantees. `extras` is a scratch buffer for the scope
+/// guard's padding candidates.
+#[allow(clippy::too_many_arguments)]
+pub fn tree_with_scope_guard_scratch(
+    peer: PeerId,
+    members: &[PeerId],
+    edges: &[SlotEdge],
+    nbrs: &[PeerId],
+    min_flooding: usize,
+    mut cost_of: impl FnMut(PeerId) -> Option<Delay>,
+    prim: &mut PrimScratch,
+    extras: &mut Vec<(Delay, PeerId)>,
+    out: &mut Vec<PeerId>,
+) {
+    debug_assert_eq!(members.first(), Some(&peer), "source must be slot 0");
+    out.clear();
+    prim.root_tree_neighbors(members, edges, 0, out);
+    if out.len() < min_flooding {
+        extras.clear();
+        extras.extend(
+            nbrs.iter()
+                .filter(|n| !out.contains(n))
+                .filter_map(|&n| cost_of(n).map(|c| (c, n))),
+        );
+        extras.sort_unstable();
+        for &(_, n) in extras.iter() {
+            if out.len() >= min_flooding {
+                break;
+            }
+            out.push(n);
+        }
+    }
 }
 
 /// Verdict of the §3.3 keep-both follow-up for one watch `(far, near)`.

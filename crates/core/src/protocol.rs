@@ -519,6 +519,10 @@ pub struct AsyncAceSim {
     /// generation and dies, so a peer never runs two chains. Pure
     /// schedule state, like the dedup filter — not part of the digest.
     timer_gens: Vec<u32>,
+    /// Reusable phase-3 selection buffers (flooding set, non-flooding
+    /// complement); transient, cleared on use, never part of the digest.
+    flood_scratch: Vec<PeerId>,
+    nonflood_scratch: Vec<PeerId>,
 }
 
 impl AsyncAceSim {
@@ -560,6 +564,8 @@ impl AsyncAceSim {
             churn_marks: vec![0; peer_count],
             retry_marks: vec![(0.0, 0.0); peer_count],
             timer_gens: vec![0; peer_count],
+            flood_scratch: Vec::new(),
+            nonflood_scratch: Vec::new(),
         };
         let peers: Vec<PeerId> = sim.overlay.alive_peers().collect();
         for p in peers {
@@ -1816,18 +1822,30 @@ impl AsyncAceSim {
     }
 
     fn start_phase3(&mut self, oracle: &dyn DistancePlane, peer: PeerId) {
-        let flooding = self.flooding_neighbors(peer);
-        let non_flooding: Vec<PeerId> = self
-            .overlay
-            .neighbors(peer)
-            .iter()
-            .copied()
-            .filter(|n| !flooding.contains(n))
-            .collect();
-        if non_flooding.is_empty() {
+        // Reused selection buffers: same draws and decisions as the
+        // allocating version, without the per-cycle Vec churn.
+        let mut flooding = std::mem::take(&mut self.flood_scratch);
+        let mut non_flooding = std::mem::take(&mut self.nonflood_scratch);
+        flooding.clear();
+        self.flooding_neighbors_into(peer, &mut flooding);
+        non_flooding.clear();
+        non_flooding.extend(
+            self.overlay
+                .neighbors(peer)
+                .iter()
+                .copied()
+                .filter(|n| !flooding.contains(n)),
+        );
+        let far = if non_flooding.is_empty() {
+            None
+        } else {
+            Some(non_flooding[self.rng.gen_range(0..non_flooding.len())])
+        };
+        self.flood_scratch = flooding;
+        self.nonflood_scratch = non_flooding;
+        let Some(far) = far else {
             return;
-        }
-        let far = non_flooding[self.rng.gen_range(0..non_flooding.len())];
+        };
         let candidates = match self.nodes[peer.index()].neighbor_tables.get(&far) {
             Some(t) => policy::phase3_candidates(&self.overlay, peer, t),
             None => return,

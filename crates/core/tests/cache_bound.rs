@@ -1,0 +1,94 @@
+//! Regression: the pairwise-core probe cache is *bounded*.
+//!
+//! The original engine cached every `(a, b) -> Delay` probe it ever made
+//! in an unbounded `HashMap`; under sustained churn every rejoin wires
+//! fresh neighbor pairs, so the map grew monotonically for the life of
+//! the process. [`AceConfig::core_cache_budget`] now bounds the modeled
+//! byte footprint with oldest-first eviction, and `RoundStats` exposes
+//! the cache counters so a soak can watch it.
+
+use ace_core::experiments::{PhysKind, Scenario, ScenarioConfig};
+use ace_core::{AceConfig, AceEngine, FaultConfig};
+
+const BUDGET: usize = 4 * 1024; // ~85 pairs — tiny on purpose
+
+fn churn_world() -> Scenario {
+    Scenario::build(&ScenarioConfig {
+        phys: PhysKind::TwoLevel {
+            as_count: 4,
+            nodes_per_as: 30,
+        },
+        peers: 80,
+        avg_degree: 5,
+        objects: 20,
+        replicas: 3,
+        seed: 5,
+        ..ScenarioConfig::default()
+    })
+}
+
+#[test]
+fn churn_soak_respects_core_cache_budget() {
+    let mut w = churn_world();
+    let peers = w.overlay.peer_count();
+    let mut ace = AceEngine::new(
+        peers,
+        AceConfig {
+            parallel: true,
+            faults: Some(FaultConfig {
+                probe_loss: 0.05,
+                max_retries: 2,
+                backoff: 1.5,
+                crash: 0.04,
+                leave: 0.04,
+                rejoin: 0.5,
+                rejoin_attach: 3,
+                seed: 5,
+            }),
+            core_cache_budget: BUDGET,
+            ..AceConfig::paper_default()
+        },
+    );
+    let mut high_water = 0usize;
+    for round in 0..40 {
+        let s = ace.round(&mut w.overlay, &w.oracle, &mut w.rng);
+        assert!(
+            s.core_cache.bytes <= BUDGET,
+            "round {round}: cache footprint {} exceeds budget {BUDGET}",
+            s.core_cache.bytes
+        );
+        high_water = high_water.max(s.core_cache.entries);
+    }
+    let end = ace.round(&mut w.overlay, &w.oracle, &mut w.rng).core_cache;
+    assert!(
+        end.evictions > 0,
+        "soak never hit the budget — shrink BUDGET or add churn ({end:?})"
+    );
+    assert!(
+        (end.inserts as usize) > 2 * high_water,
+        "churn soak should insert far more pairs than the cache can hold \
+         (inserts {}, peak entries {high_water})",
+        end.inserts
+    );
+    assert!(end.high_water_bytes <= BUDGET);
+}
+
+/// Without a tight budget the committed benchmarks never evict — the
+/// default budget exists so digests stay byte-identical to the
+/// pre-bounding engine on every committed artifact.
+#[test]
+fn default_budget_never_evicts_at_experiment_scale() {
+    let mut w = churn_world();
+    let peers = w.overlay.peer_count();
+    let mut ace = AceEngine::new(
+        peers,
+        AceConfig {
+            parallel: true,
+            ..AceConfig::paper_default()
+        },
+    );
+    for _ in 0..10 {
+        let s = ace.round(&mut w.overlay, &w.oracle, &mut w.rng);
+        assert_eq!(s.core_cache.evictions, 0);
+    }
+}

@@ -61,6 +61,126 @@ where
         .collect()
 }
 
+/// A pool of reusable per-worker scratch arenas.
+///
+/// Workers take a scratch at the start of a [`plan_parallel_scratch`]
+/// run (or build a fresh one when the pool is dry) and return it at the
+/// end, so arena capacity built up in one round is reused by the next —
+/// across peers *and* across rounds. The pool never shrinks; it holds at
+/// most one scratch per worker that ever ran.
+///
+/// Scratch state is transient by contract (cleared before every use),
+/// so cloning a pool yields an **empty** pool: a cloned engine rebuilds
+/// its arenas on first use instead of deep-copying caches it would
+/// clear anyway.
+pub struct ScratchPool<S> {
+    inner: Mutex<Vec<S>>,
+}
+
+impl<S> ScratchPool<S> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ScratchPool {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes a pooled scratch, or `None` when the pool is dry.
+    pub fn take(&self) -> Option<S> {
+        self.inner.lock().expect("scratch pool lock poisoned").pop()
+    }
+
+    /// Returns a scratch to the pool.
+    pub fn put(&self, scratch: S) {
+        self.inner
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .push(scratch);
+    }
+
+    /// Number of currently pooled (idle) scratches.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().expect("scratch pool lock poisoned").len()
+    }
+}
+
+impl<S> Default for ScratchPool<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> Clone for ScratchPool<S> {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl<S> std::fmt::Debug for ScratchPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+/// [`plan_parallel`] with a per-worker scratch arena: each worker takes
+/// one scratch from `pool` (building it with `init` when the pool is
+/// dry) and threads it through every `f(&mut scratch, i)` it runs,
+/// returning it to the pool when its share of the work is done. `f`
+/// must treat the scratch as cleared-on-entry transient state — results
+/// must not depend on which scratch (or thread) served an index, which
+/// preserves the pool's worker-count determinism contract.
+pub fn plan_parallel_scratch<T, S, I, F>(
+    pool: &ScratchPool<S>,
+    n: usize,
+    workers: usize,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= 1 || workers <= 1 {
+        let mut scratch = pool.take().unwrap_or_else(&init);
+        let out = (0..n).map(|i| f(&mut scratch, i)).collect();
+        pool.put(scratch);
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| {
+                let mut scratch = pool.take().unwrap_or_else(&init);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(&mut scratch, i);
+                    *slots[i].lock().expect("plan slot lock poisoned") = Some(v);
+                }
+                pool.put(scratch);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("plan slot lock poisoned")
+                .expect("every index was planned")
+        })
+        .collect()
+}
+
 /// Resolves a worker-count knob: `0` means one worker per available
 /// hardware thread, anything else is taken literally.
 pub fn effective_workers(configured: usize) -> usize {
@@ -103,5 +223,45 @@ mod tests {
     fn effective_workers_resolves_zero() {
         assert!(effective_workers(0) >= 1);
         assert_eq!(effective_workers(3), 3);
+    }
+
+    #[test]
+    fn scratch_pool_reuses_arenas_across_runs() {
+        let pool: ScratchPool<Vec<usize>> = ScratchPool::new();
+        let out = plan_parallel_scratch(&pool, 8, 1, Vec::new, |s, i| {
+            s.clear();
+            s.push(i);
+            s[0] * 2
+        });
+        assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(pool.idle(), 1, "serial run parks exactly one scratch");
+        let before = pool.idle();
+        plan_parallel_scratch(&pool, 16, 4, Vec::new, |s, i| {
+            s.clear();
+            s.push(i);
+        });
+        assert!(pool.idle() >= before, "workers return their scratches");
+    }
+
+    #[test]
+    fn scratch_runs_match_plain_parallel_results() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        let reference = plan_parallel(33, 1, |i| i as u64 * 7 + 1);
+        for workers in [1, 2, 4] {
+            let got = plan_parallel_scratch(&pool, 33, workers, Vec::new, |s, i| {
+                s.clear();
+                s.push(i as u64 * 7 + 1);
+                s[0]
+            });
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cloned_pool_starts_empty() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        pool.put(vec![1, 2, 3]);
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.clone().idle(), 0);
     }
 }

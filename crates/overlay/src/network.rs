@@ -149,6 +149,16 @@ impl Overlay {
         &self.nbrs[peer.index()]
     }
 
+    /// Pulls `peer`'s neighbor-list header (the inner `Vec` triple, a
+    /// random line of a peer-count-sized vec) toward cache by issuing
+    /// an opaque read of it. Batch walks call this for every peer in
+    /// the batch first, so the independent loads overlap in the memory
+    /// pipeline instead of serializing behind each pointer chase.
+    #[inline]
+    pub fn prefetch_neighbors(&self, peer: PeerId) {
+        std::hint::black_box(self.nbrs.get(peer.index()).map(Vec::len));
+    }
+
     /// Degree of `peer`.
     pub fn degree(&self, peer: PeerId) -> usize {
         self.nbrs.get(peer.index()).map_or(0, Vec::len)

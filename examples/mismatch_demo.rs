@@ -94,8 +94,10 @@ fn main() {
 
     show(&overlay, &oracle, "after ACE (approaches Figure 2b):");
     println!("\nflooding/non-flooding classification:");
+    let mut fl = Vec::new();
     for p in overlay.peers() {
-        let flooding: Vec<&str> = ace.flooding_neighbors(p).iter().map(|&f| name(f)).collect();
+        ace.flooding_neighbors_into(p, &mut fl);
+        let flooding: Vec<&str> = fl.iter().map(|&f| name(f)).collect();
         println!("  {} floods to: {}", name(p), flooding.join(", "));
     }
 }

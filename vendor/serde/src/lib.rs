@@ -334,6 +334,32 @@ pub mod __private {
         T::from_value(&found.1).map_err(|e| DeError::new(format!("{strukt}.{name}: {e}")))
     }
 
+    /// [`field`] for `#[serde(default)]` fields: a missing key (or an
+    /// explicit null) yields `T::default()` instead of an error, so
+    /// newer struct revisions can read artifacts written before the
+    /// field existed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `v` is not an object or a present field's own
+    /// deserialization fails.
+    pub fn field_or_default<T: Deserialize + Default>(
+        v: &Value,
+        strukt: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::new(format!("{strukt}: expected object, got {v:?}")))?;
+        match fields.iter().find(|(k, _)| k == name) {
+            None => Ok(T::default()),
+            Some((_, Value::Null)) => Ok(T::default()),
+            Some((_, val)) => {
+                T::from_value(val).map_err(|e| DeError::new(format!("{strukt}.{name}: {e}")))
+            }
+        }
+    }
+
     /// Splits an externally tagged enum value into `(variant, payload)`.
     /// Unit variants are encoded as a bare string with no payload.
     ///
@@ -386,5 +412,19 @@ mod tests {
         assert_eq!(__private::field::<u32>(&v, "S", "x").unwrap(), 1);
         let err = __private::field::<u32>(&v, "S", "y").unwrap_err();
         assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn defaulted_field_tolerates_absence() {
+        let v = Value::Object(vec![("x".into(), Value::UInt(1))]);
+        assert_eq!(__private::field_or_default::<u32>(&v, "S", "x").unwrap(), 1);
+        assert_eq!(__private::field_or_default::<u32>(&v, "S", "y").unwrap(), 0);
+        assert_eq!(
+            __private::field_or_default::<Vec<u32>>(&v, "S", "ys").unwrap(),
+            Vec::new()
+        );
+        // A present-but-wrong value still errors.
+        let bad = Value::Object(vec![("x".into(), Value::Str("no".into()))]);
+        assert!(__private::field_or_default::<u32>(&bad, "S", "x").is_err());
     }
 }

@@ -9,9 +9,16 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Body {
-    Named(Vec<String>),
+    Named(Vec<FieldDef>),
     Tuple(usize),
     Enum(Vec<Variant>),
+}
+
+/// A named struct/variant field. `default` is set by `#[serde(default)]`
+/// — on deserialization a missing key yields `Default::default()`.
+struct FieldDef {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -22,7 +29,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<FieldDef>),
 }
 
 /// Splits `tokens` at commas that sit outside any `<...>` type nesting.
@@ -74,14 +81,46 @@ fn skip_attrs_and_vis(tokens: &[TokenTree]) -> usize {
     }
 }
 
-/// Pulls the field names out of a named-field body `{ a: T, b: U }`.
-fn named_field_names(body: &[TokenTree]) -> Vec<String> {
+/// True when the chunk's leading attributes contain `#[serde(default)]`.
+/// The attribute's bracket group tokenizes as `serde ( default )`.
+fn has_serde_default(chunk: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(attr))) =
+        (chunk.get(i), chunk.get(i + 1))
+    {
+        if p.as_char() != '#' {
+            break;
+        }
+        let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(list))) =
+            (inner.first(), inner.get(1))
+        {
+            if id.to_string() == "serde"
+                && list.delimiter() == Delimiter::Parenthesis
+                && list
+                    .stream()
+                    .into_iter()
+                    .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == "default"))
+            {
+                return true;
+            }
+        }
+        i += 2;
+    }
+    false
+}
+
+/// Pulls the field definitions out of a named-field body `{ a: T, b: U }`.
+fn named_fields(body: &[TokenTree]) -> Vec<FieldDef> {
     split_top_level(body)
         .iter()
         .filter_map(|chunk| {
             let start = skip_attrs_and_vis(chunk);
             match chunk.get(start) {
-                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                Some(TokenTree::Ident(id)) => Some(FieldDef {
+                    name: id.to_string(),
+                    default: has_serde_default(chunk),
+                }),
                 _ => None,
             }
         })
@@ -104,7 +143,7 @@ fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
                 }
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                     let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-                    VariantKind::Named(named_field_names(&inner))
+                    VariantKind::Named(named_fields(&inner))
                 }
                 _ => VariantKind::Unit,
             };
@@ -134,7 +173,7 @@ fn parse_item(input: TokenStream) -> (String, Body) {
     let body = match (kw.as_str(), tokens.get(i)) {
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-            Body::Named(named_field_names(&inner))
+            Body::Named(named_fields(&inner))
         }
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
@@ -149,15 +188,20 @@ fn parse_item(input: TokenStream) -> (String, Body) {
     (name, body)
 }
 
-/// Derives `serde::Serialize` (vendored `Value`-based model).
-#[proc_macro_derive(Serialize)]
+/// Derives `serde::Serialize` (vendored `Value`-based model). The
+/// `serde` helper attribute is accepted so fields can carry
+/// `#[serde(default)]`; serialization always writes every field.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let (name, body) = parse_item(input);
     let to_value = match &body {
         Body::Named(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
                 .collect();
             format!("::serde::Value::Object(vec![{}])", entries.join(", "))
         }
@@ -192,10 +236,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let binds = binds.join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
                                 })
                                 .collect();
@@ -219,16 +266,23 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: generated Serialize impl failed to parse")
 }
 
+/// Emits the reader for one named field: plain fields error when the
+/// key is missing, `#[serde(default)]` fields fall back to
+/// `Default::default()` (older artifacts stay readable).
+fn field_init(f: &FieldDef, source: &str, ctx: &str) -> String {
+    let fname = &f.name;
+    let reader = if f.default { "field_or_default" } else { "field" };
+    format!("{fname}: ::serde::__private::{reader}({source}, \"{ctx}\", \"{fname}\")?")
+}
+
 /// Derives `serde::Deserialize` (vendored `Value`-based model).
-#[proc_macro_derive(Deserialize)]
+/// Supports the `#[serde(default)]` field attribute.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let (name, body) = parse_item(input);
     let from_value = match &body {
         Body::Named(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::__private::field(v, \"{name}\", \"{f}\")?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "v", &name)).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
         Body::Tuple(1) => {
@@ -275,9 +329,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         VariantKind::Named(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!("{f}: ::serde::__private::field(p, \"{name}::{vn}\", \"{f}\")?")
-                                })
+                                .map(|f| field_init(f, "p", &format!("{name}::{vn}")))
                                 .collect();
                             format!(
                                 "\"{vn}\" => {{\n\
